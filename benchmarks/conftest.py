@@ -1,0 +1,23 @@
+"""Shared benchmark helpers.
+
+Every benchmark times one synthesis run with ``benchmark.pedantic``
+(single round — these are macro-benchmarks with seconds-long bodies,
+not microseconds) and attaches the paper's table columns to
+``extra_info`` so they appear in ``--benchmark-json`` dumps.
+"""
+
+import pytest
+
+
+def record_stats(benchmark, label, stats):
+    """Attach netlist cost columns to the benchmark record."""
+    benchmark.extra_info["%s_gates" % label] = stats.gates
+    benchmark.extra_info["%s_exors" % label] = stats.exors
+    benchmark.extra_info["%s_area" % label] = stats.area
+    benchmark.extra_info["%s_cascades" % label] = stats.cascades
+    benchmark.extra_info["%s_delay" % label] = stats.delay
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under timing and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,87 @@
+"""Ablation: strong vs weak-only vs no-EXOR decomposition.
+
+Two of the paper's central arguments, measured:
+
+* Section 8 conjectures BDS loses because it "applies only weak
+  bi-decomposition"; forcing our engine into weak-only mode reproduces
+  the quality drop directly, holding everything else fixed.
+* EXOR gates are what keeps EXOR-intensive circuits (9sym, rd84, t481)
+  small; disabling EXOR steps shows the cost of an AND/OR-only diet.
+
+Run:  pytest benchmarks/test_ablation_strong_weak.py --benchmark-only
+"""
+
+import pytest
+
+from repro.bench import get
+from repro.decomp import DecompositionConfig, bi_decompose
+from repro.network import verify_against_isfs
+
+from conftest import record_stats, run_once
+
+NAMES = ("9sym", "rd84", "t481", "5xp1", "alu2")
+
+WEAK_ONLY = dict(use_or=False, use_and=False, use_exor=False)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_full_algorithm(benchmark, name):
+    mgr, specs = get(name).build()
+    result = run_once(benchmark, lambda: bi_decompose(specs))
+    record_stats(benchmark, "full", result.netlist_stats())
+    benchmark.extra_info["weak_steps"] = result.stats.weak_steps()
+    benchmark.extra_info["strong_steps"] = result.stats.strong_steps()
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_weak_only(benchmark, name):
+    mgr, specs = get(name).build()
+    config = DecompositionConfig(**WEAK_ONLY)
+    result = run_once(benchmark, lambda: bi_decompose(specs,
+                                                      config=config))
+    verify_against_isfs(result.netlist, specs)
+    record_stats(benchmark, "weak_only", result.netlist_stats())
+    assert result.stats.strong_steps() == 0
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_no_exor(benchmark, name):
+    mgr, specs = get(name).build()
+    config = DecompositionConfig(use_exor=False)
+    result = run_once(benchmark, lambda: bi_decompose(specs,
+                                                      config=config))
+    verify_against_isfs(result.netlist, specs)
+    record_stats(benchmark, "no_exor", result.netlist_stats())
+    assert result.netlist_stats().exors == 0
+
+
+@pytest.mark.parametrize("name", ("9sym", "t481", "rd84"))
+def test_shape_strong_beats_weak_only(benchmark, name):
+    mgr, specs = get(name).build()
+
+    def both():
+        full = bi_decompose(specs)
+        mgr2, specs2 = get(name).build()
+        weak = bi_decompose(specs2,
+                            config=DecompositionConfig(**WEAK_ONLY))
+        return full, weak
+
+    full, weak = run_once(benchmark, both)
+    assert full.netlist_stats().area <= weak.netlist_stats().area
+
+
+@pytest.mark.parametrize("name", ("9sym", "t481"))
+def test_shape_exor_gates_pay_for_themselves(benchmark, name):
+    mgr, specs = get(name).build()
+
+    def both():
+        full = bi_decompose(specs)
+        mgr2, specs2 = get(name).build()
+        noex = bi_decompose(specs2,
+                            config=DecompositionConfig(use_exor=False))
+        return full, noex
+
+    full, noex = run_once(benchmark, both)
+    # Area model charges EXOR 5 vs 2; they must still win overall on
+    # the EXOR-intensive functions.
+    assert full.netlist_stats().area <= noex.netlist_stats().area

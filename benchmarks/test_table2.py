@@ -1,0 +1,108 @@
+"""Table 2 of the paper: BI-DECOMP vs SIS over ten MCNC benchmarks.
+
+Each benchmark name gets two timed entries (the SIS-like flow and the
+bi-decomposition), with the paper's columns (gates / exors / area /
+cascades / delay) recorded in ``extra_info``.  Shape assertions encode
+the paper's qualitative findings:
+
+* the SIS-like flow emits no EXOR gates (observed of SIS in the paper);
+* BI-DECOMP wins area and delay on the EXOR-intensive benchmarks;
+* BI-DECOMP uses EXOR gates exactly there.
+
+Run:  pytest benchmarks/test_table2.py --benchmark-only
+"""
+
+import pytest
+
+from repro.baselines import sis_like_synthesize
+from repro.bench import TABLE2, get
+from repro.decomp import bi_decompose
+from repro.network import verify_against_isfs
+
+from conftest import record_stats, run_once
+
+#: Benchmarks whose character is EXOR-intensive; the paper's headline
+#: wins concentrate here.
+EXOR_INTENSIVE = {"9sym", "16sym8"}
+
+#: Structured control PLAs: the paper reports BI-DECOMP winning area
+#: on these too (the flattened PLAs hide multilevel structure).
+CONTROL_PLAS = ("misex1", "vg2", "duke2", "pdc", "spla", "cps")
+
+
+@pytest.mark.parametrize("name", TABLE2)
+def test_table2_bidecomp(benchmark, name):
+    bench = get(name)
+    mgr, specs = bench.build()
+    result = run_once(benchmark, lambda: bi_decompose(specs))
+    verify_against_isfs(result.netlist, specs)
+    stats = result.netlist_stats()
+    record_stats(benchmark, "bidecomp", stats)
+    benchmark.extra_info["ins"] = bench.inputs
+    benchmark.extra_info["outs"] = bench.outputs
+    benchmark.extra_info.update(result.stats.as_dict())
+    assert stats.gates > 0
+    if name in EXOR_INTENSIVE:
+        assert stats.exors > 0, "EXOR gates expected on %s" % name
+    # The Shannon fallback should virtually never fire (paper claims a
+    # weak step always exists on this population).
+    assert result.stats.shannon == 0
+
+
+@pytest.mark.parametrize("name", TABLE2)
+def test_table2_sis_like(benchmark, name):
+    bench = get(name)
+    mgr, specs = bench.build()
+    # factor=False reproduces the paper's SIS setup: mapping only, no
+    # multi-level factoring script.
+    result = run_once(benchmark,
+                      lambda: sis_like_synthesize(specs, factor=False))
+    verify_against_isfs(result.netlist, specs)
+    stats = result.netlist_stats()
+    record_stats(benchmark, "sis", stats)
+    assert stats.exors == 0, "the SIS-like flow must not emit EXORs"
+
+
+@pytest.mark.parametrize("name", sorted(EXOR_INTENSIVE))
+def test_table2_shape_bidecomp_wins_on_exor_intensive(benchmark, name):
+    """The paper's headline comparison, asserted rather than eyeballed."""
+    bench = get(name)
+    mgr, specs = bench.build()
+
+    def both():
+        return (bi_decompose(specs),
+                sis_like_synthesize(specs, factor=False))
+
+    bidecomp, sis = run_once(benchmark, both)
+    bd_stats = bidecomp.netlist_stats()
+    sis_stats = sis.netlist_stats()
+    record_stats(benchmark, "bidecomp", bd_stats)
+    record_stats(benchmark, "sis", sis_stats)
+    # Area and gate count reproduce the paper's wins decisively (3.5x
+    # on 9sym, ~60x on 16sym8).  Delay is NOT asserted: our SIS-like
+    # mapper builds perfectly balanced trees — an idealised SIS whose
+    # depth is log(#cubes) of cheap 1.0-delay gates — whereas the
+    # paper's actual SIS produced unbalanced NAND/NOR mappings.  See
+    # EXPERIMENTS.md for the discussion.
+    assert bd_stats.area < sis_stats.area
+    assert bd_stats.gates < sis_stats.gates
+
+
+@pytest.mark.parametrize("name", CONTROL_PLAS)
+def test_table2_shape_bidecomp_wins_on_control_plas(benchmark, name):
+    """Area/gate wins on the structured control PLAs too ("in almost
+    all cases BI-DECOMP outperforms SIS")."""
+    bench = get(name)
+    mgr, specs = bench.build()
+
+    def both():
+        return (bi_decompose(specs),
+                sis_like_synthesize(specs, factor=False))
+
+    bidecomp, sis = run_once(benchmark, both)
+    bd_stats = bidecomp.netlist_stats()
+    sis_stats = sis.netlist_stats()
+    record_stats(benchmark, "bidecomp", bd_stats)
+    record_stats(benchmark, "sis", sis_stats)
+    assert bd_stats.area < sis_stats.area
+    assert bd_stats.gates < sis_stats.gates

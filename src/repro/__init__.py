@@ -1,0 +1,23 @@
+"""repro — reproduction of "An Algorithm for Bi-Decomposition of Logic
+Functions" (Mishchenko, Steinbach, Perkowski; DAC 2001).
+
+The package decomposes multi-output incompletely specified Boolean
+functions into netlists of two-input AND/OR/EXOR gates with BDD-based
+quantified checks, plus every substrate the original system relied on
+(BDD package, PLA/BLIF I/O, netlist + cost model, verifier,
+testability analysis, baselines) and the paper's future-work
+extensions (technology mapping, multi-valued MIN/MAX decomposition,
+integrated ATPG).
+
+Most users want::
+
+    from repro.bdd import BDD
+    from repro.boolfn import ISF, parse
+    from repro.decomp import bi_decompose
+
+See README.md for the tour and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

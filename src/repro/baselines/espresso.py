@@ -1,0 +1,146 @@
+"""Espresso-style two-level minimisation (EXPAND / IRREDUNDANT / REDUCE).
+
+The paper runs SIS with ``simplify -m`` before mapping; that command is
+espresso-based two-level minimisation with don't-cares.  This module
+implements the classic loop on cube covers, using BDDs as the
+containment oracle:
+
+* **EXPAND** — grow each cube to a *prime* of the interval by dropping
+  literals while the cube stays inside ``on | dc``; absorb covered
+  cubes;
+* **IRREDUNDANT** — greedily delete cubes whose removal keeps the
+  on-set covered;
+* **REDUCE** — shrink each cube to the supercube of the on-set part
+  only it covers, re-opening room for a different expansion;
+* :func:`espresso` — iterate the three until the (cube count, literal
+  count) cost stops improving, then finish with EXPAND + IRREDUNDANT so
+  the result is a prime and irredundant cover.
+
+Deterministic throughout (cube order is preserved; ties break by
+variable index).
+"""
+
+from repro.bdd.isop import Cube, cover_to_bdd, isop
+from repro.bdd.node import FALSE
+
+
+def _cube_inside(mgr, cube, region):
+    """Is the cube's BDD contained in *region*?"""
+    return mgr.diff(cube.to_bdd(mgr), region) == FALSE
+
+
+def expand(mgr, cubes, upper):
+    """Grow every cube to a prime implicant of ``upper``; absorb.
+
+    Literals are dropped greedily in ascending variable order; a drop
+    sticks when the enlarged cube still lies inside *upper*.  After
+    expansion, any cube contained in an earlier expanded cube is
+    dropped (single-cube containment).
+    """
+    expanded = []
+    union = FALSE
+    for cube in cubes:
+        literals = dict(cube.literals)
+        for var in sorted(cube.literals):
+            trial = dict(literals)
+            del trial[var]
+            if _cube_inside(mgr, Cube(trial), upper):
+                literals = trial
+        grown = Cube(literals)
+        node = grown.to_bdd(mgr)
+        if mgr.diff(node, union) == FALSE:
+            continue  # absorbed by earlier primes
+        union = mgr.or_(union, node)
+        expanded.append(grown)
+    return expanded
+
+
+def irredundant(mgr, cubes, lower):
+    """Greedily drop cubes while the rest still covers *lower*."""
+    kept = list(cubes)
+    # Try dropping the largest cubes last (smallest first is the usual
+    # espresso heuristic: specific cubes are more likely redundant).
+    order = sorted(range(len(kept)),
+                   key=lambda i: -kept[i].num_literals())
+    alive = [True] * len(kept)
+    for index in order:
+        alive[index] = False
+        rest = cover_to_bdd(mgr, [cube for i, cube in enumerate(kept)
+                                  if alive[i]])
+        if mgr.diff(lower, rest) != FALSE:
+            alive[index] = True  # this cube is needed
+    return [cube for i, cube in enumerate(kept) if alive[i]]
+
+
+def reduce_cover(mgr, cubes, lower):
+    """Shrink each cube to the supercube of what only it must cover.
+
+    Cubes are processed sequentially against the *current* state of the
+    others (already-reduced predecessors, untouched successors), which
+    is what keeps the on-set covered: a doubly-covered point may leave
+    the first cube but then becomes essential to the second.
+    """
+    current = list(cubes)
+    result = []
+    for index in range(len(current)):
+        cube = current[index]
+        others = cover_to_bdd(
+            mgr, result + current[index + 1:])
+        essential = mgr.and_(cube.to_bdd(mgr), mgr.diff(lower, others))
+        if essential == FALSE:
+            continue  # fully covered elsewhere: drop
+        result.append(_supercube(mgr, essential, cube))
+    return result
+
+
+def _supercube(mgr, region, within):
+    """Smallest cube containing *region*.
+
+    Starts from the original cube's literals (always implied, since
+    ``region`` lies inside *within*) and adds any further literal the
+    region implies — that is how REDUCE actually shrinks a cube.
+    """
+    literals = dict(within.literals)
+    for var in mgr.support(region):
+        if var in literals:
+            continue
+        if mgr.cofactor(region, var, 0) == FALSE:
+            literals[var] = 1
+        elif mgr.cofactor(region, var, 1) == FALSE:
+            literals[var] = 0
+    return Cube(literals)
+
+
+def cover_cost(cubes):
+    """Espresso's cost: (number of cubes, total literal count)."""
+    return (len(cubes), sum(cube.num_literals() for cube in cubes))
+
+
+def espresso(mgr, lower, upper, initial=None, max_iterations=10):
+    """Minimise a cover of the interval ``lower <= f <= upper``.
+
+    Returns ``(cubes, cover_node)`` with ``lower <= cover <= upper``,
+    the cover prime and irredundant.  *initial* defaults to the
+    Minato-Morreale ISOP.
+    """
+    if mgr.diff(lower, upper) != FALSE:
+        raise ValueError("espresso requires lower <= upper")
+    if initial is None:
+        _node, cubes = isop(mgr, lower, upper)
+    else:
+        cubes = list(initial)
+    cubes = expand(mgr, cubes, upper)
+    cubes = irredundant(mgr, cubes, lower)
+    best = cover_cost(cubes)
+    for _ in range(max_iterations):
+        cubes = reduce_cover(mgr, cubes, lower)
+        cubes = expand(mgr, cubes, upper)
+        cubes = irredundant(mgr, cubes, lower)
+        cost = cover_cost(cubes)
+        if cost >= best:
+            break
+        best = cost
+    cover = cover_to_bdd(mgr, cubes)
+    assert mgr.diff(lower, cover) == FALSE
+    assert mgr.diff(cover, upper) == FALSE
+    return cubes, cover

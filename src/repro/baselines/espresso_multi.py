@@ -1,0 +1,215 @@
+"""Multi-output espresso: shared-cube two-level minimisation.
+
+Real espresso minimises all outputs *jointly*: a product term has an
+output part, one AND-plane row can feed several OR-plane columns, and
+the row count (PLA area) is what matters.  This module lifts the
+single-output EXPAND/IRREDUNDANT/REDUCE loop of
+:mod:`repro.baselines.espresso` to multi-output covers:
+
+* **EXPAND** grows the input part against the *intersection* of the
+  upper bounds of the cube's outputs, then *raises* outputs (adds the
+  cube to any further output whose upper bound contains it — this is
+  where sharing comes from), then absorbs dominated cubes;
+* **IRREDUNDANT** removes per-(cube, output) connections whose on-set
+  is covered elsewhere, then drops cubes with no outputs left;
+* **REDUCE** shrinks each cube to the supercube of the on-set minterms
+  only it covers, over all its outputs.
+
+``espresso_multi`` iterates to a cost fixpoint; ``pla_rows``/
+``pla_area`` provide the classic PLA cost model.
+"""
+
+from repro.bdd.isop import Cube, isop
+from repro.bdd.node import FALSE
+
+
+class MOCube:
+    """A multi-output product term: input literals + output set."""
+
+    __slots__ = ("literals", "outputs")
+
+    def __init__(self, literals, outputs):
+        self.literals = dict(literals)
+        self.outputs = frozenset(outputs)
+
+    def to_bdd(self, mgr):
+        """BDD of the input part."""
+        return Cube(self.literals).to_bdd(mgr)
+
+    def __repr__(self):
+        return "MOCube(%r -> %s)" % (self.literals,
+                                     sorted(self.outputs))
+
+    def __eq__(self, other):
+        return (isinstance(other, MOCube)
+                and self.literals == other.literals
+                and self.outputs == other.outputs)
+
+    def __hash__(self):
+        return hash((frozenset(self.literals.items()), self.outputs))
+
+
+def _covers(mgr, cubes, output):
+    node = FALSE
+    for cube in cubes:
+        if output in cube.outputs:
+            node = mgr.or_(node, cube.to_bdd(mgr))
+    return node
+
+
+def _initial_cover(mgr, lowers, uppers):
+    """Per-output ISOP cubes, merged when input parts coincide."""
+    merged = {}
+    for output, lower in lowers.items():
+        _node, cubes = isop(mgr, lower, uppers[output])
+        for cube in cubes:
+            key = frozenset(cube.literals.items())
+            outputs = merged.setdefault(key, set())
+            outputs.add(output)
+    return [MOCube(dict(key), outputs)
+            for key, outputs in merged.items()]
+
+
+def expand_multi(mgr, cubes, uppers):
+    """Grow input parts, raise outputs, absorb dominated cubes."""
+    expanded = []
+    for cube in cubes:
+        bound = None
+        for output in cube.outputs:
+            bound = uppers[output] if bound is None \
+                else mgr.and_(bound, uppers[output])
+        literals = dict(cube.literals)
+        for var in sorted(cube.literals):
+            trial = dict(literals)
+            del trial[var]
+            if mgr.diff(Cube(trial).to_bdd(mgr), bound) == FALSE:
+                literals = trial
+        node = Cube(literals).to_bdd(mgr)
+        outputs = set(cube.outputs)
+        for output, upper in uppers.items():
+            if output in outputs:
+                continue
+            if mgr.diff(node, upper) == FALSE:
+                outputs.add(output)  # output raising: free sharing
+        expanded.append(MOCube(literals, outputs))
+    # Absorption: cube dominated when spatially contained with a
+    # subset of the outputs.
+    kept = []
+    for i, cube in enumerate(expanded):
+        node = cube.to_bdd(mgr)
+        dominated = False
+        for j, other in enumerate(expanded):
+            if i == j:
+                continue
+            if not cube.outputs <= other.outputs:
+                continue
+            if cube.outputs == other.outputs and j > i:
+                continue  # symmetric pair: keep the first
+            if mgr.diff(node, other.to_bdd(mgr)) == FALSE:
+                dominated = True
+                break
+        if not dominated:
+            kept.append(cube)
+    return kept
+
+
+def irredundant_multi(mgr, cubes, lowers):
+    """Drop redundant (cube, output) connections, then empty cubes."""
+    working = [MOCube(c.literals, c.outputs) for c in cubes]
+    # Connection-removal order: less-shared cubes first (they are the
+    # least valuable rows), most-specific first among equals — so a
+    # raised shared cube wins over the single-output rows it subsumes.
+    order = sorted(range(len(working)),
+                   key=lambda i: (len(working[i].outputs),
+                                  -len(working[i].literals)))
+    for index in order:
+        cube = working[index]
+        for output in sorted(cube.outputs):
+            rest = FALSE
+            for k, other in enumerate(working):
+                if k == index:
+                    continue
+                if output in other.outputs:
+                    rest = mgr.or_(rest, other.to_bdd(mgr))
+            if mgr.diff(lowers[output], rest) == FALSE:
+                # The other cubes cover this output alone: drop the
+                # connection.
+                working[index] = MOCube(cube.literals,
+                                        cube.outputs - {output})
+                cube = working[index]
+    return [c for c in working if c.outputs]
+
+
+def reduce_multi(mgr, cubes, lowers):
+    """Shrink each cube to the supercube of what only it must cover."""
+    from repro.baselines.espresso import _supercube
+    current = [MOCube(c.literals, c.outputs) for c in cubes]
+    result = []
+    for index in range(len(current)):
+        cube = current[index]
+        node = cube.to_bdd(mgr)
+        essential = FALSE
+        for output in cube.outputs:
+            others = FALSE
+            for other in result + current[index + 1:]:
+                if output in other.outputs:
+                    others = mgr.or_(others, other.to_bdd(mgr))
+            forced = mgr.and_(node, mgr.diff(lowers[output], others))
+            essential = mgr.or_(essential, forced)
+        if essential == FALSE:
+            continue
+        shrunk = _supercube(mgr, essential, Cube(cube.literals))
+        result.append(MOCube(shrunk.literals, cube.outputs))
+    return result
+
+
+def multi_cost(cubes):
+    """(rows, total literal + output connections) — the PLA cost."""
+    return (len(cubes),
+            sum(len(c.literals) + len(c.outputs) for c in cubes))
+
+
+def pla_rows(cubes):
+    """Number of AND-plane rows."""
+    return len(cubes)
+
+
+def pla_area(cubes, num_inputs, num_outputs):
+    """Classic PLA area: rows x (2 * inputs + outputs)."""
+    return len(cubes) * (2 * num_inputs + num_outputs)
+
+
+def espresso_multi(mgr, lowers, uppers, max_iterations=10):
+    """Jointly minimise a multi-output cover.
+
+    Parameters
+    ----------
+    lowers, uppers:
+        ``{output_name: bdd_node}`` interval bounds per output
+        (``lower <= cover_j <= upper`` required for every output).
+
+    Returns ``(cubes, covers)`` where *cubes* is a list of
+    :class:`MOCube` and *covers* maps each output to its cover BDD.
+    """
+    for output in lowers:
+        if mgr.diff(lowers[output], uppers[output]) != FALSE:
+            raise ValueError("output %r: lower not below upper" % output)
+    cubes = _initial_cover(mgr, lowers, uppers)
+    cubes = expand_multi(mgr, cubes, uppers)
+    cubes = irredundant_multi(mgr, cubes, lowers)
+    best = multi_cost(cubes)
+    for _ in range(max_iterations):
+        cubes = reduce_multi(mgr, cubes, lowers)
+        cubes = expand_multi(mgr, cubes, uppers)
+        cubes = irredundant_multi(mgr, cubes, lowers)
+        cost = multi_cost(cubes)
+        if cost >= best:
+            break
+        best = cost
+    covers = {}
+    for output in lowers:
+        cover = _covers(mgr, cubes, output)
+        assert mgr.diff(lowers[output], cover) == FALSE
+        assert mgr.diff(cover, uppers[output]) == FALSE
+        covers[output] = cover
+    return cubes, covers

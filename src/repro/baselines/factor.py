@@ -1,0 +1,146 @@
+"""Algebraic factoring of SOP covers (the guts of the SIS-like baseline).
+
+Implements literal-driven quick factoring, the classic SIS recipe:
+
+    F = L * (F / L) + R
+
+where L is the most frequent literal, ``F / L`` the algebraic quotient
+and R the remainder; both parts are factored recursively.  The factored
+form is then mapped onto balanced trees of two-input AND/OR gates plus
+inverters — deliberately *without* EXOR gates, reproducing the paper's
+observation that SIS "uses mostly NOR/NAND gates but ignores other
+two-input gate types".
+"""
+
+from repro.bdd.isop import Cube
+
+# Factored-form tree node tags.
+LITERAL = "lit"     # payload: (var, polarity)
+AND_NODE = "and"    # payload: list of children
+OR_NODE = "or"      # payload: list of children
+CONST_NODE = "const"  # payload: 0 or 1
+
+
+class FactorTree:
+    """A factored-form expression tree."""
+
+    __slots__ = ("kind", "payload")
+
+    def __init__(self, kind, payload):
+        self.kind = kind
+        self.payload = payload
+
+    @classmethod
+    def constant(cls, value):
+        return cls(CONST_NODE, 1 if value else 0)
+
+    @classmethod
+    def literal(cls, var, polarity):
+        return cls(LITERAL, (var, 1 if polarity else 0))
+
+    def literal_count(self):
+        """Number of literal leaves (the classic factored-form cost)."""
+        if self.kind == LITERAL:
+            return 1
+        if self.kind == CONST_NODE:
+            return 0
+        return sum(child.literal_count() for child in self.payload)
+
+    def __repr__(self):
+        if self.kind == CONST_NODE:
+            return str(self.payload)
+        if self.kind == LITERAL:
+            var, polarity = self.payload
+            return "%sx%d" % ("" if polarity else "~", var)
+        joiner = " & " if self.kind == AND_NODE else " + "
+        return "(" + joiner.join(map(repr, self.payload)) + ")"
+
+
+def factor_cubes(cubes):
+    """Quick-factor a cube cover into a :class:`FactorTree`."""
+    if not cubes:
+        return FactorTree.constant(0)
+    if any(not cube.literals for cube in cubes):
+        return FactorTree.constant(1)  # a tautology cube absorbs the rest
+    best = _most_frequent_literal(cubes)
+    if best is None:
+        # No literal occurs twice: emit the SOP directly.
+        return _sop_tree(cubes)
+    var, polarity = best
+    quotient = []
+    remainder = []
+    for cube in cubes:
+        if cube.literals.get(var) == polarity:
+            rest = dict(cube.literals)
+            del rest[var]
+            quotient.append(Cube(rest))
+        else:
+            remainder.append(cube)
+    if len(quotient) < 2:
+        return _sop_tree(cubes)
+    factored = FactorTree(AND_NODE, [FactorTree.literal(var, polarity),
+                                     factor_cubes(quotient)])
+    if not remainder:
+        return factored
+    return FactorTree(OR_NODE, [factored, factor_cubes(remainder)])
+
+
+def _most_frequent_literal(cubes):
+    counts = {}
+    for cube in cubes:
+        for var, polarity in cube.literals.items():
+            key = (var, polarity)
+            counts[key] = counts.get(key, 0) + 1
+    if not counts:
+        return None
+    best_key = None
+    best_count = 1
+    for key in sorted(counts):  # deterministic tie-breaking
+        if counts[key] > best_count:
+            best_count = counts[key]
+            best_key = key
+    return best_key
+
+
+def _sop_tree(cubes):
+    terms = []
+    for cube in cubes:
+        literals = [FactorTree.literal(var, polarity)
+                    for var, polarity in sorted(cube.literals.items())]
+        if len(literals) == 1:
+            terms.append(literals[0])
+        else:
+            terms.append(FactorTree(AND_NODE, literals))
+    if len(terms) == 1:
+        return terms[0]
+    return FactorTree(OR_NODE, terms)
+
+
+def tree_to_netlist(tree, netlist, var_nodes):
+    """Map a factored tree onto balanced AND/OR gate trees.
+
+    *var_nodes* maps variable indices to netlist input nodes.  Returns
+    the netlist node computing the tree.
+    """
+    if tree.kind == CONST_NODE:
+        return netlist.constant(tree.payload)
+    if tree.kind == LITERAL:
+        var, polarity = tree.payload
+        node = var_nodes[var]
+        return node if polarity else netlist.add_not(node)
+    children = [tree_to_netlist(child, netlist, var_nodes)
+                for child in tree.payload]
+    combine = netlist.add_and if tree.kind == AND_NODE else netlist.add_or
+    return _balanced(children, combine)
+
+
+def _balanced(nodes, combine):
+    """Reduce a node list with a balanced binary tree (short delay)."""
+    while len(nodes) > 1:
+        paired = []
+        for i in range(0, len(nodes) - 1, 2):
+            paired.append(combine(nodes[i], nodes[i + 1]))
+        if len(nodes) % 2:
+            paired.append(nodes[-1])
+        nodes = paired
+    return nodes[0]

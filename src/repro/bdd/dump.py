@@ -1,0 +1,78 @@
+"""Export helpers: Graphviz DOT dumps and textual stats for BDDs."""
+
+from repro.bdd.node import FALSE, TRUE, TERMINAL_LEVEL
+
+
+def to_dot(mgr, roots, names=None):
+    """Render the DAG of *roots* as a Graphviz DOT string.
+
+    *roots* is a list of node ids; *names* optionally labels each root.
+    Solid edges are then-branches, dashed edges else-branches, following
+    the convention of Bryant's original paper.
+    """
+    if names is None:
+        names = ["f%d" % i for i in range(len(roots))]
+    lines = ["digraph bdd {", "  rankdir=TB;"]
+    seen = set()
+    by_level = {}
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        level = mgr.level(node)
+        by_level.setdefault(level, []).append(node)
+        if level != TERMINAL_LEVEL:
+            stack.append(mgr.low(node))
+            stack.append(mgr.high(node))
+
+    for name, root in zip(names, roots):
+        lines.append('  "%s" [shape=plaintext];' % name)
+        lines.append('  "%s" -> n%d [style=solid];' % (name, root))
+    for level in sorted(by_level):
+        nodes = by_level[level]
+        if level == TERMINAL_LEVEL:
+            for node in nodes:
+                label = "1" if node == TRUE else "0"
+                lines.append("  n%d [shape=box,label=\"%s\"];"
+                             % (node, label))
+            continue
+        var_label = mgr.var_name(mgr.var_at_level(level))
+        lines.append("  { rank=same; %s }"
+                     % " ".join("n%d" % n for n in nodes))
+        for node in nodes:
+            lines.append("  n%d [shape=circle,label=\"%s\"];"
+                         % (node, var_label))
+            lines.append("  n%d -> n%d [style=dashed];"
+                         % (node, mgr.low(node)))
+            lines.append("  n%d -> n%d [style=solid];"
+                         % (node, mgr.high(node)))
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def stats(mgr, roots):
+    """Return a dict of structural statistics for the DAG of *roots*."""
+    seen = set()
+    internal = 0
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if mgr.level(node) != TERMINAL_LEVEL:
+            internal += 1
+            stack.append(mgr.low(node))
+            stack.append(mgr.high(node))
+    support = set()
+    for root in roots:
+        support.update(mgr.support(root))
+    return {
+        "roots": len(roots),
+        "internal_nodes": internal,
+        "total_nodes": len(seen),
+        "support_size": len(support),
+        "manager_size": mgr.size(),
+    }

@@ -1,0 +1,258 @@
+"""Handle-based, operator-overloaded facade over the BDD manager.
+
+:class:`Function` pairs a manager with a node id and exposes the whole
+package through Python operators::
+
+    mgr = BDD(["a", "b", "c"])
+    a, b, c = mgr.fn_vars()
+    f = (a & b) | ~c
+    g = f.exists("a")
+    assert f.is_tautology() is False
+
+Handles compare equal iff they denote the same Boolean function on the
+same manager (structural canonicity makes this O(1)).
+"""
+
+from repro.bdd import cubes as _cubes
+from repro.bdd import dump as _dump
+from repro.bdd import isop as _isop
+from repro.bdd import quantify as _quantify
+from repro.bdd.manager import BDD, BDDError
+from repro.bdd.node import FALSE, TRUE
+
+
+class Function:
+    """An immutable handle on a Boolean function stored in a manager."""
+
+    __slots__ = ("mgr", "node")
+
+    def __init__(self, mgr, node):
+        self.mgr = mgr
+        self.node = node
+
+    # -- construction helpers -----------------------------------------
+    @classmethod
+    def true(cls, mgr):
+        """The constant-1 function."""
+        return cls(mgr, TRUE)
+
+    @classmethod
+    def false(cls, mgr):
+        """The constant-0 function."""
+        return cls(mgr, FALSE)
+
+    @classmethod
+    def literal(cls, mgr, var, positive=True):
+        """A single positive or negative literal."""
+        return cls(mgr, mgr.var(var) if positive else mgr.nvar(var))
+
+    def _coerce(self, other):
+        if isinstance(other, Function):
+            if other.mgr is not self.mgr:
+                raise BDDError("mixing functions from different managers")
+            return other.node
+        if other is True or other == 1:
+            return TRUE
+        if other is False or other == 0:
+            return FALSE
+        raise TypeError("cannot combine Function with %r" % (other,))
+
+    def _wrap(self, node):
+        return Function(self.mgr, node)
+
+    # -- Boolean operators --------------------------------------------
+    def __and__(self, other):
+        return self._wrap(self.mgr.and_(self.node, self._coerce(other)))
+
+    def __or__(self, other):
+        return self._wrap(self.mgr.or_(self.node, self._coerce(other)))
+
+    def __xor__(self, other):
+        return self._wrap(self.mgr.xor(self.node, self._coerce(other)))
+
+    def __invert__(self):
+        return self._wrap(self.mgr.not_(self.node))
+
+    def __sub__(self, other):
+        """Boolean difference (SHARP): ``self & ~other``."""
+        return self._wrap(self.mgr.diff(self.node, self._coerce(other)))
+
+    __rand__ = __and__
+    __ror__ = __or__
+    __rxor__ = __xor__
+
+    def implies(self, other):
+        """Implication ``~self | other``."""
+        return self._wrap(self.mgr.implies(self.node, self._coerce(other)))
+
+    def iff(self, other):
+        """Equivalence ``~(self ^ other)``."""
+        return self._wrap(self.mgr.xnor(self.node, self._coerce(other)))
+
+    def ite(self, then_fn, else_fn):
+        """If-then-else with *self* as the selector."""
+        return self._wrap(self.mgr.ite(self.node, self._coerce(then_fn),
+                                       self._coerce(else_fn)))
+
+    # -- predicates -----------------------------------------------------
+    def is_false(self):
+        """True iff this is the constant-0 function."""
+        return self.node == FALSE
+
+    def is_true(self):
+        """True iff this is the constant-1 function (tautology)."""
+        return self.node == TRUE
+
+    is_tautology = is_true
+
+    def __bool__(self):
+        raise BDDError("Function truth value is ambiguous; "
+                       "use is_true()/is_false()")
+
+    def __eq__(self, other):
+        if isinstance(other, Function):
+            return self.mgr is other.mgr and self.node == other.node
+        if other in (0, False):
+            return self.node == FALSE
+        if other in (1, True):
+            return self.node == TRUE
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((id(self.mgr), self.node))
+
+    def __le__(self, other):
+        """Containment: every minterm of self is a minterm of other."""
+        return self.mgr.diff(self.node, self._coerce(other)) == FALSE
+
+    def __ge__(self, other):
+        return self.mgr.diff(self._coerce(other), self.node) == FALSE
+
+    # -- structure ------------------------------------------------------
+    def support(self):
+        """Sorted tuple of variable indices this function depends on."""
+        return self.mgr.support(self.node)
+
+    def support_names(self):
+        """Sorted tuple of variable names this function depends on."""
+        return self.mgr.support_names(self.node)
+
+    def node_count(self):
+        """Number of BDD nodes (including terminals)."""
+        return self.mgr.node_count(self.node)
+
+    def sat_count(self, num_vars=None):
+        """Number of satisfying assignments."""
+        return _cubes.sat_count(self.mgr, self.node, num_vars)
+
+    # -- cofactors / quantification --------------------------------------
+    def cofactor(self, var, value):
+        """Restrict one variable to a constant."""
+        return self._wrap(self.mgr.cofactor(self.node, var, value))
+
+    def restrict(self, assignment):
+        """Restrict several variables at once."""
+        return self._wrap(self.mgr.restrict(self.node, assignment))
+
+    def compose(self, var, other):
+        """Substitute *other* for *var*."""
+        return self._wrap(self.mgr.compose(self.node, var,
+                                           self._coerce(other)))
+
+    def exists(self, *variables):
+        """Existentially quantify the given variables."""
+        return self._wrap(_quantify.exists(self.mgr, _flatten(variables),
+                                           self.node))
+
+    def forall(self, *variables):
+        """Universally quantify the given variables."""
+        return self._wrap(_quantify.forall(self.mgr, _flatten(variables),
+                                           self.node))
+
+    # -- evaluation / cubes ----------------------------------------------
+    def __call__(self, **assignment):
+        """Evaluate under a named assignment: ``f(a=1, b=0, ...)``."""
+        return self.mgr.eval(self.node, assignment)
+
+    def eval(self, assignment):
+        """Evaluate under an assignment dict."""
+        return self.mgr.eval(self.node, assignment)
+
+    def pick_cube(self):
+        """One satisfying cube as ``{var_index: 0/1}``, or None."""
+        return _cubes.pick_cube(self.mgr, self.node)
+
+    def cubes(self):
+        """Iterate over all disjoint cubes of this function."""
+        return _cubes.iter_cubes(self.mgr, self.node)
+
+    def minterms(self, variables=None):
+        """Iterate over all minterms (small functions only)."""
+        return _cubes.iter_minterms(self.mgr, self.node, variables)
+
+    def isop(self, upper=None):
+        """Irredundant SOP cover of the interval ``(self, upper)``.
+
+        With no *upper*, covers exactly this function.  Returns
+        ``(cover_function, cubes)``.
+        """
+        upper_node = self.node if upper is None else self._coerce(upper)
+        cover, cube_list = _isop.isop(self.mgr, self.node, upper_node)
+        return self._wrap(cover), cube_list
+
+    def to_dot(self, name="f"):
+        """Graphviz DOT dump of this function's DAG."""
+        return _dump.to_dot(self.mgr, [self.node], [name])
+
+    def __repr__(self):
+        if self.node == FALSE:
+            return "Function(0)"
+        if self.node == TRUE:
+            return "Function(1)"
+        return "Function(node=%d, support=%s)" % (
+            self.node, "".join("{%s}" % ",".join(self.support_names())))
+
+
+def _flatten(variables):
+    """Accept both ``f.exists('a', 'b')`` and ``f.exists(['a', 'b'])``."""
+    flat = []
+    for item in variables:
+        if isinstance(item, (list, tuple, set, frozenset)):
+            flat.extend(item)
+        else:
+            flat.append(item)
+    return flat
+
+
+def fn_vars(mgr):
+    """Return a list of Function literals for all manager variables."""
+    return [Function(mgr, mgr.var(v)) for v in range(mgr.num_vars)]
+
+
+# Attach convenience constructors to the manager class so that users can
+# write ``mgr.fn_vars()`` / ``mgr.fn_true()`` without importing this
+# module explicitly.
+def _mgr_fn_vars(self):
+    """Function handles for all variables, in index order."""
+    return fn_vars(self)
+
+
+def _mgr_fn(self, node):
+    """Wrap a raw node id into a Function handle."""
+    return Function(self, node)
+
+
+def _mgr_fn_true(self):
+    """Constant-1 Function."""
+    return Function(self, TRUE)
+
+
+def _mgr_fn_false(self):
+    """Constant-0 Function."""
+    return Function(self, FALSE)
+
+
+BDD.fn_vars = _mgr_fn_vars
+BDD.fn = _mgr_fn
+BDD.fn_true = _mgr_fn_true
+BDD.fn_false = _mgr_fn_false

@@ -1,0 +1,119 @@
+"""Irredundant sum-of-products via the Minato-Morreale ISOP algorithm.
+
+Given an interval ``(L, U)`` with ``L <= U`` (i.e. an incompletely
+specified function with on-set L and don't-care set U & ~L), ``isop``
+computes a completely specified cover ``f`` with ``L <= f <= U`` as an
+irredundant list of cubes.  This is the SOP engine behind the SIS-like
+baseline and the PLA writer.
+"""
+
+from repro.bdd.node import FALSE, TRUE
+
+
+class Cube:
+    """A product term: mapping of variable index -> 0/1 literal polarity."""
+
+    __slots__ = ("literals",)
+
+    def __init__(self, literals=None):
+        self.literals = dict(literals) if literals else {}
+
+    def with_literal(self, var, value):
+        """Return a copy of this cube extended with one literal."""
+        extended = Cube(self.literals)
+        extended.literals[var] = value
+        return extended
+
+    def to_bdd(self, mgr):
+        """Build the BDD for this cube on *mgr*."""
+        result = TRUE
+        for var, value in sorted(self.literals.items(),
+                                 key=lambda item: -mgr.level_of_var(item[0])):
+            literal = mgr.var(var) if value else mgr.nvar(var)
+            result = mgr.and_(literal, result)
+        return result
+
+    def num_literals(self):
+        """Number of literals in the cube."""
+        return len(self.literals)
+
+    def __repr__(self):
+        parts = []
+        for var in sorted(self.literals):
+            polarity = "" if self.literals[var] else "~"
+            parts.append("%sx%d" % (polarity, var))
+        return "Cube(%s)" % " & ".join(parts) if parts else "Cube(1)"
+
+    def __eq__(self, other):
+        return isinstance(other, Cube) and self.literals == other.literals
+
+    def __hash__(self):
+        return hash(frozenset(self.literals.items()))
+
+
+def isop(mgr, lower, upper):
+    """Minato-Morreale irredundant SOP for the interval ``(lower, upper)``.
+
+    Returns ``(cover_bdd, cubes)`` where ``lower <= cover_bdd <= upper``
+    and ``cubes`` is a list of :class:`Cube` whose disjunction equals
+    ``cover_bdd``.
+
+    Raises ``ValueError`` when the interval is empty (lower not below
+    upper).
+    """
+    if mgr.diff(lower, upper) != FALSE:
+        raise ValueError("isop requires lower <= upper")
+    cache = {}
+    return _isop_rec(mgr, lower, upper, cache)
+
+
+def _isop_rec(mgr, lower, upper, cache):
+    if lower == FALSE:
+        return FALSE, []
+    if upper == TRUE:
+        return TRUE, [Cube()]
+    key = (lower, upper)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    level = min(mgr.level(lower), mgr.level(upper))
+    var = mgr.var_at_level(level)
+    l0, l1 = _cofactors_at(mgr, lower, level)
+    u0, u1 = _cofactors_at(mgr, upper, level)
+
+    # On-set minterms coverable only by cubes containing the negative
+    # (resp. positive) literal of the splitting variable.
+    l0_only = mgr.diff(l0, u1)
+    l1_only = mgr.diff(l1, u0)
+    f0, cubes0 = _isop_rec(mgr, l0_only, u0, cache)
+    f1, cubes1 = _isop_rec(mgr, l1_only, u1, cache)
+
+    # What remains must be covered by cubes independent of the variable.
+    remainder = mgr.or_(mgr.diff(l0, f0), mgr.diff(l1, f1))
+    fd, cubes_d = _isop_rec(mgr, remainder, mgr.and_(u0, u1), cache)
+
+    cover = mgr.or_(fd, mgr.ite(mgr.var(var), f1, f0))
+    cubes = ([cube.with_literal(var, 0) for cube in cubes0]
+             + [cube.with_literal(var, 1) for cube in cubes1]
+             + cubes_d)
+    cache[key] = (cover, cubes)
+    return cover, cubes
+
+
+def _cofactors_at(mgr, node, level):
+    if mgr.level(node) == level:
+        return mgr.low(node), mgr.high(node)
+    return node, node
+
+
+def cover_to_bdd(mgr, cubes):
+    """Disjunction of a list of :class:`Cube` objects."""
+    result = FALSE
+    for cube in cubes:
+        result = mgr.or_(result, cube.to_bdd(mgr))
+    return result
+
+
+def cover_literal_count(cubes):
+    """Total number of literals in a cover (classic SOP cost measure)."""
+    return sum(cube.num_literals() for cube in cubes)

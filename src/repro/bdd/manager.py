@@ -1,0 +1,524 @@
+"""Reduced ordered BDD manager (the paper's BuDDy stand-in).
+
+Implements a classic unique-table / computed-table ROBDD package without
+complement edges.  Nodes are integers indexing flat lists; structural
+canonicity guarantees that two node ids are equal iff the functions are
+equal, which makes equivalence checking O(1).
+
+The manager offers:
+
+* variable creation and ordering maps (variable index <-> level),
+* the ``ite`` operator plus dedicated AND / OR / XOR / NOT fast paths,
+* cofactors, literal restriction, composition,
+* support computation,
+* hooks used by the quantification / cube / ISOP / reordering modules.
+
+The public, handle-based API lives in :mod:`repro.bdd.function`; this
+module is deliberately id-based for speed.
+"""
+
+from repro.bdd.node import FALSE, TRUE, TERMINAL_LEVEL
+
+# Opcodes for the shared binary computed table.
+_OP_AND = 0
+_OP_OR = 1
+_OP_XOR = 2
+
+
+class BDDError(Exception):
+    """Raised on misuse of the BDD manager (bad variable, wrong manager...)."""
+
+
+class BDD:
+    """A reduced ordered binary decision diagram manager.
+
+    Parameters
+    ----------
+    var_names:
+        Optional iterable of variable names created up front, in order.
+        More variables can be added later with :meth:`add_var`.
+    """
+
+    def __init__(self, var_names=()):
+        # Parallel node storage; slots 0/1 are the terminals.
+        self._level = [TERMINAL_LEVEL, TERMINAL_LEVEL]
+        self._lo = [FALSE, TRUE]
+        self._hi = [FALSE, TRUE]
+        self._unique = {}
+        # Computed tables.
+        self._cache_binary = {}
+        self._cache_ite = {}
+        self._cache_not = {}
+        self._cache_support = {}
+        # Variable bookkeeping.
+        self._var_names = []
+        self._name_to_var = {}
+        self._var_to_level = []
+        self._level_to_var = []
+        # Garbage collection: external reference counts and the
+        # freelist of recycled node slots.
+        self._refs = {}
+        self._free = []
+        for name in var_names:
+            self.add_var(name)
+
+    # ------------------------------------------------------------------
+    # Variable management
+    # ------------------------------------------------------------------
+    def add_var(self, name=None):
+        """Create a new variable at the bottom of the order; return its index."""
+        var = len(self._var_names)
+        if name is None:
+            name = "x%d" % var
+        if name in self._name_to_var:
+            raise BDDError("duplicate variable name: %r" % name)
+        self._var_names.append(name)
+        self._name_to_var[name] = var
+        self._var_to_level.append(len(self._level_to_var))
+        self._level_to_var.append(var)
+        return var
+
+    @property
+    def num_vars(self):
+        """Number of variables managed."""
+        return len(self._var_names)
+
+    @property
+    def var_names(self):
+        """Tuple of variable names, in creation (index) order."""
+        return tuple(self._var_names)
+
+    def var_index(self, var):
+        """Normalise *var* (name or index) to a variable index."""
+        if isinstance(var, str):
+            try:
+                return self._name_to_var[var]
+            except KeyError:
+                raise BDDError("unknown variable name: %r" % var)
+        var = int(var)
+        if not 0 <= var < len(self._var_names):
+            raise BDDError("variable index out of range: %d" % var)
+        return var
+
+    def var_name(self, var):
+        """Name of variable index *var*."""
+        return self._var_names[self.var_index(var)]
+
+    def level_of_var(self, var):
+        """Current level (position in the order) of variable *var*."""
+        return self._var_to_level[self.var_index(var)]
+
+    def var_at_level(self, level):
+        """Variable index currently sitting at *level*."""
+        return self._level_to_var[level]
+
+    def order(self):
+        """Current variable order as a tuple of variable indices, top first."""
+        return tuple(self._level_to_var)
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def _mk(self, level, lo, hi):
+        """Find-or-create the node ``(level, lo, hi)`` (reduction applied)."""
+        if lo == hi:
+            return lo
+        key = (level, lo, hi)
+        node = self._unique.get(key)
+        if node is None:
+            if self._free:
+                node = self._free.pop()
+                self._level[node] = level
+                self._lo[node] = lo
+                self._hi[node] = hi
+            else:
+                node = len(self._level)
+                self._level.append(level)
+                self._lo.append(lo)
+                self._hi.append(hi)
+            self._unique[key] = node
+        return node
+
+    def var(self, var):
+        """Return the node for the positive literal of *var*."""
+        level = self._var_to_level[self.var_index(var)]
+        return self._mk(level, FALSE, TRUE)
+
+    def nvar(self, var):
+        """Return the node for the negative literal of *var*."""
+        level = self._var_to_level[self.var_index(var)]
+        return self._mk(level, TRUE, FALSE)
+
+    @property
+    def true(self):
+        """The constant-1 node."""
+        return TRUE
+
+    @property
+    def false(self):
+        """The constant-0 node."""
+        return FALSE
+
+    def level(self, node):
+        """Level of *node* (``TERMINAL_LEVEL`` for constants)."""
+        return self._level[node]
+
+    def low(self, node):
+        """Else-branch (variable = 0) of *node*."""
+        return self._lo[node]
+
+    def high(self, node):
+        """Then-branch (variable = 1) of *node*."""
+        return self._hi[node]
+
+    def top_var(self, node):
+        """Variable index decided at the root of *node*."""
+        level = self._level[node]
+        if level == TERMINAL_LEVEL:
+            raise BDDError("terminal node has no top variable")
+        return self._level_to_var[level]
+
+    def size(self):
+        """Total number of nodes allocated in the manager (incl. terminals)."""
+        return len(self._level)
+
+    # ------------------------------------------------------------------
+    # Core operators
+    # ------------------------------------------------------------------
+    def not_(self, f):
+        """Complement of *f*."""
+        if f == FALSE:
+            return TRUE
+        if f == TRUE:
+            return FALSE
+        cached = self._cache_not.get(f)
+        if cached is not None:
+            return cached
+        result = self._mk(self._level[f], self.not_(self._lo[f]),
+                          self.not_(self._hi[f]))
+        self._cache_not[f] = result
+        self._cache_not[result] = f
+        return result
+
+    def _apply2(self, op, f, g):
+        """Shared recursion for the commutative binary operators."""
+        if op == _OP_AND:
+            if f == FALSE or g == FALSE:
+                return FALSE
+            if f == TRUE:
+                return g
+            if g == TRUE:
+                return f
+            if f == g:
+                return f
+        elif op == _OP_OR:
+            if f == TRUE or g == TRUE:
+                return TRUE
+            if f == FALSE:
+                return g
+            if g == FALSE:
+                return f
+            if f == g:
+                return f
+        else:  # XOR
+            if f == g:
+                return FALSE
+            if f == FALSE:
+                return g
+            if g == FALSE:
+                return f
+            if f == TRUE:
+                return self.not_(g)
+            if g == TRUE:
+                return self.not_(f)
+        if f > g:
+            f, g = g, f
+        key = (op, f, g)
+        cached = self._cache_binary.get(key)
+        if cached is not None:
+            return cached
+        level_f = self._level[f]
+        level_g = self._level[g]
+        if level_f < level_g:
+            level, f0, f1, g0, g1 = level_f, self._lo[f], self._hi[f], g, g
+        elif level_g < level_f:
+            level, f0, f1, g0, g1 = level_g, f, f, self._lo[g], self._hi[g]
+        else:
+            level = level_f
+            f0, f1 = self._lo[f], self._hi[f]
+            g0, g1 = self._lo[g], self._hi[g]
+        result = self._mk(level, self._apply2(op, f0, g0),
+                          self._apply2(op, f1, g1))
+        self._cache_binary[key] = result
+        return result
+
+    def and_(self, f, g):
+        """Conjunction ``f & g``."""
+        return self._apply2(_OP_AND, f, g)
+
+    def or_(self, f, g):
+        """Disjunction ``f | g``."""
+        return self._apply2(_OP_OR, f, g)
+
+    def xor(self, f, g):
+        """Exclusive-or ``f ^ g``."""
+        return self._apply2(_OP_XOR, f, g)
+
+    def xnor(self, f, g):
+        """Equivalence ``~(f ^ g)``."""
+        return self.not_(self.xor(f, g))
+
+    def nand(self, f, g):
+        """``~(f & g)``."""
+        return self.not_(self.and_(f, g))
+
+    def nor(self, f, g):
+        """``~(f | g)``."""
+        return self.not_(self.or_(f, g))
+
+    def diff(self, f, g):
+        """Boolean difference (SHARP): ``f & ~g``."""
+        return self.and_(f, self.not_(g))
+
+    def implies(self, f, g):
+        """Implication ``~f | g``."""
+        return self.or_(self.not_(f), g)
+
+    def ite(self, f, g, h):
+        """If-then-else operator: ``(f & g) | (~f & h)``."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        if g == FALSE and h == TRUE:
+            return self.not_(f)
+        key = (f, g, h)
+        cached = self._cache_ite.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[f], self._level[g], self._level[h])
+        f0, f1 = self._cofactors_at(f, level)
+        g0, g1 = self._cofactors_at(g, level)
+        h0, h1 = self._cofactors_at(h, level)
+        result = self._mk(level, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        self._cache_ite[key] = result
+        return result
+
+    def _cofactors_at(self, node, level):
+        """Cofactors of *node* with respect to the variable at *level*."""
+        if self._level[node] == level:
+            return self._lo[node], self._hi[node]
+        return node, node
+
+    # ------------------------------------------------------------------
+    # Cofactors, restriction, composition
+    # ------------------------------------------------------------------
+    def cofactor(self, f, var, value):
+        """Restrict variable *var* to the constant *value* (0 or 1) in *f*."""
+        level = self._var_to_level[self.var_index(var)]
+        return self._restrict_level(f, level, 1 if value else 0, {})
+
+    def _restrict_level(self, f, level, value, memo):
+        node_level = self._level[f]
+        if node_level > level:
+            return f
+        cached = memo.get(f)
+        if cached is not None:
+            return cached
+        if node_level == level:
+            result = self._hi[f] if value else self._lo[f]
+        else:
+            result = self._mk(node_level,
+                              self._restrict_level(self._lo[f], level, value,
+                                                   memo),
+                              self._restrict_level(self._hi[f], level, value,
+                                                   memo))
+        memo[f] = result
+        return result
+
+    def restrict(self, f, assignment):
+        """Restrict several variables at once.
+
+        *assignment* maps variable names/indices to 0/1 values.
+        """
+        for var, value in assignment.items():
+            f = self.cofactor(f, var, value)
+        return f
+
+    def compose(self, f, var, g):
+        """Substitute function *g* for variable *var* in *f*."""
+        level = self._var_to_level[self.var_index(var)]
+        return self._compose_rec(f, level, g, {})
+
+    def _compose_rec(self, f, level, g, memo):
+        node_level = self._level[f]
+        if node_level > level:
+            return f
+        cached = memo.get(f)
+        if cached is not None:
+            return cached
+        if node_level == level:
+            result = self.ite(g, self._hi[f], self._lo[f])
+        else:
+            lo = self._compose_rec(self._lo[f], level, g, memo)
+            hi = self._compose_rec(self._hi[f], level, g, memo)
+            var = self._level_to_var[node_level]
+            result = self.ite(self.var(var), hi, lo)
+        memo[f] = result
+        return result
+
+    def rename(self, f, mapping):
+        """Rename variables of *f* according to ``{old: new}`` *mapping*.
+
+        The substituted variables must not overlap in a way that makes the
+        result order-dependent; composition is applied bottom-up one
+        variable at a time, which is safe when old and new variable sets
+        are disjoint (the only use in this package).
+        """
+        pairs = [(self.var_index(old), self.var_index(new))
+                 for old, new in mapping.items()]
+        old_vars = {old for old, _ in pairs}
+        new_vars = {new for _, new in pairs}
+        if old_vars & new_vars:
+            raise BDDError("rename requires disjoint old/new variable sets")
+        for old, new in pairs:
+            f = self.compose(f, old, self.var(new))
+        return f
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def support_levels(self, f):
+        """Frozenset of levels on which *f* structurally depends."""
+        cached = self._cache_support.get(f)
+        if cached is not None:
+            return cached
+        if f == FALSE or f == TRUE:
+            result = frozenset()
+        else:
+            result = (self.support_levels(self._lo[f])
+                      | self.support_levels(self._hi[f])
+                      | frozenset((self._level[f],)))
+        self._cache_support[f] = result
+        return result
+
+    def support(self, f):
+        """Sorted tuple of variable *indices* in the support of *f*."""
+        return tuple(sorted(self._level_to_var[level]
+                            for level in self.support_levels(f)))
+
+    def support_names(self, f):
+        """Sorted tuple of variable *names* in the support of *f*."""
+        return tuple(self._var_names[v] for v in self.support(f))
+
+    def node_count(self, f):
+        """Number of distinct nodes in the DAG rooted at *f* (incl. terminals)."""
+        seen = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if self._level[node] != TERMINAL_LEVEL:
+                stack.append(self._lo[node])
+                stack.append(self._hi[node])
+        return len(seen)
+
+    def eval(self, f, assignment):
+        """Evaluate *f* under a complete 0/1 *assignment* (name/index keyed)."""
+        values = {}
+        for var, value in assignment.items():
+            values[self._var_to_level[self.var_index(var)]] = 1 if value else 0
+        node = f
+        while self._level[node] != TERMINAL_LEVEL:
+            level = self._level[node]
+            if level not in values:
+                raise BDDError("assignment misses variable %r"
+                               % self._var_names[self._level_to_var[level]])
+            node = self._hi[node] if values[level] else self._lo[node]
+        return node == TRUE
+
+    # ------------------------------------------------------------------
+    # Garbage collection (explicit, BuDDy-style ref counting)
+    # ------------------------------------------------------------------
+    def ref(self, node):
+        """Protect *node* (and its cone) from garbage collection."""
+        if node not in (FALSE, TRUE):
+            self._refs[node] = self._refs.get(node, 0) + 1
+        return node
+
+    def deref(self, node):
+        """Release one external reference taken with :meth:`ref`."""
+        if node in (FALSE, TRUE):
+            return node
+        count = self._refs.get(node, 0)
+        if count <= 0:
+            raise BDDError("deref of unreferenced node %d" % node)
+        if count == 1:
+            del self._refs[node]
+        else:
+            self._refs[node] = count - 1
+        return node
+
+    def ref_count(self, node):
+        """Current external reference count of *node*."""
+        return self._refs.get(node, 0)
+
+    def collect(self, extra_roots=()):
+        """Mark-and-sweep garbage collection.
+
+        Keeps everything reachable from ref'd nodes and *extra_roots*;
+        every other internal node's slot is recycled (its id may be
+        reused by future ``_mk`` calls).  All computed tables are
+        dropped — they may reference dead nodes.
+
+        Returns the number of freed slots.
+        """
+        live = set()
+        stack = list(self._refs)
+        stack.extend(extra_roots)
+        while stack:
+            node = stack.pop()
+            if node in live or node in (FALSE, TRUE):
+                continue
+            live.add(node)
+            stack.append(self._lo[node])
+            stack.append(self._hi[node])
+        freed = 0
+        already_free = set(self._free)
+        for node in range(2, len(self._level)):
+            if node in live or node in already_free:
+                continue
+            key = (self._level[node], self._lo[node], self._hi[node])
+            if self._unique.get(key) == node:
+                del self._unique[key]
+            self._level[node] = TERMINAL_LEVEL
+            self._lo[node] = FALSE
+            self._hi[node] = FALSE
+            self._free.append(node)
+            freed += 1
+        self.clear_caches()
+        return freed
+
+    def live_count(self):
+        """Number of allocated (non-recycled) node slots."""
+        return len(self._level) - len(self._free)
+
+    # ------------------------------------------------------------------
+    # Cache maintenance (used by reordering)
+    # ------------------------------------------------------------------
+    def clear_caches(self):
+        """Drop all computed tables (required after in-place reordering).
+
+        This also clears the dynamic caches attached lazily by the
+        quantification / cube-count modules (any attribute whose name
+        starts with ``_cache_``).
+        """
+        for name, value in vars(self).items():
+            if name.startswith("_cache_") and isinstance(value, dict):
+                value.clear()

@@ -1,0 +1,32 @@
+"""Low-level node conventions for the BDD package.
+
+The manager stores nodes in flat parallel lists indexed by integer node
+ids.  Two terminal nodes exist in every manager:
+
+* ``FALSE = 0`` — the constant-0 terminal,
+* ``TRUE = 1`` — the constant-1 terminal.
+
+Internal nodes are created on demand through the unique table, so two
+structurally identical nodes never coexist (strong canonicity).  Nodes
+store the *level* of their decision variable rather than the variable
+index, which makes adjacent-level swapping (the primitive behind sifting
+reordering) a local operation.
+
+This module only holds the shared constants; the actual storage lives in
+:class:`repro.bdd.manager.BDD`.
+"""
+
+#: Node id of the constant-0 terminal.
+FALSE = 0
+
+#: Node id of the constant-1 terminal.
+TRUE = 1
+
+#: Level assigned to terminal nodes.  Always compares greater than any
+#: variable level, so terminals sink to the bottom of every ordering.
+TERMINAL_LEVEL = 1 << 30
+
+
+def is_terminal(node):
+    """Return True if *node* is one of the two constant terminals."""
+    return node == FALSE or node == TRUE

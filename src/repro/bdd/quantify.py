@@ -1,0 +1,134 @@
+"""Existential / universal quantification over variable sets.
+
+These are the workhorse operators of the paper: every decomposability
+check (Theorems 1 and 2) and every component derivation (Theorems 3
+and 4) is a quantified Boolean formula evaluated on BDDs.
+
+Quantification recurses by level; the set of quantified variables is
+normalised to a sorted tuple of *levels*, and results are memoised on
+the manager so that the repeated checks performed during variable
+grouping stay cheap.
+"""
+
+from repro.bdd.node import FALSE, TRUE, TERMINAL_LEVEL
+
+
+def _levels_token(mgr, variables):
+    """Normalise *variables* (names/indices) to a sorted tuple of levels."""
+    return tuple(sorted(mgr.level_of_var(v) for v in set(variables)))
+
+
+def _cache(mgr, name):
+    cache = getattr(mgr, name, None)
+    if cache is None:
+        cache = {}
+        setattr(mgr, name, cache)
+    return cache
+
+
+def exists(mgr, variables, f):
+    """Existential quantification: OR of all cofactors over *variables*."""
+    levels = _levels_token(mgr, variables)
+    if not levels:
+        return f
+    return _exists_rec(mgr, f, levels, _cache(mgr, "_cache_exists"))
+
+
+def _exists_rec(mgr, f, levels, cache):
+    node_level = mgr.level(f)
+    # Drop quantified levels that can no longer appear below this node.
+    while levels and levels[0] < node_level:
+        levels = levels[1:]
+    if not levels or f == FALSE or f == TRUE:
+        return f
+    key = (f, levels)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    lo = _exists_rec(mgr, mgr.low(f), levels, cache)
+    hi = _exists_rec(mgr, mgr.high(f), levels, cache)
+    if node_level == levels[0]:
+        result = mgr.or_(lo, hi)
+    else:
+        result = mgr.ite(mgr.var(mgr.var_at_level(node_level)), hi, lo)
+    cache[key] = result
+    return result
+
+
+def forall(mgr, variables, f):
+    """Universal quantification: AND of all cofactors over *variables*."""
+    levels = _levels_token(mgr, variables)
+    if not levels:
+        return f
+    return _forall_rec(mgr, f, levels, _cache(mgr, "_cache_forall"))
+
+
+def _forall_rec(mgr, f, levels, cache):
+    node_level = mgr.level(f)
+    while levels and levels[0] < node_level:
+        levels = levels[1:]
+    if not levels or f == FALSE or f == TRUE:
+        return f
+    key = (f, levels)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    lo = _forall_rec(mgr, mgr.low(f), levels, cache)
+    hi = _forall_rec(mgr, mgr.high(f), levels, cache)
+    if node_level == levels[0]:
+        result = mgr.and_(lo, hi)
+    else:
+        result = mgr.ite(mgr.var(mgr.var_at_level(node_level)), hi, lo)
+    cache[key] = result
+    return result
+
+
+def and_exists(mgr, variables, f, g):
+    """Compute ``exists(variables, f & g)`` without building ``f & g``.
+
+    The fused form ("relational product") short-circuits as soon as one
+    branch evaluates to constant 0, which matters for the repeated
+    emptiness checks ``Q & exists(XA, R) & exists(XB, R) == 0`` used by
+    variable grouping.
+    """
+    levels = _levels_token(mgr, variables)
+    return _and_exists_rec(mgr, f, g, levels,
+                           _cache(mgr, "_cache_and_exists"))
+
+
+def _and_exists_rec(mgr, f, g, levels, cache):
+    if f == FALSE or g == FALSE:
+        return FALSE
+    node_level = min(mgr.level(f), mgr.level(g))
+    while levels and levels[0] < node_level:
+        levels = levels[1:]
+    if not levels:
+        return mgr.and_(f, g)
+    if f == TRUE and g == TRUE:
+        return TRUE
+    if f > g:
+        f, g = g, f
+    key = (f, g, levels)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    if mgr.level(f) == node_level:
+        f0, f1 = mgr.low(f), mgr.high(f)
+    else:
+        f0 = f1 = f
+    if mgr.level(g) == node_level:
+        g0, g1 = mgr.low(g), mgr.high(g)
+    else:
+        g0 = g1 = g
+    lo = _and_exists_rec(mgr, f0, g0, levels, cache)
+    if node_level == levels[0]:
+        if lo == TRUE:
+            result = TRUE
+        else:
+            hi = _and_exists_rec(mgr, f1, g1, levels, cache)
+            result = mgr.or_(lo, hi)
+    else:
+        hi = _and_exists_rec(mgr, f1, g1, levels, cache)
+        result = mgr.ite(mgr.var(mgr.var_at_level(node_level)), hi, lo)
+    cache[key] = result
+    return result

@@ -1,0 +1,188 @@
+"""Variable reordering: in-place adjacent-level swap and sifting.
+
+The DAC'01 paper relies on BuDDy, which ships dynamic reordering; our
+stand-in provides the same capability.  The primitive is the classic
+in-place swap of two adjacent levels, on top of which Rudell-style
+sifting and targeted reordering are built.
+
+Because nodes are mutated in place, node ids held by callers stay valid
+and keep denoting the same Boolean function across reordering.  Dead
+nodes created by rewriting are left in the arena (the package does not
+garbage-collect); sifting cost is therefore measured on the live DAGs
+of caller-supplied roots, not on the arena size.
+"""
+
+from repro.bdd.node import TERMINAL_LEVEL
+
+
+def swap_levels(mgr, level):
+    """Swap the variables at *level* and *level + 1* in place.
+
+    All existing node ids keep their Boolean meaning.  Computed tables
+    are invalidated.
+    """
+    if not 0 <= level < mgr.num_vars - 1:
+        raise ValueError("level out of range for swap: %d" % level)
+    upper_nodes = []   # nodes currently at `level`
+    lower_nodes = []   # nodes currently at `level + 1`
+    for (node_level, lo, hi), node in list(mgr._unique.items()):
+        if node_level == level:
+            upper_nodes.append(node)
+        elif node_level == level + 1:
+            lower_nodes.append(node)
+
+    # Pre-compute, for every upper node, the four grandchildren cofactors
+    # with respect to the *pre-swap* levels.
+    rewrites = []      # (node, f00, f01, f10, f11) for v2-dependent nodes
+    independents = []  # upper nodes whose children skip level + 1
+    for node in upper_nodes:
+        f0, f1 = mgr._lo[node], mgr._hi[node]
+        depends = (mgr._level[f0] == level + 1
+                   or mgr._level[f1] == level + 1)
+        if not depends:
+            independents.append(node)
+            continue
+        if mgr._level[f0] == level + 1:
+            f00, f01 = mgr._lo[f0], mgr._hi[f0]
+        else:
+            f00 = f01 = f0
+        if mgr._level[f1] == level + 1:
+            f10, f11 = mgr._lo[f1], mgr._hi[f1]
+        else:
+            f10 = f11 = f1
+        rewrites.append((node, f00, f01, f10, f11))
+
+    # Drop the stale unique-table entries for both levels.
+    for node in upper_nodes:
+        del mgr._unique[(level, mgr._lo[node], mgr._hi[node])]
+    for node in lower_nodes:
+        del mgr._unique[(level + 1, mgr._lo[node], mgr._hi[node])]
+
+    # 1. Lower nodes keep their (lo, hi) but float up one level: they
+    #    still decide the same variable, which now sits at `level`.
+    for node in lower_nodes:
+        mgr._level[node] = level
+        mgr._unique[(level, mgr._lo[node], mgr._hi[node])] = node
+
+    # 2. Independent upper nodes sink one level, same reasoning.
+    for node in independents:
+        mgr._level[node] = level + 1
+        mgr._unique[(level + 1, mgr._lo[node], mgr._hi[node])] = node
+
+    # 3. Dependent upper nodes are rewritten: they now decide the other
+    #    variable first.  New children are built at `level + 1` through
+    #    the unique table, sharing any nodes placed there in step 2.
+    for node, f00, f01, f10, f11 in rewrites:
+        new_lo = mgr._mk(level + 1, f00, f10)
+        new_hi = mgr._mk(level + 1, f01, f11)
+        mgr._lo[node] = new_lo
+        mgr._hi[node] = new_hi
+        mgr._unique[(level, new_lo, new_hi)] = node
+
+    # 4. Update the variable <-> level maps and drop stale caches.
+    var_a = mgr._level_to_var[level]
+    var_b = mgr._level_to_var[level + 1]
+    mgr._level_to_var[level] = var_b
+    mgr._level_to_var[level + 1] = var_a
+    mgr._var_to_level[var_a] = level + 1
+    mgr._var_to_level[var_b] = level
+    mgr.clear_caches()
+
+
+def live_size(mgr, roots):
+    """Total number of distinct live nodes reachable from *roots*."""
+    seen = set()
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if mgr._level[node] != TERMINAL_LEVEL:
+            stack.append(mgr._lo[node])
+            stack.append(mgr._hi[node])
+    return len(seen)
+
+
+def move_var_to_level(mgr, var, target_level):
+    """Bubble variable *var* to *target_level* via adjacent swaps."""
+    var = mgr.var_index(var)
+    while mgr.level_of_var(var) < target_level:
+        swap_levels(mgr, mgr.level_of_var(var))
+    while mgr.level_of_var(var) > target_level:
+        swap_levels(mgr, mgr.level_of_var(var) - 1)
+
+
+def reorder_to(mgr, order, roots=()):
+    """Rearrange the manager so the variable order matches *order*.
+
+    *order* is a sequence of all variable names/indices, top first.
+    Returns the live size of *roots* after reordering.
+    """
+    order = [mgr.var_index(v) for v in order]
+    if sorted(order) != list(range(mgr.num_vars)):
+        raise ValueError("order must be a permutation of all variables")
+    for target_level, var in enumerate(order):
+        move_var_to_level(mgr, var, target_level)
+    return live_size(mgr, roots)
+
+
+def sift(mgr, roots, max_growth=1.2):
+    """Rudell sifting: greedily move each variable to its best level.
+
+    Variables are processed from the one occurring on the most live
+    nodes to the least.  Each variable is bubbled across the whole
+    order; the position minimising the live size of *roots* wins.
+    *max_growth* aborts an excursion early when the live size exceeds
+    ``best * max_growth``.
+
+    Returns the final live size.
+    """
+    roots = list(roots)
+    best_total = live_size(mgr, roots)
+    occupancy = _level_occupancy(mgr, roots)
+    by_weight = sorted(range(mgr.num_vars),
+                       key=lambda var: -occupancy.get(
+                           mgr.level_of_var(var), 0))
+    for var in by_weight:
+        best_total = _sift_one(mgr, var, roots, best_total, max_growth)
+    return best_total
+
+
+def _sift_one(mgr, var, roots, best_total, max_growth):
+    best_level = mgr.level_of_var(var)
+    start_level = best_level
+    best = best_total
+    # Explore the shorter side first, then the other side.
+    down_range = range(start_level + 1, mgr.num_vars)
+    up_range = range(start_level - 1, -1, -1)
+    for direction in (down_range, up_range):
+        for target in direction:
+            move_var_to_level(mgr, var, target)
+            size = live_size(mgr, roots)
+            if size < best:
+                best = size
+                best_level = target
+            elif size > best * max_growth:
+                break
+        move_var_to_level(mgr, var, start_level)
+    move_var_to_level(mgr, var, best_level)
+    return best
+
+
+def _level_occupancy(mgr, roots):
+    """Map level -> number of live nodes at that level."""
+    occupancy = {}
+    seen = set()
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        level = mgr._level[node]
+        if level != TERMINAL_LEVEL:
+            occupancy[level] = occupancy.get(level, 0) + 1
+            stack.append(mgr._lo[node])
+            stack.append(mgr._hi[node])
+    return occupancy

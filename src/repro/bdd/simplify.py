@@ -1,0 +1,113 @@
+"""Don't-care-driven BDD minimisation (Coudert-Madre operators).
+
+BuDDy — the paper's BDD package — ships ``bdd_simplify``; these are the
+classic operators behind it:
+
+* :func:`constrain` (the generalized cofactor ``f ↓ c``): agrees with f
+  wherever c holds, and maps each off-care point to the value of f at
+  the "nearest" care point, often collapsing the BDD;
+* :func:`restrict` (sibling substitution): like constrain but skips
+  care variables absent from f, avoiding constrain's occasional support
+  growth;
+* :func:`minimize`: picks the smaller of f and restrict(f, care) — a
+  safe drop-in for interval-based cover selection.
+
+All three satisfy the contract ``result & c == f & c``.
+"""
+
+from repro.bdd.node import FALSE, TRUE, TERMINAL_LEVEL
+from repro.bdd.quantify import exists as _exists
+
+
+def constrain(mgr, f, c):
+    """Generalized cofactor ``f ↓ c`` (requires a non-empty care set)."""
+    if c == FALSE:
+        raise ValueError("constrain requires a non-empty care set")
+    cache = getattr(mgr, "_cache_constrain", None)
+    if cache is None:
+        cache = {}
+        mgr._cache_constrain = cache
+    return _constrain_rec(mgr, f, c, cache)
+
+
+def _constrain_rec(mgr, f, c, cache):
+    if c == TRUE or f == FALSE or f == TRUE:
+        return f
+    if c == f:
+        return TRUE
+    key = (f, c)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    level = min(mgr.level(f), mgr.level(c))
+    f0, f1 = _cofactors_at(mgr, f, level)
+    c0, c1 = _cofactors_at(mgr, c, level)
+    if c0 == FALSE:
+        result = _constrain_rec(mgr, f1, c1, cache)
+    elif c1 == FALSE:
+        result = _constrain_rec(mgr, f0, c0, cache)
+    else:
+        lo = _constrain_rec(mgr, f0, c0, cache)
+        hi = _constrain_rec(mgr, f1, c1, cache)
+        result = mgr.ite(mgr.var(mgr.var_at_level(level)), hi, lo)
+    cache[key] = result
+    return result
+
+
+def restrict(mgr, f, c):
+    """Coudert-Madre restrict: sibling substitution against care set *c*.
+
+    Unlike :func:`constrain`, variables of *c* that f does not depend on
+    are smoothed out of the care set first, so the result's support
+    never grows beyond f's.
+    """
+    if c == FALSE:
+        raise ValueError("restrict requires a non-empty care set")
+    cache = getattr(mgr, "_cache_restrict_dc", None)
+    if cache is None:
+        cache = {}
+        mgr._cache_restrict_dc = cache
+    return _restrict_rec(mgr, f, c, cache)
+
+
+def _restrict_rec(mgr, f, c, cache):
+    if c == TRUE or f == FALSE or f == TRUE:
+        return f
+    key = (f, c)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    f_level = mgr.level(f)
+    c_level = mgr.level(c)
+    if c_level < f_level:
+        # f does not test this care variable: smooth it away.
+        smoothed = mgr.or_(mgr.low(c), mgr.high(c))
+        result = _restrict_rec(mgr, f, smoothed, cache)
+    else:
+        level = f_level
+        f0, f1 = mgr.low(f), mgr.high(f)
+        c0, c1 = _cofactors_at(mgr, c, level)
+        if c0 == FALSE:
+            result = _restrict_rec(mgr, f1, c1, cache)
+        elif c1 == FALSE:
+            result = _restrict_rec(mgr, f0, c0, cache)
+        else:
+            lo = _restrict_rec(mgr, f0, c0, cache)
+            hi = _restrict_rec(mgr, f1, c1, cache)
+            result = mgr.ite(mgr.var(mgr.var_at_level(level)), hi, lo)
+    cache[key] = result
+    return result
+
+
+def minimize(mgr, f, c):
+    """Smaller of ``f`` and ``restrict(f, c)`` (never a regression)."""
+    candidate = restrict(mgr, f, c)
+    if mgr.node_count(candidate) < mgr.node_count(f):
+        return candidate
+    return f
+
+
+def _cofactors_at(mgr, node, level):
+    if mgr.level(node) == level:
+        return mgr.low(node), mgr.high(node)
+    return node, node

@@ -1,0 +1,6 @@
+"""Benchmark circuits: exact MCNC reconstructions and documented
+synthetic stand-ins (see DESIGN.md §4)."""
+
+from repro.bench.registry import Benchmark, REGISTRY, TABLE2, TABLE3, get, names
+
+__all__ = ["Benchmark", "REGISTRY", "TABLE2", "TABLE3", "get", "names"]

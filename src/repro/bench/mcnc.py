@@ -1,0 +1,335 @@
+"""MCNC benchmark functions (exact reconstructions and documented
+stand-ins).
+
+Each builder returns ``(mgr, specs)`` where *specs* maps output names
+to ISFs on *mgr*.  See DESIGN.md §4 for the fidelity of each build:
+functions with a mathematical definition (9sym, 16sym8, rd84, and the
+extra rd53/rd73) are exact; the rest are synthetic equivalents that
+preserve input/output counts and functional character.
+"""
+
+from repro.bdd.function import Function
+from repro.bdd.manager import BDD
+from repro.boolfn import arithmetic as arith
+from repro.boolfn.isf import ISF
+from repro.boolfn.symmetric import count_ones_bit, weight_set
+from repro.bench.synth_pla import (clustered_pla, structured_pla,
+                                   windowed_pla)
+
+
+def _csf_specs(mgr, named_nodes):
+    return {name: ISF.from_csf(Function(mgr, node))
+            for name, node in named_nodes.items()}
+
+
+# ---------------------------------------------------------------------
+# Exact reconstructions
+# ---------------------------------------------------------------------
+def build_9sym():
+    """9sym: 9-input totally symmetric, 1 iff weight is in {3,4,5,6}."""
+    mgr = BDD(["x%d" % i for i in range(9)])
+    node = weight_set(mgr, range(9), {3, 4, 5, 6})
+    return mgr, _csf_specs(mgr, {"f": node})
+
+
+def build_16sym8():
+    """16Sym8 stand-in: 16-input totally symmetric function.
+
+    The paper specifies a polarity string that is corrupted in the
+    available text; we use the weight-value vector ``w mod 8 in
+    {4..7}``, preserving the totally-symmetric 16-variable class.
+    """
+    mgr = BDD(["x%d" % i for i in range(16)])
+    weights = {w for w in range(17) if w % 8 >= 4}
+    node = weight_set(mgr, range(16), weights)
+    return mgr, _csf_specs(mgr, {"f": node})
+
+
+def _build_rd(n, bits):
+    mgr = BDD(["x%d" % i for i in range(n)])
+    nodes = {"c%d" % b: count_ones_bit(mgr, range(n), b)
+             for b in range(bits)}
+    return mgr, _csf_specs(mgr, nodes)
+
+
+def build_rd84():
+    """rd84: binary count of ones over 8 inputs (4 output bits)."""
+    return _build_rd(8, 4)
+
+
+def build_rd73():
+    """rd73: binary count of ones over 7 inputs (3 output bits)."""
+    return _build_rd(7, 3)
+
+
+def build_rd53():
+    """rd53: binary count of ones over 5 inputs (3 output bits)."""
+    return _build_rd(5, 3)
+
+
+def build_xor5():
+    """xor5: 5-input odd parity (exact)."""
+    from repro.boolfn.symmetric import parity
+    mgr = BDD(["x%d" % i for i in range(5)])
+    return mgr, _csf_specs(mgr, {"f": parity(mgr, range(5))})
+
+
+def build_maj():
+    """maj: 5-input majority (exact)."""
+    from repro.boolfn.symmetric import majority
+    mgr = BDD(["x%d" % i for i in range(5)])
+    return mgr, _csf_specs(mgr, {"f": majority(mgr, range(5))})
+
+
+# ---------------------------------------------------------------------
+# Arithmetic stand-ins
+# ---------------------------------------------------------------------
+def build_5xp1():
+    """5xp1 stand-in: 7-bit x -> low 10 bits of x^2 + x.
+
+    The real 5xp1 is a 7-in/10-out arithmetic PLA; a squarer-plus-adder
+    has the same dimensions and the same adder-dominated character.
+    """
+    mgr = BDD(["x%d" % i for i in range(7)])
+    xs = arith.var_vector(mgr, range(7))
+    squared = arith.square(mgr, xs, width=10)
+    total, _carry = arith.ripple_add(mgr, squared, xs)
+    nodes = {"y%d" % i: total[i] for i in range(10)}
+    return mgr, _csf_specs(mgr, nodes)
+
+
+def build_squar5():
+    """squar5: 5-bit x -> 8-bit x^2 (exact arithmetic definition)."""
+    mgr = BDD(["x%d" % i for i in range(5)])
+    xs = arith.var_vector(mgr, range(5))
+    squared = arith.square(mgr, xs, width=8)
+    return mgr, _csf_specs(mgr, {"y%d" % i: squared[i]
+                                 for i in range(8)})
+
+
+def build_z4ml():
+    """z4ml: 2+2-bit add with carry-in -> 4-bit result (7 in, 4 out).
+
+    The MCNC z4ml is a 4-bit-output adder slice; this is the standard
+    arithmetic reading of it.
+    """
+    a_vars = ["a0", "a1", "a2"]
+    b_vars = ["b0", "b1", "b2"]
+    order = [v for pair in zip(a_vars, b_vars) for v in pair] + ["cin"]
+    mgr = BDD(order)
+    total, carry = arith.ripple_add(mgr, arith.var_vector(mgr, a_vars),
+                                    arith.var_vector(mgr, b_vars),
+                                    cin=mgr.var("cin"))
+    bits = total + [carry]
+    return mgr, _csf_specs(mgr, {"s%d" % i: bits[i] for i in range(4)})
+
+
+def build_add6():
+    """add6: 3+3-bit adder (6 inputs, 4 outputs), exact."""
+    a_vars = ["a%d" % i for i in range(3)]
+    b_vars = ["b%d" % i for i in range(3)]
+    order = [v for pair in zip(a_vars, b_vars) for v in pair]
+    mgr = BDD(order)
+    total, carry = arith.ripple_add(mgr, arith.var_vector(mgr, a_vars),
+                                    arith.var_vector(mgr, b_vars))
+    bits = total + [carry]
+    return mgr, _csf_specs(mgr, {"s%d" % i: bits[i] for i in range(4)})
+
+
+def build_mul4():
+    """mul4: 4x4-bit multiplier, low 8 product bits (exact)."""
+    a_vars = ["a%d" % i for i in range(4)]
+    b_vars = ["b%d" % i for i in range(4)]
+    order = [v for pair in zip(a_vars, b_vars) for v in pair]
+    mgr = BDD(order)
+    product = arith.multiply(mgr, arith.var_vector(mgr, a_vars),
+                             arith.var_vector(mgr, b_vars))
+    return mgr, _csf_specs(mgr, {"p%d" % i: product[i]
+                                 for i in range(8)})
+
+
+def _alu_ops(mgr, a_bits, b_bits, width):
+    """Catalogue of ALU operations, each a *width*-wide bit vector."""
+    add, carry = arith.ripple_add(mgr, a_bits, b_bits)
+    add = add[:width - 1] + [carry]
+    sub = arith.ripple_sub(mgr, a_bits + [mgr.false], b_bits)[:width]
+    ops = [
+        add,
+        sub,
+        _pad(mgr, arith.bitwise(mgr, mgr.and_, a_bits, b_bits), width),
+        _pad(mgr, arith.bitwise(mgr, mgr.or_, a_bits, b_bits), width),
+        _pad(mgr, arith.bitwise(mgr, mgr.xor, a_bits, b_bits), width),
+        _pad(mgr, arith.bitwise(mgr, mgr.nor, a_bits, b_bits), width),
+        _pad(mgr, [mgr.false] + list(a_bits), width),          # shl
+        _pad(mgr, list(a_bits[1:]), width),                    # shr
+        _pad(mgr, a_bits, width),                              # pass a
+        _pad(mgr, b_bits, width),                              # pass b
+        _pad(mgr, [mgr.not_(x) for x in a_bits], width),       # not a
+        _pad(mgr, arith.ripple_add(mgr, a_bits,
+                                   arith.const_vector(mgr, 1,
+                                                      len(a_bits)))[0],
+             width),                                           # inc a
+        _pad(mgr, [arith.unsigned_less_than(mgr, a_bits, b_bits)],
+             width),                                           # slt
+        _pad(mgr, [arith.equal(mgr, a_bits, b_bits)], width),  # eq
+        _pad(mgr, arith.bitwise(mgr, mgr.xnor, a_bits, b_bits), width),
+        _pad(mgr, arith.bitwise(mgr, mgr.nand, a_bits, b_bits), width),
+    ]
+    return ops
+
+
+def _pad(mgr, bits, width):
+    bits = list(bits)[:width]
+    return bits + [mgr.false] * (width - len(bits))
+
+
+def _select(mgr, controls, vectors):
+    """Binary mux tree over 2^len(controls) bit vectors."""
+    if not controls:
+        return vectors[0]
+    half = len(vectors) // 2
+    lo = _select(mgr, controls[:-1], vectors[:half])
+    hi = _select(mgr, controls[:-1], vectors[half:])
+    sel = mgr.var(controls[-1])
+    return arith.mux_vector(mgr, sel, hi, lo)
+
+
+def _build_alu(n_control, operand_width, n_out):
+    control = ["c%d" % i for i in range(n_control)]
+    a_vars = ["a%d" % i for i in range(operand_width)]
+    b_vars = ["b%d" % i for i in range(operand_width)]
+    # Interleave the operand bits in the variable order: adders and
+    # comparators have linear-size BDDs under a0,b0,a1,b1,... but
+    # exponential ones when the operands are separated.
+    interleaved = [name for pair in zip(a_vars, b_vars) for name in pair]
+    mgr = BDD(control + interleaved)
+    a_bits = arith.var_vector(mgr, a_vars)
+    b_bits = arith.var_vector(mgr, b_vars)
+    width = operand_width + 1
+    ops = _alu_ops(mgr, a_bits, b_bits, width)[:1 << n_control]
+    result = _select(mgr, control, ops)
+    nodes = {}
+    for i in range(min(n_out, width)):
+        nodes["r%d" % i] = result[i]
+    if n_out > width:
+        zero = mgr.true
+        for bit in result:
+            zero = mgr.and_(zero, mgr.not_(bit))
+        nodes["zero"] = zero
+    if n_out > width + 1:
+        par = mgr.false
+        for bit in result:
+            par = mgr.xor(par, bit)
+        nodes["parity"] = par
+    return mgr, _csf_specs(mgr, nodes)
+
+
+def build_alu2():
+    """alu2 stand-in: 10 inputs (2 control + 2x4-bit), 6 outputs."""
+    return _build_alu(n_control=2, operand_width=4, n_out=6)
+
+
+def build_alu4():
+    """alu4 stand-in: 14 inputs (4 control + 2x5-bit), 8 outputs."""
+    return _build_alu(n_control=4, operand_width=5, n_out=8)
+
+
+def build_cordic():
+    """cordic stand-in: 23 inputs, 2 rotation-decision outputs.
+
+    The MCNC cordic benchmark decides micro-rotation directions; the
+    stand-in compares an angle word against an XOR-premixed target
+    word, giving the same wide-support, comparison-plus-XOR character.
+    """
+    a_vars = ["a%d" % i for i in range(12)]
+    b_vars = ["b%d" % i for i in range(11)]
+    # Interleave angle and target bits (see _build_alu on why).
+    order = []
+    for i in range(12):
+        order.append(a_vars[i])
+        if i < 11:
+            order.append(b_vars[i])
+    mgr = BDD(order)
+    a_bits = arith.var_vector(mgr, a_vars)
+    b_raw = arith.var_vector(mgr, b_vars)
+    mixed = [mgr.xor(b_raw[i], b_raw[(i + 1) % len(b_raw)])
+             for i in range(len(b_raw))]
+    less = arith.unsigned_less_than(mgr, a_bits, mixed)
+    total, carry = arith.ripple_add(mgr, a_bits, mixed)
+    nodes = {"dir": less, "ovfl": mgr.xor(carry, total[-1])}
+    return mgr, _csf_specs(mgr, nodes)
+
+
+def build_t481():
+    """t481 stand-in: 16 inputs, 1 output, XOR-of-AND-of-XOR structure.
+
+    The real t481 is famous for collapsing from a 481-cube PLA to a
+    ~20-gate AND/XOR circuit under decomposition; this stand-in has the
+    same property by construction, which is exactly the behaviour the
+    BDS comparison (Table 3) highlights.
+    """
+    mgr = BDD(["x%d" % i for i in range(16)])
+    acc = mgr.false
+    for k in range(4):
+        base = 4 * k
+        left = mgr.xor(mgr.var(base), mgr.var(base + 1))
+        right = mgr.xor(mgr.var(base + 2), mgr.var(base + 3))
+        acc = mgr.xor(acc, mgr.and_(left, right))
+    return mgr, _csf_specs(mgr, {"f": acc})
+
+
+# ---------------------------------------------------------------------
+# Synthetic control PLAs (seeded, deterministic)
+# ---------------------------------------------------------------------
+def _pla_build(data):
+    mgr, specs = data.to_isfs()
+    return mgr, specs
+
+
+def build_misex1():
+    """misex1 stand-in: 8-in/7-out control PLA (single shared cluster).
+
+    Built from a hidden factored form (see
+    :func:`repro.bench.synth_pla.structured_pla`) — real MCNC control
+    PLAs are flattenings of structured logic, which is what gives
+    bi-decomposition something to recover.
+    """
+    return _pla_build(structured_pla(8, 7, seed=0xE51, cluster_size=7,
+                                     support_size=7))
+
+
+def build_cps():
+    """cps stand-in: 24-in/109-out structured control PLA."""
+    return _pla_build(structured_pla(24, 109, seed=0xC25,
+                                     cluster_size=5, support_size=8))
+
+
+def build_duke2():
+    """duke2 stand-in: 22-in/29-out structured control PLA."""
+    return _pla_build(structured_pla(22, 29, seed=0xD42, cluster_size=5,
+                                     support_size=10,
+                                     terms_per_output=3))
+
+
+def build_e64():
+    """e64 stand-in: 65-in/65-out windowed PLA (tiny supports)."""
+    return _pla_build(windowed_pla(65, 65, seed=0xE64, window=6))
+
+
+def build_pdc():
+    """pdc stand-in: 16-in/40-out structured PLA with don't-cares."""
+    return _pla_build(structured_pla(16, 40, seed=0x9DC, cluster_size=4,
+                                     support_size=9, dc_per_cluster=3))
+
+
+def build_spla():
+    """spla stand-in: 16-in/46-out structured PLA with don't-cares."""
+    return _pla_build(structured_pla(16, 46, seed=0x59A, cluster_size=4,
+                                     support_size=9, dc_per_cluster=3))
+
+
+def build_vg2():
+    """vg2 stand-in: 25-in/8-out structured control PLA."""
+    return _pla_build(structured_pla(25, 8, seed=0x062, cluster_size=4,
+                                     support_size=10,
+                                     terms_per_output=3))

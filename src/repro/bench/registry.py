@@ -1,0 +1,104 @@
+"""Benchmark registry: which circuits appear in which table.
+
+Table 2 of the paper compares BI-DECOMP with SIS on ten MCNC
+benchmarks; Table 3 compares with BDS on seven.  ``get(name)`` builds
+the function fresh (each benchmark owns its BDD manager, like the
+paper's per-file runs).
+"""
+
+from repro.bench import mcnc
+
+
+class Benchmark:
+    """Registry entry: metadata plus a builder."""
+
+    def __init__(self, name, inputs, outputs, builder, exact, note):
+        self.name = name
+        self.inputs = inputs
+        self.outputs = outputs
+        self.builder = builder
+        self.exact = exact
+        self.note = note
+
+    def build(self):
+        """Construct the benchmark; returns ``(mgr, specs)``."""
+        mgr, specs = self.builder()
+        if mgr.num_vars != self.inputs or len(specs) != self.outputs:
+            raise AssertionError(
+                "benchmark %s dimensions drifted: got %d/%d, expected %d/%d"
+                % (self.name, mgr.num_vars, len(specs),
+                   self.inputs, self.outputs))
+        return mgr, specs
+
+    def __repr__(self):
+        return "Benchmark(%s, %d/%d)" % (self.name, self.inputs,
+                                         self.outputs)
+
+
+REGISTRY = {
+    bench.name: bench for bench in [
+        Benchmark("9sym", 9, 1, mcnc.build_9sym, True,
+                  "exact: weight in {3..6}"),
+        Benchmark("16sym8", 16, 1, mcnc.build_16sym8, False,
+                  "symmetric class preserved; exact polarity lost to OCR"),
+        Benchmark("rd84", 8, 4, mcnc.build_rd84, True,
+                  "exact: binary ones-count"),
+        Benchmark("rd73", 7, 3, mcnc.build_rd73, True,
+                  "exact: binary ones-count"),
+        Benchmark("rd53", 5, 3, mcnc.build_rd53, True,
+                  "exact: binary ones-count"),
+        Benchmark("xor5", 5, 1, mcnc.build_xor5, True,
+                  "exact: odd parity"),
+        Benchmark("maj", 5, 1, mcnc.build_maj, True,
+                  "exact: 5-input majority"),
+        Benchmark("squar5", 5, 8, mcnc.build_squar5, True,
+                  "exact: 5-bit squarer"),
+        Benchmark("z4ml", 7, 4, mcnc.build_z4ml, True,
+                  "exact: 2x3-bit adder with carry-in"),
+        Benchmark("add6", 6, 4, mcnc.build_add6, True,
+                  "exact: 3+3-bit adder"),
+        Benchmark("mul4", 8, 8, mcnc.build_mul4, True,
+                  "exact: 4x4 multiplier"),
+        Benchmark("5xp1", 7, 10, mcnc.build_5xp1, False,
+                  "arithmetic stand-in: x^2 + x"),
+        Benchmark("alu2", 10, 6, mcnc.build_alu2, False,
+                  "behavioural ALU stand-in"),
+        Benchmark("alu4", 14, 8, mcnc.build_alu4, False,
+                  "behavioural ALU stand-in"),
+        Benchmark("cordic", 23, 2, mcnc.build_cordic, False,
+                  "rotation-decision stand-in"),
+        Benchmark("t481", 16, 1, mcnc.build_t481, False,
+                  "XOR-of-AND-of-XOR stand-in"),
+        Benchmark("misex1", 8, 7, mcnc.build_misex1, False,
+                  "seeded control PLA stand-in"),
+        Benchmark("cps", 24, 109, mcnc.build_cps, False,
+                  "seeded control PLA stand-in"),
+        Benchmark("duke2", 22, 29, mcnc.build_duke2, False,
+                  "seeded control PLA stand-in"),
+        Benchmark("e64", 65, 65, mcnc.build_e64, False,
+                  "windowed PLA stand-in"),
+        Benchmark("pdc", 16, 40, mcnc.build_pdc, False,
+                  "seeded PLA stand-in with don't-cares"),
+        Benchmark("spla", 16, 46, mcnc.build_spla, False,
+                  "seeded PLA stand-in with don't-cares"),
+        Benchmark("vg2", 25, 8, mcnc.build_vg2, False,
+                  "seeded control PLA stand-in"),
+    ]
+}
+
+#: Benchmarks of Table 2 (BI-DECOMP vs SIS), in the paper's row order.
+TABLE2 = ("9sym", "alu4", "cps", "duke2", "e64", "misex1", "pdc", "spla",
+          "vg2", "16sym8")
+
+#: Benchmarks of Table 3 (BI-DECOMP vs BDS), in the paper's row order.
+TABLE3 = ("5xp1", "9sym", "alu2", "alu4", "cordic", "rd84", "t481")
+
+
+def get(name):
+    """Look a benchmark up by name."""
+    return REGISTRY[name]
+
+
+def names():
+    """All registered benchmark names."""
+    return tuple(REGISTRY)

@@ -1,0 +1,200 @@
+"""Deterministic synthetic PLA generators.
+
+The MCNC control-logic benchmarks (cps, duke2, e64, misex1, pdc, spla,
+vg2) are distributed as PLA files that are not available offline.
+These generators build *documented stand-ins* with the same input /
+output dimensions and the same functional character:
+
+* outputs come in clusters sharing a bounded support (control logic has
+  small per-output supports and heavy cube sharing);
+* cubes are random products over the cluster support, shared between
+  the cluster's outputs with a given probability;
+* optionally a fraction of cubes becomes output don't-cares (pdc and
+  spla are ``fd``-type PLAs with large DC sets in MCNC).
+
+Everything is seeded: the same name always produces the same function.
+"""
+
+import random
+
+from repro.io.pla import PLAData
+
+
+def clustered_pla(n_in, n_out, seed, cluster_size=4, support_size=8,
+                  cubes_per_cluster=10, share_prob=0.4, dc_per_cluster=0,
+                  input_names=None, output_names=None):
+    """Generate a clustered multi-output PLA (type fd).
+
+    Parameters
+    ----------
+    cluster_size:
+        Outputs per cluster (clusters share a support and a cube pool).
+    support_size:
+        Input variables visible to each cluster.
+    cubes_per_cluster:
+        Product terms generated for each cluster.
+    share_prob:
+        Probability that a cube participates in each additional output
+        of its cluster (it always drives at least one).
+    dc_per_cluster:
+        Extra cubes emitted as don't-cares for a random cluster output.
+    """
+    rng = random.Random(seed)
+    data = PLAData(n_in, n_out, input_names=input_names,
+                   output_names=output_names, pla_type="fd")
+    outputs = list(range(n_out))
+    clusters = [outputs[i:i + cluster_size]
+                for i in range(0, n_out, cluster_size)]
+    for cluster in clusters:
+        support = sorted(rng.sample(range(n_in),
+                                    min(support_size, n_in)))
+        for _ in range(cubes_per_cluster):
+            input_plane = _random_cube(rng, n_in, support)
+            driven = [out for out in cluster if rng.random() < share_prob]
+            if not driven:
+                driven = [rng.choice(cluster)]
+            output_plane = "".join("1" if j in driven else "0"
+                                   for j in range(n_out))
+            data.add_cube(input_plane, output_plane)
+        for _ in range(dc_per_cluster):
+            input_plane = _random_cube(rng, n_in, support)
+            target = rng.choice(cluster)
+            output_plane = "".join("-" if j == target else "0"
+                                   for j in range(n_out))
+            data.add_cube(input_plane, output_plane)
+    return data
+
+
+def _random_cube(rng, n_in, support):
+    """One product term: literals only over *support*."""
+    symbols = ["-"] * n_in
+    # Between half and all of the support variables appear as literals.
+    count = rng.randint(max(1, len(support) // 2), len(support))
+    for var in rng.sample(support, count):
+        symbols[var] = rng.choice("01")
+    return "".join(symbols)
+
+
+def structured_pla(n_in, n_out, seed, cluster_size=4, support_size=8,
+                   factors_per_cluster=3, cubes_per_factor=3,
+                   terms_per_output=2, dc_per_cluster=0,
+                   input_names=None, output_names=None):
+    """Generate a PLA flattened from a hidden factored form.
+
+    Real MCNC control PLAs are two-level *flattenings* of logic that
+    has multilevel structure (shared factors, decoded fields) — which
+    is exactly what gives bi-decomposition something to find and makes
+    flat SOP mapping pay a multiplicative price.  Purely random cubes
+    (see :func:`clustered_pla`) lack that structure, so this generator
+    builds each cluster from shared *factors* (small OR-of-AND blocks
+    over the cluster support) and emits outputs as products of factors,
+    expanded into cubes:
+
+        output = OR over terms of ( factor_i AND factor_j AND literals )
+
+    The expansion multiplies the factors' cube counts, so the PLA looks
+    wide and flat while hiding a compact netlist — the character the
+    paper's Table 2 exercises.
+    """
+    rng = random.Random(seed)
+    data = PLAData(n_in, n_out, input_names=input_names,
+                   output_names=output_names, pla_type="fd")
+    outputs = list(range(n_out))
+    clusters = [outputs[i:i + cluster_size]
+                for i in range(0, n_out, cluster_size)]
+    for cluster in clusters:
+        support = sorted(rng.sample(range(n_in),
+                                    min(support_size, n_in)))
+        factors = [_random_factor(rng, support, cubes_per_factor)
+                   for _ in range(factors_per_cluster)]
+        for out in cluster:
+            output_plane = "".join("1" if j == out else "0"
+                                   for j in range(n_out))
+            for _ in range(terms_per_output):
+                chosen = rng.sample(factors,
+                                    rng.randint(1, min(2, len(factors))))
+                extra = _random_cube_literals(rng, support,
+                                              rng.randint(0, 2))
+                for cube_literals in _product_of_factors(chosen):
+                    merged = _merge_literals(cube_literals, extra)
+                    if merged is None:
+                        continue  # contradictory literals: empty cube
+                    data.add_cube(_literals_to_plane(merged, n_in),
+                                  output_plane)
+        for _ in range(dc_per_cluster):
+            input_plane = _random_cube(rng, n_in, support)
+            target = rng.choice(cluster)
+            output_plane = "".join("-" if j == target else "0"
+                                   for j in range(n_out))
+            data.add_cube(input_plane, output_plane)
+    return data
+
+
+def _random_factor(rng, support, cubes):
+    """A factor: list of literal-dicts (an OR of small AND cubes)."""
+    factor = []
+    for _ in range(rng.randint(2, cubes)):
+        factor.append(_random_cube_literals(rng, support,
+                                            rng.randint(2, 3)))
+    return factor
+
+
+def _random_cube_literals(rng, support, count):
+    literals = {}
+    for var in rng.sample(support, min(count, len(support))):
+        literals[var] = rng.randint(0, 1)
+    return literals
+
+
+def _product_of_factors(factors):
+    """Cartesian expansion of an AND of OR-of-cubes factors."""
+    expansion = [dict()]
+    for factor in factors:
+        next_expansion = []
+        for partial in expansion:
+            for cube in factor:
+                merged = _merge_literals(partial, cube)
+                if merged is not None:
+                    next_expansion.append(merged)
+        expansion = next_expansion
+    return expansion
+
+
+def _merge_literals(a, b):
+    """Combine two literal-dicts; None when they contradict."""
+    merged = dict(a)
+    for var, value in b.items():
+        if merged.get(var, value) != value:
+            return None
+        merged[var] = value
+    return merged
+
+
+def _literals_to_plane(literals, n_in):
+    symbols = ["-"] * n_in
+    for var, value in literals.items():
+        symbols[var] = "1" if value else "0"
+    return "".join(symbols)
+
+
+def windowed_pla(n_in, n_out, seed, window=6):
+    """Generate an e64-style PLA: output i looks at a sliding window.
+
+    Each output is a small product/sum over ``window`` consecutive
+    inputs (wrapping around), giving the long-and-skinny structure of
+    the MCNC e64 benchmark (65 inputs, 65 outputs, tiny supports).
+    """
+    rng = random.Random(seed)
+    data = PLAData(n_in, n_out, pla_type="fd")
+    for j in range(n_out):
+        base = j % n_in
+        support = [(base + k) % n_in for k in range(window)]
+        for _ in range(rng.randint(2, 4)):
+            symbols = ["-"] * n_in
+            count = rng.randint(2, window)
+            for var in rng.sample(support, count):
+                symbols[var] = rng.choice("01")
+            output_plane = "".join("1" if k == j else "0"
+                                   for k in range(n_out))
+            data.add_cube("".join(symbols), output_plane)
+    return data

@@ -1,0 +1,16 @@
+"""Boolean-function layer: ISFs, expressions, symmetric and arithmetic
+function builders, and a truth-table bridge for exhaustive testing."""
+
+from repro.boolfn.isf import ISF, InconsistentISF
+from repro.boolfn.expr import parse, ExprError
+from repro.boolfn.symmetric import (symmetric, weight_set, parity, threshold,
+                                    exactly, majority, count_ones_bit)
+from repro.boolfn.truthtable import from_truth_table, to_truth_table
+
+__all__ = [
+    "ISF", "InconsistentISF",
+    "parse", "ExprError",
+    "symmetric", "weight_set", "parity", "threshold", "exactly",
+    "majority", "count_ones_bit",
+    "from_truth_table", "to_truth_table",
+]

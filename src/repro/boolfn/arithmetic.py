@@ -1,0 +1,140 @@
+"""Bit-vector arithmetic built on BDD nodes.
+
+Word-level building blocks (LSB-first lists of BDD nodes) used to
+construct the arithmetic MCNC benchmark stand-ins: adders for the rd
+family checks, squarers for 5xp1-like functions, and a behavioural ALU
+for alu2/alu4-like functions.
+"""
+
+from repro.bdd.node import FALSE, TRUE
+
+
+def const_vector(mgr, value, width):
+    """Bit vector (LSB first) of the non-negative integer *value*."""
+    return [TRUE if (value >> i) & 1 else FALSE for i in range(width)]
+
+
+def var_vector(mgr, variables):
+    """Bit vector of positive literals for *variables* (LSB first)."""
+    return [mgr.var(v) for v in variables]
+
+
+def full_adder(mgr, a, b, cin):
+    """One-bit full adder; returns ``(sum, carry_out)``."""
+    axb = mgr.xor(a, b)
+    total = mgr.xor(axb, cin)
+    carry = mgr.or_(mgr.and_(a, b), mgr.and_(axb, cin))
+    return total, carry
+
+
+def ripple_add(mgr, xs, ys, cin=FALSE):
+    """Ripple-carry addition of two equal-or-unequal width vectors.
+
+    Returns ``(sum_bits, carry_out)``; the sum has the width of the
+    longer operand.
+    """
+    width = max(len(xs), len(ys))
+    xs = list(xs) + [FALSE] * (width - len(xs))
+    ys = list(ys) + [FALSE] * (width - len(ys))
+    carry = cin
+    out = []
+    for a, b in zip(xs, ys):
+        bit, carry = full_adder(mgr, a, b, carry)
+        out.append(bit)
+    return out, carry
+
+
+def negate(mgr, xs):
+    """Two's-complement negation (same width, wrap-around)."""
+    inverted = [mgr.not_(x) for x in xs]
+    out, _carry = ripple_add(mgr, inverted,
+                             const_vector(mgr, 1, len(xs)))
+    return out
+
+
+def ripple_sub(mgr, xs, ys):
+    """Two's-complement subtraction ``xs - ys`` (width of xs)."""
+    width = len(xs)
+    ys = list(ys) + [FALSE] * (width - len(ys))
+    inverted = [mgr.not_(y) for y in ys[:width]]
+    out, _carry = ripple_add(mgr, xs, inverted, TRUE)
+    return out[:width]
+
+
+def multiply(mgr, xs, ys, width=None):
+    """Shift-and-add multiplication, truncated to *width* bits.
+
+    Defaults to the full ``len(xs) + len(ys)`` product width.
+    """
+    if width is None:
+        width = len(xs) + len(ys)
+    acc = [FALSE] * width
+    for shift, y in enumerate(ys):
+        if shift >= width:
+            break
+        partial = [FALSE] * shift + [mgr.and_(x, y) for x in xs]
+        partial = partial[:width]
+        acc, _carry = ripple_add(mgr, acc, partial)
+        acc = acc[:width]
+    return acc
+
+
+def square(mgr, xs, width=None):
+    """``xs * xs`` truncated to *width* bits."""
+    return multiply(mgr, xs, xs, width)
+
+
+def equal(mgr, xs, ys):
+    """1 iff the two vectors are equal (shorter one zero-extended)."""
+    width = max(len(xs), len(ys))
+    xs = list(xs) + [FALSE] * (width - len(xs))
+    ys = list(ys) + [FALSE] * (width - len(ys))
+    result = TRUE
+    for a, b in zip(xs, ys):
+        result = mgr.and_(result, mgr.xnor(a, b))
+    return result
+
+
+def unsigned_less_than(mgr, xs, ys):
+    """1 iff ``xs < ys`` as unsigned integers."""
+    width = max(len(xs), len(ys))
+    xs = list(xs) + [FALSE] * (width - len(xs))
+    ys = list(ys) + [FALSE] * (width - len(ys))
+    less = FALSE
+    for a, b in zip(xs, ys):  # LSB to MSB; MSB dominates
+        bit_lt = mgr.and_(mgr.not_(a), b)
+        bit_eq = mgr.xnor(a, b)
+        less = mgr.or_(bit_lt, mgr.and_(bit_eq, less))
+    return less
+
+
+def mux_vector(mgr, sel, ones, zeros):
+    """Bitwise 2:1 mux: ``sel ? ones : zeros``."""
+    width = max(len(ones), len(zeros))
+    ones = list(ones) + [FALSE] * (width - len(ones))
+    zeros = list(zeros) + [FALSE] * (width - len(zeros))
+    return [mgr.ite(sel, a, b) for a, b in zip(ones, zeros)]
+
+
+def bitwise(mgr, op, xs, ys):
+    """Apply a 2-input manager op (e.g. ``mgr.and_``) bitwise."""
+    width = max(len(xs), len(ys))
+    xs = list(xs) + [FALSE] * (width - len(xs))
+    ys = list(ys) + [FALSE] * (width - len(ys))
+    return [op(a, b) for a, b in zip(xs, ys)]
+
+
+def weighted_sum(mgr, variables, weights, width):
+    """Sum of ``weights[i] * variables[i]`` as a *width*-bit vector.
+
+    The scalar weights are non-negative integers; used by the cordic
+    stand-in to build rotation-style threshold functions.
+    """
+    acc = [FALSE] * width
+    for var, weight in zip(variables, weights):
+        literal = mgr.var(var)
+        term = [mgr.and_(literal, bit)
+                for bit in const_vector(mgr, weight, width)]
+        acc, _carry = ripple_add(mgr, acc, term)
+        acc = acc[:width]
+    return acc

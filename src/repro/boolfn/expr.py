@@ -1,0 +1,122 @@
+"""A small Boolean expression parser producing BDD functions.
+
+Grammar (precedence low to high)::
+
+    expr   := term   ('|' term)*          OR  (also '+')
+    term   := factor ('^' factor)*        XOR
+    factor := atom   ('&' atom)*          AND (also '*')
+    atom   := '~' atom | '!' atom | '(' expr ')' | '0' | '1' | IDENT
+    IDENT  := [A-Za-z_][A-Za-z0-9_\\[\\]]*
+
+Used throughout the tests and examples to state functions readably, and
+by the benchmark generators for hand-written structural functions.
+"""
+
+import re
+
+from repro.bdd.function import Function
+
+_TOKEN_RE = re.compile(r"\s*(?:(?P<ident>[A-Za-z_][A-Za-z0-9_\[\]]*)"
+                       r"|(?P<const>[01])"
+                       r"|(?P<op>[~!&|^()*+]))")
+
+
+class ExprError(ValueError):
+    """Raised on malformed expressions."""
+
+
+def _tokenize(text):
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ExprError("cannot tokenize %r" % remainder[:20])
+        if match.group("ident"):
+            tokens.append(("ident", match.group("ident")))
+        elif match.group("const"):
+            tokens.append(("const", match.group("const")))
+        else:
+            op = match.group("op")
+            op = {"*": "&", "+": "|", "!": "~"}.get(op, op)
+            tokens.append(("op", op))
+        pos = match.end()
+    tokens.append(("end", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, mgr, tokens, auto_vars):
+        self.mgr = mgr
+        self.tokens = tokens
+        self.pos = 0
+        self.auto_vars = auto_vars
+
+    def peek(self):
+        return self.tokens[self.pos]
+
+    def take(self):
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect_op(self, op):
+        kind, value = self.take()
+        if kind != "op" or value != op:
+            raise ExprError("expected %r, found %r" % (op, value))
+
+    def parse_expr(self):
+        node = self.parse_term()
+        while self.peek() == ("op", "|"):
+            self.take()
+            node = self.mgr.or_(node, self.parse_term())
+        return node
+
+    def parse_term(self):
+        node = self.parse_factor()
+        while self.peek() == ("op", "^"):
+            self.take()
+            node = self.mgr.xor(node, self.parse_factor())
+        return node
+
+    def parse_factor(self):
+        node = self.parse_atom()
+        while self.peek() == ("op", "&"):
+            self.take()
+            node = self.mgr.and_(node, self.parse_atom())
+        return node
+
+    def parse_atom(self):
+        kind, value = self.take()
+        if kind == "op" and value == "~":
+            return self.mgr.not_(self.parse_atom())
+        if kind == "op" and value == "(":
+            node = self.parse_expr()
+            self.expect_op(")")
+            return node
+        if kind == "const":
+            return self.mgr.true if value == "1" else self.mgr.false
+        if kind == "ident":
+            if value not in self.mgr.var_names:
+                if not self.auto_vars:
+                    raise ExprError("unknown variable %r" % value)
+                self.mgr.add_var(value)
+            return self.mgr.var(value)
+        raise ExprError("unexpected token %r" % (value,))
+
+
+def parse(mgr, text, auto_vars=False):
+    """Parse *text* into a :class:`Function` on *mgr*.
+
+    With ``auto_vars=True``, unseen identifiers create new variables
+    (appended at the bottom of the order); otherwise they raise
+    :class:`ExprError`.
+    """
+    parser = _Parser(mgr, _tokenize(text), auto_vars)
+    node = parser.parse_expr()
+    if parser.peek()[0] != "end":
+        raise ExprError("trailing input at token %d" % parser.pos)
+    return Function(mgr, node)

@@ -1,0 +1,70 @@
+"""Truth-table bridge for exhaustive testing of small functions.
+
+A truth table over variables ``(v0 .. v{n-1})`` is packed into a Python
+int: bit ``i`` of the int is the output for the assignment whose bit
+``k`` is ``(i >> k) & 1`` for variable ``vk``.  Arbitrary-precision ints
+make this exact for any n that is small enough to enumerate.
+"""
+
+from repro.bdd.node import FALSE, TRUE
+
+
+def from_truth_table(mgr, variables, table):
+    """Build the BDD matching the packed truth-table int *table*."""
+    variables = [mgr.var_index(v) for v in variables]
+    n = len(variables)
+    if table >> (1 << n):
+        raise ValueError("truth table wider than 2^%d bits" % n)
+    return _from_tt_rec(mgr, variables, table, n, {})
+
+
+def _from_tt_rec(mgr, variables, table, n, memo):
+    if n == 0:
+        return TRUE if table & 1 else FALSE
+    full = (1 << (1 << n)) - 1
+    if table == 0:
+        return FALSE
+    if table == full:
+        return TRUE
+    key = (n, table)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    # Split on the last (highest-index) variable: it toggles the high
+    # half of the table.
+    half = 1 << (n - 1)
+    mask = (1 << half) - 1
+    lo_table = table & mask
+    hi_table = (table >> half) & mask
+    var = variables[n - 1]
+    lo = _from_tt_rec(mgr, variables, lo_table, n - 1, memo)
+    hi = _from_tt_rec(mgr, variables, hi_table, n - 1, memo)
+    result = mgr.ite(mgr.var(var), hi, lo)
+    memo[key] = result
+    return result
+
+
+def to_truth_table(mgr, variables, node):
+    """Pack the function *node* over *variables* into a truth-table int.
+
+    Raises if the node depends on a variable outside *variables*.
+    """
+    variables = [mgr.var_index(v) for v in variables]
+    extra = set(mgr.support(node)) - set(variables)
+    if extra:
+        raise ValueError("function depends on variables outside the list: %s"
+                         % sorted(extra))
+    n = len(variables)
+    table = 0
+    for i in range(1 << n):
+        assignment = {var: (i >> k) & 1 for k, var in enumerate(variables)}
+        if mgr.eval(node, _complete(mgr, assignment)):
+            table |= 1 << i
+    return table
+
+
+def _complete(mgr, assignment):
+    """Extend an assignment with zeros for all other manager variables."""
+    full = {v: 0 for v in range(mgr.num_vars)}
+    full.update(assignment)
+    return full

@@ -1,0 +1,251 @@
+"""Command-line interface: the reproduction of the BI-DECOMP program.
+
+The original BI-DECOMP reads an MCNC PLA file, bi-decomposes it, and
+writes the resulting two-input-gate netlist to BLIF (its reported CPU
+time is exactly this pipeline).  This CLI reproduces that program and
+adds the surrounding tooling:
+
+    python -m repro.cli decompose input.pla -o out.blif [--no-exor] ...
+    python -m repro.cli stats input.pla                # netlist costs
+    python -m repro.cli verify input.pla out.blif      # BDD verifier
+    python -m repro.cli testability input.pla          # Theorem 5
+    python -m repro.cli map input.pla                  # cell mapping
+    python -m repro.cli baseline input.pla --flow sis|bds
+
+Every command accepts ``-`` for stdin.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.baselines import bds_like_synthesize, sis_like_synthesize
+from repro.decomp import DecompositionConfig, bi_decompose
+from repro.io import parse_blif, parse_pla, write_blif
+from repro.network import compute_stats, verify_against_isfs
+from repro.network.mapper import map_netlist, verify_mapping
+from repro.testability import analyze_testability, care_sets
+
+
+def _read_text(path):
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _load_pla(path):
+    data = parse_pla(_read_text(path))
+    mgr, specs = data.to_isfs()
+    return data, mgr, specs
+
+
+def _config_from_args(args):
+    return DecompositionConfig(
+        use_or=not args.no_or,
+        use_and=not args.no_and,
+        use_exor=not args.no_exor,
+        use_weak=not args.no_weak,
+        use_cache=not args.no_cache,
+        exhaustive_grouping=args.exhaustive_grouping,
+        weak_xa_size=args.weak_xa_size,
+    )
+
+
+def _add_config_flags(parser):
+    parser.add_argument("--no-or", action="store_true",
+                        help="disable strong OR steps")
+    parser.add_argument("--no-and", action="store_true",
+                        help="disable strong AND steps")
+    parser.add_argument("--no-exor", action="store_true",
+                        help="disable EXOR gates entirely")
+    parser.add_argument("--no-weak", action="store_true",
+                        help="disable weak steps (Shannon fallback)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the component-reuse cache")
+    parser.add_argument("--exhaustive-grouping", action="store_true",
+                        help="Section 5's exclude-one/add-many refinement")
+    parser.add_argument("--weak-xa-size", type=int, default=1,
+                        help="variables in the weak step's XA (paper: 1)")
+
+
+def _print_stats(stats, stream, prefix=""):
+    stream.write("%sgates=%d exors=%d inverters=%d area=%.1f "
+                 "cascades=%d delay=%.1f\n"
+                 % (prefix, stats.gates, stats.exors, stats.inverters,
+                    stats.area, stats.cascades, stats.delay))
+
+
+def cmd_decompose(args, stdout):
+    """Decompose a PLA and write BLIF (the BI-DECOMP program)."""
+    _data, mgr, specs = _load_pla(args.input)
+    started = time.perf_counter()
+    result = bi_decompose(specs, config=_config_from_args(args))
+    elapsed = time.perf_counter() - started
+    if not args.no_verify:
+        verify_against_isfs(result.netlist, specs)
+    blif = write_blif(result.netlist, model=args.model,
+                      path=None if args.output in (None, "-")
+                      else args.output)
+    if args.output in (None, "-"):
+        stdout.write(blif)
+    _print_stats(result.netlist_stats(), sys.stderr)
+    sys.stderr.write("decomposition: %s\n" % result.stats.as_dict())
+    sys.stderr.write("cache: %s\n" % result.cache_stats)
+    sys.stderr.write("time: %.3fs\n" % elapsed)
+    return 0
+
+
+def cmd_stats(args, stdout):
+    """Decompose and print the Table 2 cost columns."""
+    _data, mgr, specs = _load_pla(args.input)
+    result = bi_decompose(specs, config=_config_from_args(args))
+    verify_against_isfs(result.netlist, specs)
+    _print_stats(result.netlist_stats(), stdout)
+    return 0
+
+
+def cmd_verify(args, stdout):
+    """Verify a BLIF netlist against a PLA specification."""
+    _data, mgr, specs = _load_pla(args.spec)
+    _mgr, outputs = parse_blif(_read_text(args.netlist), mgr=mgr)
+    failures = []
+    for name, isf in specs.items():
+        if name not in outputs:
+            failures.append("%s: missing from netlist" % name)
+        elif not isf.is_compatible(outputs[name]):
+            failures.append("%s: violates the interval" % name)
+    if failures:
+        for line in failures:
+            stdout.write("FAIL %s\n" % line)
+        return 1
+    stdout.write("OK: %d outputs verified\n" % len(specs))
+    return 0
+
+
+def cmd_testability(args, stdout):
+    """Decompose and run the Theorem 5 fault analysis."""
+    _data, mgr, specs = _load_pla(args.input)
+    result = bi_decompose(specs, config=_config_from_args(args))
+    report = analyze_testability(result.netlist, mgr, care_sets(specs))
+    stdout.write("faults=%d testable=%d coverage=%.1f%%\n"
+                 % (report.total, report.testable,
+                    100.0 * report.coverage))
+    for fault in report.redundant:
+        stdout.write("redundant: %r\n" % fault)
+    return 0 if report.fully_testable() else 1
+
+
+def cmd_map(args, stdout):
+    """Decompose and map onto the standard-cell library."""
+    _data, mgr, specs = _load_pla(args.input)
+    result = bi_decompose(specs, config=_config_from_args(args))
+    mapping = map_netlist(result.netlist)
+    verify_mapping(mapping, mgr)
+    stdout.write("cells=%d area=%.1f delay=%.1f\n"
+                 % (sum(mapping.cell_counts.values()), mapping.area,
+                    mapping.delay))
+    for name in sorted(mapping.cell_counts):
+        stdout.write("  %-8s %d\n" % (name, mapping.cell_counts[name]))
+    return 0
+
+
+def cmd_fsm(args, stdout):
+    """Synthesise a KISS2 state machine's next-state/output logic."""
+    from repro.fsm import check_against_fsm, parse_kiss, synthesize_fsm
+    fsm = parse_kiss(_read_text(args.input))
+    synth = synthesize_fsm(fsm, encoding=args.encoding,
+                           use_dont_cares=not args.no_dont_cares,
+                           config=_config_from_args(args))
+    if not args.no_verify:
+        check_against_fsm(synth)
+    stats = synth.result.netlist_stats()
+    stdout.write("states=%d encoding=%s state_bits=%d\n"
+                 % (fsm.num_states(), args.encoding,
+                    synth.encoded.state_bits))
+    _print_stats(stats, stdout)
+    if args.output:
+        write_blif(synth.netlist, model=args.model, path=args.output)
+    return 0
+
+
+def cmd_baseline(args, stdout):
+    """Run a comparison baseline on the PLA."""
+    _data, mgr, specs = _load_pla(args.input)
+    if args.flow == "sis":
+        result = sis_like_synthesize(specs, factor=args.factor,
+                                     minimizer=args.minimizer)
+    else:
+        result = bds_like_synthesize(specs)
+    verify_against_isfs(result.netlist, specs)
+    _print_stats(result.netlist_stats(), stdout)
+    return 0
+
+
+def build_parser():
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("decompose", help="PLA -> bi-decomposed BLIF")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", help="BLIF path (default stdout)")
+    p.add_argument("--model", default="bidecomp")
+    p.add_argument("--no-verify", action="store_true")
+    _add_config_flags(p)
+    p.set_defaults(func=cmd_decompose)
+
+    p = sub.add_parser("stats", help="print netlist cost columns")
+    p.add_argument("input")
+    _add_config_flags(p)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("verify", help="check a BLIF against a PLA spec")
+    p.add_argument("spec")
+    p.add_argument("netlist")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("testability", help="Theorem 5 fault analysis")
+    p.add_argument("input")
+    _add_config_flags(p)
+    p.set_defaults(func=cmd_testability)
+
+    p = sub.add_parser("map", help="standard-cell mapping")
+    p.add_argument("input")
+    _add_config_flags(p)
+    p.set_defaults(func=cmd_map)
+
+    p = sub.add_parser("fsm", help="synthesise a KISS2 state machine")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", help="write the logic as BLIF")
+    p.add_argument("--model", default="fsm")
+    p.add_argument("--encoding", choices=("binary", "onehot"),
+                   default="binary")
+    p.add_argument("--no-dont-cares", action="store_true",
+                   help="pin sequential don't-cares to 0 (ablation)")
+    p.add_argument("--no-verify", action="store_true")
+    _add_config_flags(p)
+    p.set_defaults(func=cmd_fsm)
+
+    p = sub.add_parser("baseline", help="run a comparison flow")
+    p.add_argument("input")
+    p.add_argument("--flow", choices=("sis", "bds"), default="sis")
+    p.add_argument("--factor", action="store_true",
+                   help="SIS flow: enable algebraic factoring")
+    p.add_argument("--minimizer", choices=("isop", "espresso"),
+                   default="isop")
+    p.set_defaults(func=cmd_baseline)
+    return parser
+
+
+def main(argv=None, stdout=None):
+    """CLI entry point; returns the exit code."""
+    stdout = stdout or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args, stdout)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Ashenhurst simple disjoint decomposition (related-work class).
+
+Section 1 of the paper classifies decomposition methods; classes [1,2]
+are the Ashenhurst/Curtis *disjoint* decompositions the recent work it
+cites ([3,4,5]) revives:
+
+    F(X) = H(G(B), X \\ B)          (single-output G, disjoint supports)
+
+This module implements the classic BDD-cut test: move the bound set B
+to the top of the variable order (the in-place reordering substrate
+does this without rebuilding), then collect the *cut nodes* — the
+distinct sub-functions hanging below the boundary.  F decomposes with
+bound set B iff there are at most two of them (column multiplicity
+<= 2); the two cut functions become H's cofactors and the top region,
+retargeted onto constants, becomes G.
+
+It complements bi-decomposition: Ashenhurst splits *support-disjoint*
+single-channel structure, bi-decomposition splits *gate* structure
+with overlap allowed; the tests compare both on the same functions.
+"""
+
+from repro.bdd.node import FALSE, TRUE
+from repro.bdd.reorder import move_var_to_level
+
+
+class AshenhurstDecomposition:
+    """A found decomposition ``F = H(G(bound), free)``.
+
+    ``g`` is the extracted G (a BDD node over the bound variables);
+    ``h1``/``h0`` are H's cofactors for G = 1 / G = 0 (BDD nodes over
+    the free variables): ``F = ITE(G, h1, h0)``.
+    """
+
+    def __init__(self, bound, g, h1, h0):
+        self.bound = tuple(bound)
+        self.g = g
+        self.h1 = h1
+        self.h0 = h0
+
+    def recompose(self, mgr):
+        """Rebuild F from the parts (for verification)."""
+        return mgr.ite(self.g, self.h1, self.h0)
+
+    def __repr__(self):
+        return "AshenhurstDecomposition(bound=%s)" % (self.bound,)
+
+
+def _cut_nodes(mgr, root, boundary_level):
+    """Distinct sub-functions below the cut at *boundary_level*."""
+    cut = set()
+    seen = set()
+    stack = [root]
+    if mgr.level(root) >= boundary_level:
+        return {root}
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        for child in (mgr.low(node), mgr.high(node)):
+            if mgr.level(child) >= boundary_level:
+                cut.add(child)
+            else:
+                stack.append(child)
+    return cut
+
+
+def _retarget_top(mgr, root, boundary_level, mapping, memo):
+    """Copy the top region, replacing each cut node per *mapping*."""
+    if mgr.level(root) >= boundary_level:
+        return mapping[root]
+    cached = memo.get(root)
+    if cached is not None:
+        return cached
+    lo = _retarget_top(mgr, mgr.low(root), boundary_level, mapping, memo)
+    hi = _retarget_top(mgr, mgr.high(root), boundary_level, mapping,
+                       memo)
+    var = mgr.var_at_level(mgr.level(root))
+    result = mgr.ite(mgr.var(var), hi, lo)
+    memo[root] = result
+    return result
+
+
+def ashenhurst_decompose(mgr, f, bound):
+    """Try the simple disjoint decomposition of *f* with bound set B.
+
+    Reorders the manager in place so B occupies the top levels (node
+    ids stay valid), then applies the cut test.  Returns an
+    :class:`AshenhurstDecomposition` or ``None`` when the column
+    multiplicity exceeds two.
+
+    Degenerate cases (f constant, or independent of the bound set)
+    return a decomposition with a constant G.
+    """
+    bound = [mgr.var_index(v) for v in bound]
+    if not bound:
+        raise ValueError("bound set must be non-empty")
+    for position, var in enumerate(bound):
+        move_var_to_level(mgr, var, position)
+    boundary = len(bound)
+
+    cut = sorted(_cut_nodes(mgr, f, boundary))
+    if len(cut) > 2:
+        return None
+    if len(cut) == 1:
+        # A single cut class forces f == that class by BDD reduction
+        # (a top region whose leaves are all identical collapses), so
+        # f does not depend on the bound set: constant-G decomposition.
+        only = cut[0]
+        assert f == only, "single cut class must equal f"
+        return AshenhurstDecomposition(bound, FALSE, only, only)
+    class0, class1 = cut
+    g = _retarget_top(mgr, f, boundary,
+                      {class0: FALSE, class1: TRUE}, {})
+    return AshenhurstDecomposition(bound, g, class1, class0)
+
+
+def find_ashenhurst(mgr, f, max_bound=None, min_bound=2):
+    """Search bound sets (by size, then lexicographically) for a
+    non-trivial simple disjoint decomposition.
+
+    Only *proper* bound sets are tried (1 <= |B| < |support|); returns
+    the first hit or ``None``.  Exponential in the support size —
+    intended for the small functions this class of methods targets.
+    """
+    import itertools
+    support = mgr.support(f)
+    if max_bound is None:
+        max_bound = max(len(support) - 1, 1)
+    for size in range(min_bound, max_bound + 1):
+        for bound in itertools.combinations(support, size):
+            free = [v for v in support if v not in bound]
+            if not free:
+                continue
+            result = ashenhurst_decompose(mgr, f, bound)
+            if result is not None and result.g not in (FALSE, TRUE):
+                return result
+    return None

@@ -1,0 +1,295 @@
+"""The recursive bi-decomposition engine (Section 7, Fig. 7).
+
+:class:`DecompositionEngine` reproduces ``BiDecompose``:
+
+1. remove inessential variables,
+2. look the interval up in the component-reuse cache,
+3. terminal case: support <= 2 emits one gate (``FindGate``),
+4. try strong OR / AND / EXOR variable groupings and pick the best
+   (most grouped variables, best balance),
+5. otherwise take the best weak OR/AND step (single XA variable
+   maximising injected don't-cares),
+6. as a guaranteed-progress fallback — the one deviation from the
+   paper, which asserts a weak step always exists — a Shannon step
+   ``F = (x & F1) | (~x & F0)``; counters show it virtually never
+   fires,
+7. recurse on component A, re-derive component B from the chosen
+   completely specified f_A, recurse on B, emit the gate, cache the
+   result.
+
+The engine is deliberately single-output; the multi-output driver in
+:mod:`repro.decomp.driver` shares one engine (hence one cache and one
+netlist) across all outputs, which is how the paper shares decomposed
+blocks between outputs.
+"""
+
+from repro.boolfn.isf import ISF
+from repro.decomp import checks
+from repro.decomp.cache import ComponentCache, NullCache
+from repro.decomp.derive import (AND_GATE, EXOR_GATE, OR_GATE,
+                                 derive_component_b,
+                                 derive_or_component_a,
+                                 derive_and_component_a,
+                                 derive_weak_and_component_a,
+                                 derive_weak_or_component_a)
+from repro.decomp.exor import check_exor_bidecomp
+from repro.decomp.grouping import (find_best_grouping, group_variables,
+                                   improve_grouping)
+from repro.decomp.inessential import remove_inessential
+from repro.decomp.terminal import find_gate
+from repro.decomp.weak import find_weak_grouping
+from repro.network import gates as G
+
+
+class DecompositionError(Exception):
+    """Raised when an internal invariant of the decomposition breaks."""
+
+
+class DecompositionConfig:
+    """Feature switches for the engine (ablation benchmarks toggle these).
+
+    Parameters mirror the paper's design choices:
+
+    * ``use_or`` / ``use_and`` / ``use_exor`` — which strong gate types
+      are attempted;
+    * ``use_weak`` — allow weak OR/AND steps (off forces Shannon
+      fallback, emulating a strong-only variant);
+    * ``use_cache`` — component-reuse cache of Section 6;
+    * ``use_inessential`` — inessential-variable removal;
+    * ``gate_preference`` — tie-break order among equally scored
+      groupings;
+    * ``exhaustive_grouping`` — Section 5's exclude-one/add-many
+      grouping refinement (the paper measured <3 % area gain for 2x
+      CPU; off by default, the ablation bench reproduces the claim);
+    * ``weak_xa_size`` — how many variables the weak step's XA may
+      hold (the paper settled on 1 after experimentation);
+    * ``objective`` — ``"area"`` scores groupings by coverage then
+      balance (the paper's cost); ``"delay"`` puts balance first;
+    * ``check_invariants`` — verify compatibility of every synthesised
+      component against its interval (slower; on by default in tests).
+    """
+
+    def __init__(self, use_or=True, use_and=True, use_exor=True,
+                 use_weak=True, use_cache=True, use_inessential=True,
+                 gate_preference=(OR_GATE, AND_GATE, EXOR_GATE),
+                 exhaustive_grouping=False, weak_xa_size=1,
+                 objective="area", check_invariants=False):
+        self.use_or = use_or
+        self.use_and = use_and
+        self.use_exor = use_exor
+        self.use_weak = use_weak
+        self.use_cache = use_cache
+        self.use_inessential = use_inessential
+        self.gate_preference = tuple(gate_preference)
+        self.exhaustive_grouping = exhaustive_grouping
+        self.weak_xa_size = weak_xa_size
+        if objective not in ("area", "delay"):
+            raise ValueError("objective must be 'area' or 'delay'")
+        self.objective = objective
+        self.check_invariants = check_invariants
+
+    def enabled_gates(self):
+        """Strong gate types to try, in preference order."""
+        enabled = {OR_GATE: self.use_or, AND_GATE: self.use_and,
+                   EXOR_GATE: self.use_exor}
+        return tuple(g for g in self.gate_preference if enabled.get(g))
+
+
+class DecompositionStats:
+    """Counters the paper quotes in prose (Sections 6 and 7)."""
+
+    def __init__(self):
+        self.calls = 0
+        self.cache_hits = 0
+        self.terminal_gates = 0
+        self.strong = {OR_GATE: 0, AND_GATE: 0, EXOR_GATE: 0}
+        self.weak = {OR_GATE: 0, AND_GATE: 0}
+        self.shannon = 0
+        self.inessential_removed = 0
+
+    def strong_steps(self):
+        """Total strong bi-decomposition steps."""
+        return sum(self.strong.values())
+
+    def weak_steps(self):
+        """Total weak bi-decomposition steps."""
+        return sum(self.weak.values())
+
+    def as_dict(self):
+        """Counters as a flat dict for reporting."""
+        return {
+            "calls": self.calls,
+            "cache_hits": self.cache_hits,
+            "terminal_gates": self.terminal_gates,
+            "strong_or": self.strong[OR_GATE],
+            "strong_and": self.strong[AND_GATE],
+            "strong_exor": self.strong[EXOR_GATE],
+            "weak_or": self.weak[OR_GATE],
+            "weak_and": self.weak[AND_GATE],
+            "shannon": self.shannon,
+            "inessential_removed": self.inessential_removed,
+        }
+
+    def __repr__(self):
+        return "DecompositionStats(%s)" % self.as_dict()
+
+
+_GATE_TO_NETLIST = {OR_GATE: G.OR, AND_GATE: G.AND, EXOR_GATE: G.XOR}
+
+
+class DecompositionEngine:
+    """Recursive bi-decomposition of ISFs into a shared netlist.
+
+    Parameters
+    ----------
+    mgr:
+        BDD manager carrying the specifications.
+    netlist:
+        Target :class:`repro.network.Netlist`; must already contain the
+        primary inputs.
+    var_nodes:
+        Mapping from manager variable index to netlist input node.
+    """
+
+    def __init__(self, mgr, netlist, var_nodes, config=None, cache=None):
+        self.mgr = mgr
+        self.netlist = netlist
+        self.var_nodes = dict(var_nodes)
+        self.config = config or DecompositionConfig()
+        if cache is None:
+            cache = (ComponentCache() if self.config.use_cache
+                     else NullCache())
+        self.cache = cache
+        self.stats = DecompositionStats()
+        #: Per-netlist-node provenance: the ISF interval the node was
+        #: synthesised for (first synthesis wins).  Consumed by the
+        #: decomposition-integrated ATPG
+        #: (:mod:`repro.testability.integrated`), reproducing the
+        #: paper's claim that test generation can ride along with the
+        #: decomposition at negligible cost.
+        self.provenance = {}
+
+    # -- public entry ---------------------------------------------------
+    def decompose(self, isf):
+        """Decompose *isf*; returns ``(csf, netlist_node)``.
+
+        The returned completely specified function is compatible with
+        the interval and is implemented by *netlist_node*.
+        """
+        self.stats.calls += 1
+        if self.config.use_inessential:
+            isf, removed = remove_inessential(isf)
+            self.stats.inessential_removed += len(removed)
+        support = isf.structural_support()
+
+        cached = self.cache.lookup(isf, support)
+        if cached is not None:
+            csf, node, complemented = cached
+            self.stats.cache_hits += 1
+            if complemented:
+                # The inverter's output (not the stored node) is what
+                # satisfies the queried interval.
+                node = self.netlist.add_not(node)
+            self.provenance.setdefault(node, isf)
+            return csf, node
+
+        if len(support) <= 2:
+            csf, node = find_gate(isf, support, self.netlist,
+                                  self.var_nodes,
+                                  allow_exor=self.config.use_exor)
+            self.stats.terminal_gates += 1
+            self.cache.insert(csf, node)
+            self.provenance.setdefault(node, isf)
+            return csf, node
+
+        step = self._find_strong_step(isf, support)
+        if step is None and self.config.use_weak:
+            step = self._find_weak_step(isf, support)
+        if step is None:
+            csf, node = self._shannon_step(isf, support)
+        else:
+            gate, xa, isf_a = step
+            csf, node = self._emit(isf, gate, xa, isf_a)
+        self.provenance.setdefault(node, isf)
+        return csf, node
+
+    # -- step selection ---------------------------------------------------
+    def _find_strong_step(self, isf, support):
+        """Try all enabled strong gates; return (gate, xa, isf_a) or None."""
+        candidates = {}
+        for gate in self.config.enabled_gates():
+            grouping = group_variables(isf, support, gate)
+            if grouping is not None and self.config.exhaustive_grouping:
+                grouping = improve_grouping(isf, support, gate,
+                                            *grouping)
+            candidates[gate] = grouping
+        best = find_best_grouping(candidates, self.config.gate_preference,
+                                  objective=self.config.objective)
+        if best is None:
+            return None
+        gate, xa, xb = best
+        self.stats.strong[gate] += 1
+        if gate == OR_GATE:
+            isf_a = derive_or_component_a(isf, xa, xb)
+        elif gate == AND_GATE:
+            isf_a = derive_and_component_a(isf, xa, xb)
+        else:
+            intervals = check_exor_bidecomp(isf, xa, xb)
+            if intervals is None:  # cannot happen if grouping succeeded
+                raise DecompositionError("EXOR grouping vanished on rerun")
+            isf_a = intervals[0]
+        return gate, xa, isf_a
+
+    def _find_weak_step(self, isf, support):
+        """Best weak OR/AND step, or None when nothing makes progress."""
+        weak = find_weak_grouping(isf, support,
+                                  max_vars=self.config.weak_xa_size)
+        if weak is None:
+            return None
+        gate, xa = weak
+        self.stats.weak[gate] += 1
+        if gate == OR_GATE:
+            isf_a = derive_weak_or_component_a(isf, xa)
+        else:
+            isf_a = derive_weak_and_component_a(isf, xa)
+        return gate, xa, isf_a
+
+    # -- emission -------------------------------------------------------
+    def _emit(self, isf, gate, xa, isf_a):
+        """Recurse on A, re-derive B from f_A, recurse on B, emit gate."""
+        f_a, node_a = self.decompose(isf_a)
+        isf_b = derive_component_b(isf, gate, f_a, xa)
+        if isf_b is None:
+            raise DecompositionError(
+                "component B inconsistent after choosing f_A (gate %s)"
+                % gate)
+        f_b, node_b = self.decompose(isf_b)
+        node = self.netlist.add_gate(_GATE_TO_NETLIST[gate], node_a, node_b)
+        if gate == OR_GATE:
+            csf = f_a | f_b
+        elif gate == AND_GATE:
+            csf = f_a & f_b
+        else:
+            csf = f_a ^ f_b
+        self._check(isf, csf, gate)
+        self.cache.insert(csf, node)
+        return csf, node
+
+    def _shannon_step(self, isf, support):
+        """Guaranteed-progress fallback: F = (x & F1) | (~x & F0)."""
+        self.stats.shannon += 1
+        var = support[0]
+        f1, node1 = self.decompose(isf.cofactor(var, 1))
+        f0, node0 = self.decompose(isf.cofactor(var, 0))
+        literal = self.var_nodes[var]
+        node = self.netlist.add_mux(literal, node1, node0)
+        selector = self.mgr.fn(self.mgr.var(var))
+        csf = selector.ite(f1, f0)
+        self._check(isf, csf, "SHANNON")
+        self.cache.insert(csf, node)
+        return csf, node
+
+    def _check(self, isf, csf, gate):
+        if self.config.check_invariants and not isf.is_compatible(csf):
+            raise DecompositionError(
+                "synthesised %s component leaves the interval" % gate)

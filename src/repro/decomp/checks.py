@@ -1,0 +1,90 @@
+"""Decomposability checks (Section 3 of the paper).
+
+All checks take an :class:`~repro.boolfn.ISF` and two disjoint variable
+sets ``xa`` and ``xb`` (iterables of variable names/indices).  The
+common set XC is implicit: it is whatever remains of the support.
+
+* **OR** (Theorem 1):  F is OR-bi-decomposable with (XA, XB) iff
+  ``Q & exists(XA, R) & exists(XB, R) == 0``.
+* **AND**: dual of OR — swap the on-set and off-set.
+* **EXOR with singleton sets** (Theorem 2): build the derivative ISF of
+  F w.r.t. the variable in XA,
+
+      Q_D = exists(xa, Q) & exists(xa, R)
+      R_D = forall(xa, Q) | forall(xa, R)
+
+  then F is EXOR-bi-decomposable iff ``Q_D & exists(xb, R_D) == 0``.
+* **EXOR with arbitrary sets**: the constraint-propagation algorithm of
+  Fig. 4, implemented in :mod:`repro.decomp.exor`.
+
+Weak decomposability (Table 1, second row) is checked by
+:func:`weak_or_useful` / :func:`weak_and_useful`: a weak step is only
+worth taking when it strictly enlarges the don't-care set of component
+A, which is the paper's termination argument.
+"""
+
+from repro.bdd import exists as _exists, forall as _forall
+from repro.bdd.function import Function
+
+
+def _fn(mgr, node):
+    return Function(mgr, node)
+
+
+def or_decomposable(isf, xa, xb):
+    """Theorem 1: OR-bi-decomposability with variable sets (XA, XB)."""
+    mgr = isf.mgr
+    r_no_xa = _exists(mgr, xa, isf.off.node)
+    r_no_xb = _exists(mgr, xb, isf.off.node)
+    # Q & (exists XA R) & (exists XB R) == 0, evaluated with the fused
+    # and_exists-free form (all three BDDs already exist).
+    qa = mgr.and_(isf.on.node, r_no_xa)
+    return mgr.and_(qa, r_no_xb) == mgr.false
+
+
+def and_decomposable(isf, xa, xb):
+    """AND-bi-decomposability: the dual of Theorem 1 (swap Q and R)."""
+    return or_decomposable(isf.complement(), xa, xb)
+
+
+def derivative_isf(isf, variables):
+    """The ISF of the Boolean derivative of F w.r.t. *variables*.
+
+    For a compatible CSF f, the derivative ``df/dXA`` must be 1 exactly
+    where two XA-cofactor points are forced to opposite values, and 0
+    where two are forced to equal values (Theorem 2's Q_D / R_D).
+    Returns ``(q_d, r_d)`` as Functions.
+    """
+    mgr = isf.mgr
+    q, r = isf.on.node, isf.off.node
+    q_d = mgr.and_(_exists(mgr, variables, q), _exists(mgr, variables, r))
+    r_d = mgr.or_(_forall(mgr, variables, q), _forall(mgr, variables, r))
+    return _fn(mgr, q_d), _fn(mgr, r_d)
+
+
+def exor_decomposable_single(isf, xa_var, xb_var):
+    """Theorem 2: EXOR-bi-decomposability with singleton (XA, XB).
+
+    The check is ``Q_D & exists(xb, R_D) == 0`` on the derivative ISF
+    of F with respect to the XA variable.
+    """
+    mgr = isf.mgr
+    q_d, r_d = derivative_isf(isf, [xa_var])
+    r_d_no_xb = _exists(mgr, [xb_var], r_d.node)
+    return mgr.and_(q_d.node, r_d_no_xb) == mgr.false
+
+
+def weak_or_useful(isf, xa):
+    """Weak OR is worth taking iff it strictly shrinks the on-set of A.
+
+    Table 1: component A of a weak OR step has ``Q_A = Q & exists(XA, R)``;
+    the step injects don't-cares iff ``Q - exists(XA, R) != 0``.
+    """
+    mgr = isf.mgr
+    r_no_xa = _exists(mgr, xa, isf.off.node)
+    return mgr.diff(isf.on.node, r_no_xa) != mgr.false
+
+
+def weak_and_useful(isf, xa):
+    """Weak AND usefulness: dual of :func:`weak_or_useful`."""
+    return weak_or_useful(isf.complement(), xa)

@@ -1,0 +1,152 @@
+"""EXOR bi-decomposition check for arbitrary variable sets (Fig. 4).
+
+``check_exor_bidecomp`` reconstructs the constraint-propagation
+algorithm of the paper's Fig. 4 (CheckExorBiDecomp): seed component A
+with one cube of the remaining on-set projected away from XB, then
+alternately propagate forced values between the components,
+
+    q_B = exists(XA, Q & r_A  |  R & q_A)     (where A=0 and F=1, or
+    r_B = exists(XA, Q & q_A  |  R & r_A)      A=1 and F=0, B must ...)
+
+until a fixpoint; any overlap of a component's must-1 and must-0 sets
+refutes decomposability.  On success it returns the component ISF
+*constraints* ``(A_isf, B_isf)``; on failure ``None``.
+
+The propagation is exact for the check; the recursive decomposition
+re-derives component B from the chosen CSF f_A afterwards (see
+:mod:`repro.decomp.derive`), mirroring what Theorem 4 does for OR.
+"""
+
+from repro.bdd import cube_to_bdd, exists as _exists, pick_cube
+from repro.bdd.function import Function
+from repro.boolfn.isf import ISF, InconsistentISF
+
+
+def check_exor_bidecomp(isf, xa, xb):
+    """Run Fig. 4's CheckExorBiDecomp.
+
+    Parameters
+    ----------
+    isf:
+        The function to decompose.
+    xa, xb:
+        Disjoint variable sets (iterables of names/indices).
+
+    Returns ``(isf_a, isf_b)`` — the accumulated must-sets of the two
+    components as ISFs — or ``None`` when no EXOR bi-decomposition with
+    these sets exists.
+
+    For completely specified intervals the exact cofactor ("rank-1")
+    test replaces the cube propagation: F decomposes iff
+
+        F(xa,xb,xc) = F(xa,b0,xc) ^ F(a0,xb,xc) ^ F(a0,b0,xc)
+
+    for an arbitrary anchor point (a0, b0), and then the right-hand
+    cofactors *are* the components.  This is orders of magnitude faster
+    and bitwise-equivalent in outcome.
+    """
+    mgr = isf.mgr
+    if isf.is_completely_specified():
+        return _csf_exor_components(isf, xa, xb)
+    xa = [mgr.var_index(v) for v in xa]
+    xb = [mgr.var_index(v) for v in xb]
+    false = mgr.false
+    q = isf.on.node
+    r = isf.off.node
+    acc_qa = acc_ra = acc_qb = acc_rb = false
+
+    while q != false:
+        # Seed: pick one on-set cube, project it away from XB, and force
+        # component A to 1 there (the choice A=1 vs B=1 is free; the
+        # paper seeds A).
+        cube = pick_cube(mgr, q)
+        cube_a = {var: val for var, val in cube.items() if var not in xb}
+        q_a = cube_to_bdd(mgr, cube_a)
+        r_a = false
+        while q_a != false or r_a != false:
+            # Forced values of B given the new forced values of A.
+            q_b = _exists(mgr, xa, mgr.or_(mgr.and_(q, r_a),
+                                           mgr.and_(r, q_a)))
+            r_b = _exists(mgr, xa, mgr.or_(mgr.and_(q, q_a),
+                                           mgr.and_(r, r_a)))
+            if mgr.and_(q_b, r_b) != false:
+                return None
+            covered = mgr.or_(q_a, r_a)
+            q = mgr.diff(q, covered)
+            r = mgr.diff(r, covered)
+            acc_qa = mgr.or_(acc_qa, q_a)
+            acc_ra = mgr.or_(acc_ra, r_a)
+            # Keep only the new B constraints (not yet accumulated).
+            q_b_new = mgr.diff(q_b, acc_qb)
+            r_b_new = mgr.diff(r_b, acc_rb)
+            acc_qb = mgr.or_(acc_qb, q_b)
+            acc_rb = mgr.or_(acc_rb, r_b)
+            if mgr.and_(acc_qb, acc_rb) != false:
+                return None
+            # Forced values of A given the new forced values of B.
+            q_a = _exists(mgr, xb, mgr.or_(mgr.and_(q, r_b_new),
+                                           mgr.and_(r, q_b_new)))
+            r_a = _exists(mgr, xb, mgr.or_(mgr.and_(q, q_b_new),
+                                           mgr.and_(r, r_b_new)))
+            if mgr.and_(q_a, r_a) != false:
+                return None
+            covered = mgr.or_(q_b_new, r_b_new)
+            q = mgr.diff(q, covered)
+            r = mgr.diff(r, covered)
+            q_a = mgr.diff(q_a, acc_qa)
+            r_a = mgr.diff(r_a, acc_ra)
+            if mgr.and_(mgr.or_(acc_qa, q_a), mgr.or_(acc_ra, r_a)) != false:
+                return None
+
+    # Untouched off-set points: force both components to 0 there
+    # (0 EXOR 0 = 0), per the paper's final step.
+    if r != false:
+        acc_ra = mgr.or_(acc_ra, _exists(mgr, xb, r))
+        acc_rb = mgr.or_(acc_rb, _exists(mgr, xa, r))
+        if mgr.and_(acc_qa, acc_ra) != false:
+            return None
+        if mgr.and_(acc_qb, acc_rb) != false:
+            return None
+
+    try:
+        isf_a = ISF(Function(mgr, acc_qa), Function(mgr, acc_ra))
+        isf_b = ISF(Function(mgr, acc_qb), Function(mgr, acc_rb))
+    except InconsistentISF:
+        return None
+    return isf_a, isf_b
+
+
+def _csf_exor_components(isf, xa, xb):
+    """Exact EXOR check + components for a completely specified F."""
+    mgr = isf.mgr
+    f = isf.on.node
+    zero_a = {mgr.var_index(v): 0 for v in xa}
+    zero_b = {mgr.var_index(v): 0 for v in xb}
+    f_b0 = mgr.restrict(f, zero_b)          # candidate A(xa, xc)
+    f_a0 = mgr.restrict(f, zero_a)
+    f_ab0 = mgr.restrict(f_a0, zero_b)
+    candidate_b = mgr.xor(f_a0, f_ab0)      # candidate B(xb, xc)
+    if mgr.xor(f, mgr.xor(f_b0, candidate_b)) != mgr.false:
+        return None
+    isf_a = ISF.from_csf(Function(mgr, f_b0))
+    isf_b = ISF.from_csf(Function(mgr, candidate_b))
+    return isf_a, isf_b
+
+
+def exor_decomposable(isf, xa, xb):
+    """Boolean wrapper around :func:`check_exor_bidecomp`.
+
+    For genuinely incompletely specified intervals, a necessary
+    pairwise filter runs first: if ``F = A(XA,XC) ^ B(XB,XC)`` then for
+    every a in XA, b in XB the singleton grouping ({a}, {b}) must also
+    decompose (push all the other variables into XC), which Theorem 2
+    checks in a handful of quantifications.  Only survivors pay for the
+    full Fig. 4 propagation.
+    """
+    if not isf.is_completely_specified():
+        from repro.decomp.checks import exor_decomposable_single
+        for a in xa:
+            for b in xb:
+                if not exor_decomposable_single(isf, a, b):
+                    return False
+    return check_exor_bidecomp(isf, xa, xb) is not None

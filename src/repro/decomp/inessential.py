@@ -1,0 +1,43 @@
+"""Removal of inessential variables (Fig. 7's RemoveInessentialVariables).
+
+A variable x is *inessential* for the ISF (Q, R) when some compatible
+CSF does not depend on it; this holds iff ``exists(x, Q) & exists(x, R)
+== 0``, in which case the smoothed interval ``(exists(x, Q),
+exists(x, R))`` describes exactly the compatible CSFs independent of x
+(and is contained in the original interval).
+
+The paper uses a simple greedy sweep and notes inessential variables
+occur in under 1 % of recursive calls on MCNC benchmarks; our stats
+counters reproduce that observation.
+"""
+
+from repro.bdd import exists as _exists
+from repro.bdd.function import Function
+from repro.boolfn.isf import ISF
+
+
+def is_inessential(isf, var):
+    """True iff *var* can be dropped without leaving the interval."""
+    mgr = isf.mgr
+    q_smooth = _exists(mgr, [var], isf.on.node)
+    r_smooth = _exists(mgr, [var], isf.off.node)
+    return mgr.and_(q_smooth, r_smooth) == mgr.false
+
+
+def remove_inessential(isf):
+    """Greedily drop all inessential variables.
+
+    Returns ``(new_isf, removed)`` where *removed* is the tuple of
+    variable indices eliminated.  Each removal re-evaluates the
+    remaining candidates on the smoothed interval, since dropping one
+    variable can make another (in)essential.
+    """
+    mgr = isf.mgr
+    removed = []
+    for var in isf.structural_support():
+        q_smooth = _exists(mgr, [var], isf.on.node)
+        r_smooth = _exists(mgr, [var], isf.off.node)
+        if mgr.and_(q_smooth, r_smooth) == mgr.false:
+            isf = ISF(Function(mgr, q_smooth), Function(mgr, r_smooth))
+            removed.append(var)
+    return isf, tuple(removed)

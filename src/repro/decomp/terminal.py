@@ -1,0 +1,141 @@
+"""Terminal case of the recursion: support of at most two variables.
+
+Fig. 7 calls ``FindGate`` when the (essential) support has size <= 2.
+We enumerate all sixteen two-variable functions in increasing hardware
+cost (constants and wires are free, inverters cost 1, simple gates 2,
+EXOR-family 5) and emit the cheapest one compatible with the interval.
+Input complementation is realised with explicit NOT gates, whose cost
+is included in the ranking.
+"""
+
+from repro.bdd.function import Function
+from repro.network import gates as G
+
+# Truth-table bit for the assignment (v1 = va, v2 = vb) is va + 2*vb.
+# Each recipe is (truth_table, cost, builder).  Builders receive
+# (netlist, node1, node2) and return a netlist node.
+_RECIPES = (
+    (0b0000, 0.0, lambda nl, a, b: nl.constant(0)),
+    (0b1111, 0.0, lambda nl, a, b: nl.constant(1)),
+    (0b1010, 0.0, lambda nl, a, b: a),                    # v1
+    (0b1100, 0.0, lambda nl, a, b: b),                    # v2
+    (0b0101, 1.0, lambda nl, a, b: nl.add_not(a)),        # ~v1
+    (0b0011, 1.0, lambda nl, a, b: nl.add_not(b)),        # ~v2
+    (0b1000, 2.0, lambda nl, a, b: nl.add_gate(G.AND, a, b)),
+    (0b1110, 2.0, lambda nl, a, b: nl.add_gate(G.OR, a, b)),
+    (0b0111, 2.0, lambda nl, a, b: nl.add_gate(G.NAND, a, b)),
+    (0b0001, 2.0, lambda nl, a, b: nl.add_gate(G.NOR, a, b)),
+    (0b0010, 3.0,
+     lambda nl, a, b: nl.add_gate(G.AND, a, nl.add_not(b))),   # v1 & ~v2
+    (0b0100, 3.0,
+     lambda nl, a, b: nl.add_gate(G.AND, nl.add_not(a), b)),   # ~v1 & v2
+    (0b1011, 3.0,
+     lambda nl, a, b: nl.add_gate(G.OR, a, nl.add_not(b))),    # v1 | ~v2
+    (0b1101, 3.0,
+     lambda nl, a, b: nl.add_gate(G.OR, nl.add_not(a), b)),    # ~v1 | v2
+    (0b0110, 5.0, lambda nl, a, b: nl.add_gate(G.XOR, a, b)),
+    (0b1001, 5.0, lambda nl, a, b: nl.add_gate(G.XNOR, a, b)),
+)
+
+#: Recipes sorted by cost, cheapest first (stable for determinism).
+_RECIPES_BY_COST = tuple(sorted(_RECIPES, key=lambda recipe: recipe[1]))
+
+
+def _interval_masks(isf, variables):
+    """4-bit must-1 / must-0 masks of the ISF over (v1[, v2])."""
+    mgr = isf.mgr
+    must1 = 0
+    must0 = 0
+    for idx in range(4):
+        assignment = {}
+        if len(variables) >= 1:
+            assignment[variables[0]] = idx & 1
+        if len(variables) >= 2:
+            assignment[variables[1]] = (idx >> 1) & 1
+        on = isf.on.restrict(assignment)
+        off = isf.off.restrict(assignment)
+        if not on.is_false():
+            must1 |= 1 << idx
+        if not off.is_false():
+            must0 |= 1 << idx
+    return must1, must0
+
+
+#: AND/OR/NOT realisations of the EXOR family, used when EXOR gates are
+#: disabled (the no-EXOR ablation emulating SIS's gate diet).
+_EXOR_FALLBACK = {
+    0b0110: lambda nl, a, b: nl.add_gate(
+        G.OR, nl.add_gate(G.AND, a, nl.add_not(b)),
+        nl.add_gate(G.AND, nl.add_not(a), b)),
+    0b1001: lambda nl, a, b: nl.add_gate(
+        G.OR, nl.add_gate(G.AND, a, b),
+        nl.add_gate(G.AND, nl.add_not(a), nl.add_not(b))),
+}
+
+
+def find_gate(isf, variables, netlist, var_nodes, allow_exor=True):
+    """Emit the cheapest <=2-input gate compatible with *isf*.
+
+    Parameters
+    ----------
+    variables:
+        The essential support (sequence of <= 2 variable indices).
+    var_nodes:
+        Mapping from manager variable index to netlist input node.
+    allow_exor:
+        When False, a forced XOR/XNOR is realised as two ANDs and an OR
+        (plus inverters) instead of an EXOR-family gate.
+
+    Returns ``(csf, node)``: the implemented completely specified
+    function (as a BDD Function) and the netlist node computing it.
+    """
+    mgr = isf.mgr
+    variables = sorted(variables)
+    if len(variables) > 2:
+        raise ValueError("find_gate called with support size %d"
+                         % len(variables))
+    must1, must0 = _interval_masks(isf, variables)
+    if must1 & must0:
+        raise AssertionError("inconsistent interval in terminal case")
+    node1 = var_nodes[variables[0]] if len(variables) >= 1 else None
+    node2 = var_nodes[variables[1]] if len(variables) >= 2 else None
+    for truth, _cost, builder in _RECIPES_BY_COST:
+        if truth & must0:
+            continue
+        if must1 & ~truth & 0b1111:
+            continue
+        if node2 is None and (truth >> 2) & 0b11 != truth & 0b11:
+            continue  # needs v2, which this support lacks
+        if node1 is None and _depends_on_v1(truth):
+            continue
+        if not allow_exor and truth in _EXOR_FALLBACK:
+            node = _EXOR_FALLBACK[truth](netlist, node1, node2)
+        else:
+            node = builder(netlist, node1, node2)
+        csf = _truth_to_function(mgr, truth, variables)
+        return csf, node
+    raise AssertionError("no compatible 2-variable function found")
+
+
+def _depends_on_v1(truth):
+    """Does a 4-bit truth table depend on the v1 (bit-0) input?"""
+    return ((truth >> 1) & 0b0101) != (truth & 0b0101)
+
+
+def _truth_to_function(mgr, truth, variables):
+    """Build the BDD of a 4-bit truth table over (v1[, v2])."""
+    result = mgr.false
+    for idx in range(4):
+        if not (truth >> idx) & 1:
+            continue
+        term = mgr.true
+        if len(variables) >= 1:
+            literal = mgr.var(variables[0]) if idx & 1 \
+                else mgr.nvar(variables[0])
+            term = mgr.and_(term, literal)
+        if len(variables) >= 2:
+            literal = mgr.var(variables[1]) if (idx >> 1) & 1 \
+                else mgr.nvar(variables[1])
+            term = mgr.and_(term, literal)
+        result = mgr.or_(result, term)
+    return Function(mgr, result)

@@ -1,0 +1,166 @@
+"""State encoding and next-state/output ISF extraction.
+
+This is where sequential don't-cares are born:
+
+* **unused state codes** (binary encoding of S states into
+  ``ceil(log2 S)`` bits leaves ``2^k - S`` codes that can never occur),
+* **unspecified transitions** (input/state pairs with no STG edge),
+* **output don't-cares** (``-`` entries on edges)
+
+all become don't-care regions of the extracted next-state and output
+ISFs — exactly the freedom the paper's algorithm exploits.  The
+``encode_fsm`` driver returns those ISFs ready for ``bi_decompose``.
+"""
+
+import math
+
+from repro.bdd.manager import BDD
+from repro.bdd.function import Function
+from repro.bdd.node import FALSE, TRUE
+from repro.boolfn.isf import ISF
+from repro.fsm.machine import FSMError
+
+
+class EncodedFSM:
+    """An FSM lowered to Boolean ISFs.
+
+    Attributes
+    ----------
+    mgr:
+        BDD manager over input variables ``in0..`` and state variables
+        ``st0..``.
+    specs:
+        ``{signal_name: ISF}`` for every next-state bit (``ns<i>``) and
+        output (``out<j>``).
+    codes:
+        ``{state_name: code_int}``.
+    state_bits:
+        Number of state variables.
+    """
+
+    def __init__(self, fsm, mgr, specs, codes, state_bits):
+        self.fsm = fsm
+        self.mgr = mgr
+        self.specs = specs
+        self.codes = codes
+        self.state_bits = state_bits
+
+    def input_names(self):
+        """Names of the primary input variables, in order."""
+        return ["in%d" % i for i in range(self.fsm.num_inputs)]
+
+    def state_names(self):
+        """Names of the state variables, in order (LSB first)."""
+        return ["st%d" % i for i in range(self.state_bits)]
+
+    def assignment_for(self, state, input_vector):
+        """Name-keyed assignment for a (state, input) pair."""
+        code = self.codes[state]
+        assignment = {"in%d" % i: bit
+                      for i, bit in enumerate(input_vector)}
+        for k in range(self.state_bits):
+            assignment["st%d" % k] = (code >> k) & 1
+        return assignment
+
+
+def binary_codes(fsm):
+    """Dense binary encoding in first-seen state order."""
+    return {state: index for index, state in enumerate(fsm.states)}
+
+
+def one_hot_codes(fsm):
+    """One-hot encoding (state i gets code ``1 << i``)."""
+    return {state: 1 << index for index, state in enumerate(fsm.states)}
+
+
+def encode_fsm(fsm, encoding="binary", use_dont_cares=True):
+    """Extract next-state and output ISFs for *fsm*.
+
+    Parameters
+    ----------
+    encoding:
+        ``"binary"`` (ceil(log2 S) bits) or ``"onehot"`` (S bits).
+    use_dont_cares:
+        When False, every don't-care is pinned to 0 — the ablation that
+        shows what the sequential DCs are worth to the decomposition.
+
+    Returns an :class:`EncodedFSM`.
+    """
+    fsm.check_deterministic()
+    if encoding == "binary":
+        codes = binary_codes(fsm)
+        state_bits = max(1, math.ceil(math.log2(max(2,
+                                                    fsm.num_states()))))
+    elif encoding == "onehot":
+        codes = one_hot_codes(fsm)
+        state_bits = fsm.num_states()
+    else:
+        raise FSMError("unknown encoding %r" % encoding)
+
+    input_names = ["in%d" % i for i in range(fsm.num_inputs)]
+    state_names = ["st%d" % k for k in range(state_bits)]
+    mgr = BDD(input_names + state_names)
+
+    def state_cube(code):
+        node = TRUE
+        for k in range(state_bits - 1, -1, -1):
+            literal = mgr.var("st%d" % k) if (code >> k) & 1 \
+                else mgr.nvar("st%d" % k)
+            node = mgr.and_(literal, node)
+        return node
+
+    def input_cube(cube_text):
+        node = TRUE
+        for i in range(fsm.num_inputs - 1, -1, -1):
+            symbol = cube_text[i]
+            if symbol == "-":
+                continue
+            literal = mgr.var("in%d" % i) if symbol == "1" \
+                else mgr.nvar("in%d" % i)
+            node = mgr.and_(literal, node)
+        return node
+
+    # Reachable region: any input x a used state code.
+    used = FALSE
+    for state in fsm.states:
+        used = mgr.or_(used, state_cube(codes[state]))
+
+    ns_on = [FALSE] * state_bits
+    ns_off = [FALSE] * state_bits
+    out_on = [FALSE] * fsm.num_outputs
+    out_off = [FALSE] * fsm.num_outputs
+    specified = FALSE
+    for t in fsm.transitions:
+        region = mgr.and_(input_cube(t.input_cube),
+                          state_cube(codes[t.state]))
+        specified = mgr.or_(specified, region)
+        next_code = codes[t.next_state]
+        for k in range(state_bits):
+            if (next_code >> k) & 1:
+                ns_on[k] = mgr.or_(ns_on[k], region)
+            else:
+                ns_off[k] = mgr.or_(ns_off[k], region)
+        for j, symbol in enumerate(t.outputs):
+            if symbol == "1":
+                out_on[j] = mgr.or_(out_on[j], region)
+            elif symbol == "0":
+                out_off[j] = mgr.or_(out_off[j], region)
+            # '-': neither — a per-edge output don't-care.
+
+    # Everything never forced by a specified edge — unused state codes,
+    # unspecified (state, input) pairs, '-' output entries — is a
+    # don't-care: the on/off sets above are the whole specification.
+    specs = {}
+    for k in range(state_bits):
+        specs["ns%d" % k] = _make_isf(mgr, ns_on[k], ns_off[k],
+                                      use_dont_cares)
+    for j in range(fsm.num_outputs):
+        specs["out%d" % j] = _make_isf(mgr, out_on[j], out_off[j],
+                                       use_dont_cares)
+    return EncodedFSM(fsm, mgr, specs, codes, state_bits)
+
+
+def _make_isf(mgr, on, off, use_dont_cares):
+    if not use_dont_cares:
+        off = mgr.not_(on)  # pin every don't-care to 0
+    return ISF(Function(mgr, on), Function(mgr, off))

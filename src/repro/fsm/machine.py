@@ -1,0 +1,152 @@
+"""Finite state machines (KISS2-style symbolic STGs).
+
+Sequential control logic is *the* classical source of the incompletely
+specified functions the paper decomposes: unused state codes and
+unspecified transitions become don't-cares in the next-state and
+output functions.  This package provides the substrate — a symbolic
+state transition graph with cube-labelled edges — plus behavioural
+simulation, so the synthesised combinational logic can be checked
+against the machine it encodes.
+"""
+
+
+class FSMError(ValueError):
+    """Raised on malformed or non-deterministic machines."""
+
+
+class Transition:
+    """One STG edge: input cube x present state -> next state / outputs.
+
+    *input_cube* and *outputs* are strings over ``0/1/-`` (espresso
+    conventions); states are symbolic names.  A ``-`` output means the
+    machine does not care what that output does on this edge.
+    """
+
+    __slots__ = ("input_cube", "state", "next_state", "outputs")
+
+    def __init__(self, input_cube, state, next_state, outputs):
+        self.input_cube = input_cube
+        self.state = state
+        self.next_state = next_state
+        self.outputs = outputs
+
+    def matches(self, input_vector):
+        """Does a concrete 0/1 input tuple fall inside the cube?"""
+        for symbol, bit in zip(self.input_cube, input_vector):
+            if symbol == "-":
+                continue
+            if int(symbol) != bit:
+                return False
+        return True
+
+    def __repr__(self):
+        return ("Transition(%s, %s -> %s / %s)"
+                % (self.input_cube, self.state, self.next_state,
+                   self.outputs))
+
+
+class FSM:
+    """A Mealy machine over binary inputs/outputs and symbolic states."""
+
+    def __init__(self, num_inputs, num_outputs, reset_state=None):
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.reset_state = reset_state
+        self.states = []
+        self._state_set = set()
+        self.transitions = []
+
+    def add_state(self, name):
+        """Register a state name (idempotent, keeps first-seen order)."""
+        if name not in self._state_set:
+            self._state_set.add(name)
+            self.states.append(name)
+        return name
+
+    def add_transition(self, input_cube, state, next_state, outputs):
+        """Add an STG edge; registers both states."""
+        if len(input_cube) != self.num_inputs:
+            raise FSMError("input cube %r has width %d, expected %d"
+                           % (input_cube, len(input_cube),
+                              self.num_inputs))
+        if len(outputs) != self.num_outputs:
+            raise FSMError("output plane %r has width %d, expected %d"
+                           % (outputs, len(outputs), self.num_outputs))
+        if set(input_cube) - set("01-") or set(outputs) - set("01-"):
+            raise FSMError("bad cube symbols in %r / %r"
+                           % (input_cube, outputs))
+        self.add_state(state)
+        self.add_state(next_state)
+        if self.reset_state is None:
+            self.reset_state = state
+        self.transitions.append(Transition(input_cube, state,
+                                           next_state, outputs))
+
+    def num_states(self):
+        """Number of distinct states."""
+        return len(self.states)
+
+    def check_deterministic(self):
+        """Raise :class:`FSMError` if two edges of one state overlap
+        with conflicting next state or conflicting specified outputs."""
+        by_state = {}
+        for t in self.transitions:
+            by_state.setdefault(t.state, []).append(t)
+        for state, edges in by_state.items():
+            for i, first in enumerate(edges):
+                for second in edges[i + 1:]:
+                    if not _cubes_overlap(first.input_cube,
+                                          second.input_cube):
+                        continue
+                    if first.next_state != second.next_state:
+                        raise FSMError(
+                            "state %s: overlapping edges disagree on "
+                            "the next state (%r vs %r)"
+                            % (state, first, second))
+                    for a, b in zip(first.outputs, second.outputs):
+                        if a != "-" and b != "-" and a != b:
+                            raise FSMError(
+                                "state %s: overlapping edges disagree "
+                                "on an output (%r vs %r)"
+                                % (state, first, second))
+        return True
+
+    # -- behavioural simulation -------------------------------------------
+    def step(self, state, input_vector):
+        """One behavioural step: ``(next_state, output_tuple)``.
+
+        Unspecified (state, input) pairs return ``(None, None)`` —
+        those are exactly the don't-cares the synthesis may fill
+        freely.  Output ``-`` entries come back as ``None``.
+        """
+        for t in self.transitions:
+            if t.state == state and t.matches(input_vector):
+                outputs = tuple(None if s == "-" else int(s)
+                                for s in t.outputs)
+                return t.next_state, outputs
+        return None, None
+
+    def run(self, input_sequence, state=None):
+        """Run a sequence; yields ``(state, inputs, next_state, outs)``.
+
+        Stops early if an unspecified transition is hit.
+        """
+        state = state or self.reset_state
+        for input_vector in input_sequence:
+            next_state, outputs = self.step(state, input_vector)
+            yield state, input_vector, next_state, outputs
+            if next_state is None:
+                return
+            state = next_state
+
+    def __repr__(self):
+        return ("FSM(states=%d, inputs=%d, outputs=%d, edges=%d)"
+                % (self.num_states(), self.num_inputs, self.num_outputs,
+                   len(self.transitions)))
+
+
+def _cubes_overlap(a, b):
+    for x, y in zip(a, b):
+        if x != "-" and y != "-" and x != y:
+            return False
+    return True

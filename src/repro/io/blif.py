@@ -1,0 +1,206 @@
+"""BLIF reader/writer.
+
+The paper's program writes its result "into a BLIF file"; we do the
+same.  The writer serialises a :class:`repro.network.Netlist`; the
+reader evaluates arbitrary ``.names`` tables (any fan-in width) into
+BDDs, which is what the BDD-based verifier wants for checking files
+produced by other tools.
+"""
+
+from repro.bdd.function import Function
+from repro.bdd.manager import BDD
+from repro.bdd.node import FALSE, TRUE
+from repro.network import gates as G
+from repro.network.netlist import Netlist
+
+
+class BLIFError(ValueError):
+    """Raised on malformed BLIF text."""
+
+
+#: BLIF single-output cover for each gate type (list of "<inputs> 1").
+_COVERS = {
+    G.AND: ("11 1",),
+    G.OR: ("1- 1", "-1 1"),
+    G.XOR: ("10 1", "01 1"),
+    G.NAND: ("0- 1", "-0 1"),
+    G.NOR: ("00 1",),
+    G.XNOR: ("11 1", "00 1"),
+    G.NOT: ("0 1",),
+    G.BUF: ("1 1",),
+}
+
+
+def write_blif(netlist, model="repro", path=None):
+    """Serialise *netlist* as BLIF text (optionally also to *path*)."""
+    names = _signal_names(netlist)
+    lines = [".model %s" % model,
+             ".inputs %s" % " ".join(netlist.names[n]
+                                     for n in netlist.inputs),
+             ".outputs %s" % " ".join(name for name, _n in netlist.outputs)]
+    live = netlist.reachable_from_outputs()
+    for node in netlist.topological(live):
+        gate_type = netlist.types[node]
+        if gate_type == G.INPUT:
+            continue
+        fanin_names = [names[f] for f in netlist.fanins[node]]
+        lines.append(".names %s" % " ".join(fanin_names + [names[node]]))
+        if gate_type == G.CONST1:
+            lines.append("1")
+        elif gate_type == G.CONST0:
+            pass  # empty cover = constant 0
+        else:
+            lines.extend(_COVERS[gate_type])
+    # Output aliases: tie each declared output name to its driver.
+    for out_name, node in netlist.outputs:
+        if names[node] != out_name:
+            lines.append(".names %s %s" % (names[node], out_name))
+            lines.append("1 1")
+    lines.append(".end")
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text
+
+
+def _signal_names(netlist):
+    reserved = set(netlist.names.values())
+    reserved.update(name for name, _node in netlist.outputs)
+    names = {}
+    for node in range(netlist.num_nodes()):
+        if netlist.types[node] == G.INPUT:
+            names[node] = netlist.names[node]
+        else:
+            candidate = "n%d" % node
+            while candidate in reserved:
+                candidate += "_g"
+            names[node] = candidate
+    return names
+
+
+def parse_blif(text, mgr=None):
+    """Parse BLIF *text* into BDD output functions.
+
+    Handles ``.names`` tables of any width (both on-set covers ending
+    in 1 and off-set covers ending in 0).  Returns ``(mgr, outputs)``
+    where *outputs* maps output name to :class:`Function`.
+    """
+    lines = _logical_lines(text)
+    inputs = []
+    outputs = []
+    tables = []  # (signal_names..., target), cover rows
+    index = 0
+    while index < len(lines):
+        line = lines[index]
+        index += 1
+        if line.startswith(".model") or line.startswith(".end"):
+            continue
+        if line.startswith(".inputs"):
+            inputs.extend(line.split()[1:])
+            continue
+        if line.startswith(".outputs"):
+            outputs.extend(line.split()[1:])
+            continue
+        if line.startswith(".names"):
+            signals = line.split()[1:]
+            rows = []
+            while index < len(lines) and not lines[index].startswith("."):
+                rows.append(lines[index])
+                index += 1
+            tables.append((signals, rows))
+            continue
+        raise BLIFError("unsupported BLIF construct: %r" % line)
+
+    if mgr is None:
+        mgr = BDD(inputs)
+    values = {name: mgr.var(name) for name in inputs}
+    for signals, rows in tables:
+        *fanins, target = signals
+        values[target] = _table_to_bdd(mgr, fanins, rows, values)
+    missing = [name for name in outputs if name not in values]
+    if missing:
+        raise BLIFError("undriven outputs: %s" % missing)
+    return mgr, {name: Function(mgr, values[name]) for name in outputs}
+
+
+def _logical_lines(text):
+    """Strip comments, join continuation lines, drop blanks."""
+    joined = []
+    pending = ""
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].rstrip()
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        line = (pending + line).strip()
+        pending = ""
+        if line:
+            joined.append(line)
+    return joined
+
+
+def _table_to_bdd(mgr, fanins, rows, values):
+    if not rows:
+        return FALSE  # empty cover: constant 0
+    missing = [name for name in fanins if name not in values]
+    if missing:
+        raise BLIFError("table uses undefined signals %s (non-topological "
+                        "BLIF is not supported)" % missing)
+    on = FALSE
+    polarity = None
+    for row in rows:
+        parts = row.split()
+        if len(parts) == 1:
+            plane, out_symbol = "", parts[0]
+        elif len(parts) == 2:
+            plane, out_symbol = parts
+        else:
+            raise BLIFError("bad cover row %r" % row)
+        if len(plane) != len(fanins):
+            raise BLIFError("cover row %r width mismatch" % row)
+        if out_symbol not in "01":
+            raise BLIFError("bad cover output %r" % row)
+        if polarity is None:
+            polarity = out_symbol
+        elif polarity != out_symbol:
+            raise BLIFError("mixed-polarity cover is not valid BLIF")
+        term = TRUE
+        for name, symbol in zip(fanins, plane):
+            if symbol == "1":
+                term = mgr.and_(term, values[name])
+            elif symbol == "0":
+                term = mgr.and_(term, mgr.not_(values[name]))
+            elif symbol != "-":
+                raise BLIFError("bad cover symbol in %r" % row)
+        on = mgr.or_(on, term)
+    return on if polarity == "1" else mgr.not_(on)
+
+
+def netlist_from_functions(mgr, outputs):
+    """Build a trivial netlist computing BDD *outputs* via MUX trees.
+
+    Mostly a test helper: each BDD node becomes a 2:1 mux (3 gates).
+    ``outputs`` maps output name to Function.
+    """
+    netlist = Netlist(mgr.var_names)
+    memo = {}
+
+    def build(node):
+        if node == TRUE:
+            return netlist.constant(1)
+        if node == FALSE:
+            return netlist.constant(0)
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        var = mgr.top_var(node)
+        sel = netlist.input_node(mgr.var_name(var))
+        result = netlist.add_mux(sel, build(mgr.high(node)),
+                                 build(mgr.low(node)))
+        memo[node] = result
+        return result
+
+    for name, fn in outputs.items():
+        netlist.set_output(name, build(fn.node))
+    return netlist

@@ -1,0 +1,13 @@
+"""Multi-valued generalisation of bi-decomposition (the paper's
+announced future work): MVISF lattice intervals, MIN/MAX netlists and
+the MV decomposition engine."""
+
+from repro.mvlogic.mvisf import MVISF, InconsistentMVISF
+from repro.mvlogic.netlist import MVNetlist
+from repro.mvlogic.decompose import (MVDecomposer, MVDecompositionStats,
+                                     mv_decompose)
+
+__all__ = [
+    "MVISF", "InconsistentMVISF", "MVNetlist",
+    "MVDecomposer", "MVDecompositionStats", "mv_decompose",
+]

@@ -1,0 +1,332 @@
+"""MIN/MAX bi-decomposition of multi-valued interval functions.
+
+The lattice generalisation of the paper's algorithm (its announced
+future work, following Steinbach/Perkowski/Lang ISMVL'99):
+
+* **MAX-decomposability** with sets (XA, XB): since component A is
+  bounded above by ``hiA = min over XB of hi`` (it may not depend on
+  XB) and dually for B, the interval decomposes iff
+
+      max(hiA, hiB) >= lo        (pointwise)
+
+  — for m = 2 this is literally Theorem 1
+  (``Q & exists(XA,R) & exists(XB,R) == 0``).
+* **MIN-decomposability** is the lattice dual.
+* **Component derivation** mirrors Theorems 3/4: A must reach lo
+  wherever B cannot (``loA = max over XB of (lo where hiB < lo)``);
+  after choosing a concrete ``a``, B must reach lo wherever ``a``
+  does not.
+* **Weak steps** smooth a single variable out of one side, injecting
+  slack exactly like the Boolean weak OR/AND.
+* The guaranteed-progress fallback is the MV Shannon expansion
+  ``F = MAX_v MIN(window(x = v), F|x=v)`` built from literal gates.
+
+The engine emits an :class:`~repro.mvlogic.netlist.MVNetlist` and the
+dense value array it realises, verified to lie inside the interval.
+"""
+
+import numpy as np
+
+from repro.mvlogic.mvisf import MVISF
+from repro.mvlogic.netlist import MVNetlist
+
+
+class MVDecompositionStats:
+    """Step counters, mirroring the Boolean engine's."""
+
+    def __init__(self):
+        self.calls = 0
+        self.terminal = 0
+        self.strong_max = 0
+        self.strong_min = 0
+        self.weak_max = 0
+        self.weak_min = 0
+        self.shannon = 0
+        self.cache_hits = 0
+
+    def as_dict(self):
+        """Counters as a dict."""
+        return dict(self.__dict__)
+
+    def __repr__(self):
+        return "MVDecompositionStats(%s)" % self.as_dict()
+
+
+class MVDecomposer:
+    """Recursive MIN/MAX bi-decomposition engine."""
+
+    def __init__(self, domains, out_size, netlist=None):
+        self.domains = tuple(domains)
+        self.out_size = out_size
+        self.netlist = netlist or MVNetlist(domains, out_size)
+        self.stats = MVDecompositionStats()
+        self._cache = {}
+
+    # -- helpers -----------------------------------------------------------
+    def _reduce(self, array, axes, op):
+        if not axes:
+            return array
+        return op(array, axis=tuple(axes), keepdims=True)
+
+    def _hi_without(self, isf, axes):
+        """Upper bound of a component independent of *axes*."""
+        return self._reduce(isf.hi, axes, np.min)
+
+    def _lo_without(self, isf, axes):
+        """Lower bound of a component independent of *axes*."""
+        return self._reduce(isf.lo, axes, np.max)
+
+    # -- decomposability checks ---------------------------------------------
+    def max_decomposable(self, isf, xa, xb):
+        """Lattice Theorem 1: F = MAX(A, B) with A indep XB, B indep XA."""
+        hi_a = self._hi_without(isf, xb)
+        hi_b = self._hi_without(isf, xa)
+        return bool(np.all(np.maximum(hi_a, hi_b) >= isf.lo))
+
+    def min_decomposable(self, isf, xa, xb):
+        """Dual check: F = MIN(A, B)."""
+        lo_a = self._lo_without(isf, xb)
+        lo_b = self._lo_without(isf, xa)
+        return bool(np.all(np.minimum(lo_a, lo_b) <= isf.hi))
+
+    # -- grouping (greedy, balanced — Figs. 5/6 transplanted) ---------------
+    def _group(self, isf, support, check):
+        seed = None
+        for i, x in enumerate(support):
+            for y in support[i + 1:]:
+                if check(isf, [x], [y]):
+                    seed = ({x}, {y})
+                    break
+            if seed:
+                break
+        if seed is None:
+            return None
+        xa, xb = seed
+        for z in support:
+            if z in xa or z in xb:
+                continue
+            first, second = (xa, xb) if len(xa) <= len(xb) else (xb, xa)
+            if check(isf, first | {z}, second):
+                first.add(z)
+            elif check(isf, first, second | {z}):
+                second.add(z)
+        return frozenset(xa), frozenset(xb)
+
+    # -- component derivation -------------------------------------------------
+    def _derive_max_a(self, isf, xa, xb):
+        hi_a = self._hi_without(isf, xb)
+        hi_b = self._hi_without(isf, xa)
+        forced = np.where(np.broadcast_to(hi_b, isf.lo.shape) < isf.lo,
+                          isf.lo, 0)
+        lo_a = self._reduce(forced, xb, np.max)
+        return MVISF(np.broadcast_to(lo_a, isf.lo.shape).copy(),
+                     np.broadcast_to(hi_a, isf.hi.shape).copy(),
+                     self.out_size)
+
+    def _derive_max_b(self, isf, a_values, xa):
+        hi_b = self._hi_without(isf, xa)
+        forced = np.where(a_values < isf.lo, isf.lo, 0)
+        lo_b = self._reduce(forced, xa, np.max)
+        return MVISF(np.broadcast_to(lo_b, isf.lo.shape).copy(),
+                     np.broadcast_to(hi_b, isf.hi.shape).copy(),
+                     self.out_size)
+
+    def _derive_min_a(self, isf, xa, xb):
+        top = self.out_size - 1
+        lo_a = self._lo_without(isf, xb)
+        lo_b = self._lo_without(isf, xa)
+        forced = np.where(np.broadcast_to(lo_b, isf.hi.shape) > isf.hi,
+                          isf.hi, top)
+        hi_a = self._reduce(forced, xb, np.min)
+        return MVISF(np.broadcast_to(lo_a, isf.lo.shape).copy(),
+                     np.broadcast_to(hi_a, isf.hi.shape).copy(),
+                     self.out_size)
+
+    def _derive_min_b(self, isf, a_values, xa):
+        top = self.out_size - 1
+        lo_b = self._lo_without(isf, xa)
+        forced = np.where(a_values > isf.hi, isf.hi, top)
+        hi_b = self._reduce(forced, xa, np.min)
+        return MVISF(np.broadcast_to(lo_b, isf.lo.shape).copy(),
+                     np.broadcast_to(hi_b, isf.hi.shape).copy(),
+                     self.out_size)
+
+    # -- weak steps --------------------------------------------------------------
+    def _weak_step(self, isf, support):
+        """Best single-variable weak MAX/MIN step, or None."""
+        best = None
+        best_gain = 0
+        for x in support:
+            hi_b = self._hi_without(isf, [x])
+            new_lo = np.where(np.broadcast_to(hi_b, isf.lo.shape)
+                              < isf.lo, isf.lo, 0)
+            gain = int(np.sum(isf.lo) - np.sum(new_lo))
+            if gain > best_gain:
+                best_gain = gain
+                best = ("MAX", x)
+            lo_b = self._lo_without(isf, [x])
+            top = self.out_size - 1
+            new_hi = np.where(np.broadcast_to(lo_b, isf.hi.shape)
+                              > isf.hi, isf.hi, top)
+            gain = int(np.sum(new_hi) - np.sum(isf.hi))
+            if gain > best_gain:
+                best_gain = gain
+                best = ("MIN", x)
+        return best
+
+    # -- recursion ------------------------------------------------------------------
+    def decompose(self, isf):
+        """Decompose *isf*; returns ``(values_array, netlist_node)``."""
+        self.stats.calls += 1
+        key = (isf.lo.tobytes(), isf.hi.tobytes(), isf.lo.shape)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        original_shape = isf.lo.shape
+        # Greedy inessential-variable removal (iterative, like Fig. 7's
+        # RemoveInessentialVariables — per-axis tests alone are not
+        # jointly sound).
+        reduced, _removed = isf.remove_inessential()
+        support = tuple(axis for axis in range(reduced.num_vars)
+                        if reduced.domains[axis] > 1)
+        values, node = self._decompose_inner(reduced, support)
+        values = np.broadcast_to(values, original_shape)
+        if not isf.is_compatible(values):
+            raise AssertionError("MV component left its interval")
+        result = (values, node)
+        self._cache[key] = result
+        return result
+
+    def _decompose_inner(self, isf, support):
+        if len(support) == 0:
+            self.stats.terminal += 1
+            value = int(np.max(isf.lo))
+            full = np.broadcast_to(np.int64(value), isf.lo.shape)
+            return full, self.netlist.constant(value)
+        if len(support) == 1:
+            return self._terminal_literal(isf, support[0])
+
+        grouping = self._group(isf, support, self.max_decomposable)
+        if grouping is not None:
+            return self._emit(isf, "MAX", *grouping)
+        grouping = self._group(isf, support, self.min_decomposable)
+        if grouping is not None:
+            return self._emit(isf, "MIN", *grouping)
+
+        weak = self._weak_step(isf, support)
+        if weak is not None:
+            return self._emit_weak(isf, *weak)
+        return self._shannon(isf, support[0])
+
+    def _terminal_literal(self, isf, var):
+        self.stats.terminal += 1
+        # Collapse all other axes (they are inessential here).
+        axes = [a for a in range(isf.num_vars) if a != var]
+        need = self._reduce(isf.lo, axes, np.max)
+        room = self._reduce(isf.hi, axes, np.min)
+        mapping = np.squeeze(need) if need.size == self.domains[var] \
+            else need.reshape(-1)
+        room_flat = np.squeeze(room).reshape(-1)
+        mapping = mapping.reshape(-1)
+        if np.any(mapping > room_flat):
+            raise AssertionError("terminal literal interval empty")
+        node = self.netlist.literal(var, mapping.tolist())
+        shape = [1] * isf.num_vars
+        shape[var] = self.domains[var]
+        values = np.broadcast_to(mapping.reshape(shape), isf.lo.shape)
+        return values, node
+
+    def _emit(self, isf, gate, xa, xb):
+        if gate == "MAX":
+            self.stats.strong_max += 1
+            isf_a = self._derive_max_a(isf, xa, xb)
+        else:
+            self.stats.strong_min += 1
+            isf_a = self._derive_min_a(isf, xa, xb)
+        a_values, a_node = self.decompose(isf_a)
+        if gate == "MAX":
+            isf_b = self._derive_max_b(isf, a_values, xa)
+        else:
+            isf_b = self._derive_min_b(isf, a_values, xa)
+        b_values, b_node = self.decompose(isf_b)
+        if gate == "MAX":
+            node = self.netlist.add_max(a_node, b_node)
+            values = np.maximum(a_values, b_values)
+        else:
+            node = self.netlist.add_min(a_node, b_node)
+            values = np.minimum(a_values, b_values)
+        return values, node
+
+    def _emit_weak(self, isf, gate, x):
+        top = self.out_size - 1
+        if gate == "MAX":
+            self.stats.weak_max += 1
+            hi_b = self._hi_without(isf, [x])
+            lo_a = np.where(np.broadcast_to(hi_b, isf.lo.shape)
+                            < isf.lo, isf.lo, 0)
+            isf_a = MVISF(lo_a, isf.hi.copy(), self.out_size)
+        else:
+            self.stats.weak_min += 1
+            lo_b = self._lo_without(isf, [x])
+            hi_a = np.where(np.broadcast_to(lo_b, isf.hi.shape)
+                            > isf.hi, isf.hi, top)
+            isf_a = MVISF(isf.lo.copy(), hi_a, self.out_size)
+        a_values, a_node = self.decompose(isf_a)
+        if gate == "MAX":
+            isf_b = self._derive_max_b(isf, a_values, [x])
+            b_values, b_node = self.decompose(isf_b)
+            node = self.netlist.add_max(a_node, b_node)
+            values = np.maximum(a_values, b_values)
+        else:
+            isf_b = self._derive_min_b(isf, a_values, [x])
+            b_values, b_node = self.decompose(isf_b)
+            node = self.netlist.add_min(a_node, b_node)
+            values = np.minimum(a_values, b_values)
+        return values, node
+
+    def _shannon(self, isf, var):
+        """MV Shannon: F = MAX_v MIN(window(x==v), F|x=v)."""
+        self.stats.shannon += 1
+        top = self.out_size - 1
+        acc_node = None
+        acc_values = None
+        for v in range(self.domains[var]):
+            index = [slice(None)] * isf.num_vars
+            index[var] = slice(v, v + 1)
+            cof = MVISF(isf.lo[tuple(index)], isf.hi[tuple(index)],
+                        self.out_size)
+            cof_values, cof_node = self.decompose(cof)
+            window = [0] * self.domains[var]
+            window[v] = top
+            window_node = self.netlist.literal(var, window)
+            term_node = self.netlist.add_min(window_node, cof_node)
+            shape = [1] * isf.num_vars
+            shape[var] = self.domains[var]
+            window_values = np.zeros(self.domains[var], dtype=np.int64)
+            window_values[v] = top
+            term_values = np.minimum(
+                window_values.reshape(shape),
+                np.broadcast_to(cof_values, isf.lo.shape))
+            if acc_node is None:
+                acc_node, acc_values = term_node, term_values
+            else:
+                acc_node = self.netlist.add_max(acc_node, term_node)
+                acc_values = np.maximum(acc_values, term_values)
+        return acc_values, acc_node
+
+
+def mv_decompose(specs, domains, out_size):
+    """Decompose ``{name: MVISF}`` into one shared MV netlist.
+
+    Returns ``(netlist, values, stats)`` where *values* maps each
+    output to the dense array it realises (already verified to lie in
+    its interval).
+    """
+    engine = MVDecomposer(domains, out_size)
+    values = {}
+    for name, isf in specs.items():
+        out_values, node = engine.decompose(isf)
+        engine.netlist.set_output(name, node)
+        values[name] = np.broadcast_to(out_values, isf.lo.shape)
+    return engine.netlist, values, engine.stats

@@ -1,0 +1,171 @@
+"""Incompletely specified multi-valued functions as lattice intervals.
+
+The paper's conclusions promise a "generalization of the algorithm for
+multi-valued logic with potential applications in data mining"
+(following Steinbach/Perkowski/Lang, ISMVL'99).  This package is that
+generalization for MIN/MAX bi-decomposition.
+
+An MV function maps a product of finite domains ``d_0 x ... x d_{n-1}``
+into ``{0 .. m-1}``.  An *incompletely specified* MV function (MVISF)
+is a lattice interval: two arrays ``lo <= hi`` bounding the permitted
+output at every input point.  The Boolean case is the special instance
+``m = 2`` with ``lo = Q`` and ``hi = ~R``.
+
+Representation: dense ``numpy`` integer arrays, one axis per variable —
+the quantifications of the Boolean algorithm become ``min``/``max``
+reductions over axes, which numpy vectorises.
+"""
+
+import numpy as np
+
+
+class InconsistentMVISF(Exception):
+    """Raised when lo > hi somewhere (no compatible function)."""
+
+
+class MVISF:
+    """An interval ``[lo, hi]`` of multi-valued functions.
+
+    Parameters
+    ----------
+    lo, hi:
+        Integer arrays of identical shape; axis *i* enumerates the
+        domain of variable *i*.
+    out_size:
+        Size m of the output domain (values ``0 .. m-1``).
+    """
+
+    def __init__(self, lo, hi, out_size):
+        lo = np.asarray(lo, dtype=np.int64)
+        hi = np.asarray(hi, dtype=np.int64)
+        if lo.shape != hi.shape:
+            raise ValueError("lo/hi shapes differ")
+        if np.any(lo > hi):
+            raise InconsistentMVISF("empty interval (lo > hi somewhere)")
+        if np.any(lo < 0) or np.any(hi > out_size - 1):
+            raise ValueError("bounds leave the output domain")
+        self.lo = lo
+        self.hi = hi
+        self.out_size = int(out_size)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_function(cls, values, out_size):
+        """Completely specified MV function (lo == hi == values)."""
+        values = np.asarray(values, dtype=np.int64)
+        return cls(values, values.copy(), out_size)
+
+    @classmethod
+    def from_table(cls, domains, out_size, rows, default=None):
+        """Build from sparse ``(point, value)`` rows (data-mining style).
+
+        *rows* is an iterable of ``(assignment_tuple, value)``; points
+        not mentioned become full don't-cares (``[0, m-1]``) unless
+        *default* pins them to a value.
+        """
+        shape = tuple(domains)
+        if default is None:
+            lo = np.zeros(shape, dtype=np.int64)
+            hi = np.full(shape, out_size - 1, dtype=np.int64)
+        else:
+            lo = np.full(shape, default, dtype=np.int64)
+            hi = np.full(shape, default, dtype=np.int64)
+        for point, value in rows:
+            lo[tuple(point)] = value
+            hi[tuple(point)] = value
+        return cls(lo, hi, out_size)
+
+    # -- basic properties -------------------------------------------------
+    @property
+    def num_vars(self):
+        """Number of MV input variables (array axes)."""
+        return self.lo.ndim
+
+    @property
+    def domains(self):
+        """Domain sizes, one per variable."""
+        return self.lo.shape
+
+    def is_completely_specified(self):
+        """True iff lo == hi everywhere."""
+        return bool(np.array_equal(self.lo, self.hi))
+
+    def dc_count(self):
+        """Total slack: sum over points of (hi - lo)."""
+        return int(np.sum(self.hi - self.lo))
+
+    def is_compatible(self, values):
+        """Does the completely specified *values* lie in the interval?"""
+        values = np.asarray(values)
+        return bool(np.all(self.lo <= values) and np.all(values <= self.hi))
+
+    def is_inessential(self, axis):
+        """Can *axis* be dropped (intervals unifiable across it)?
+
+        True when ``max_axis lo <= min_axis hi`` pointwise — the exact
+        analogue of the Boolean ``exists(x,Q) & exists(x,R) == 0``
+        test.  Note this is a per-axis test: dropping several variables
+        requires re-testing after each removal (see
+        :meth:`remove_inessential`), exactly like the Boolean greedy
+        sweep.
+        """
+        need = np.max(self.lo, axis=axis)
+        room = np.min(self.hi, axis=axis)
+        return not np.any(need > room)
+
+    def remove_inessential(self):
+        """Greedily smooth out inessential variables until fixpoint.
+
+        Returns ``(reduced_isf, removed_axes)``.  Removed axes keep a
+        broadcast dimension of size 1, so variable indices stay stable.
+        """
+        isf = self
+        removed = []
+        changed = True
+        while changed:
+            changed = False
+            for axis in range(isf.num_vars):
+                if isf.domains[axis] == 1:
+                    continue
+                if isf.is_inessential(axis):
+                    isf = isf.smooth(axis)
+                    removed.append(axis)
+                    changed = True
+        return isf, tuple(removed)
+
+    def structural_support(self):
+        """Variables the interval genuinely depends on.
+
+        Computed by the greedy smoothing sweep: whatever cannot be
+        unified away is the (essential) support.
+        """
+        reduced, _removed = self.remove_inessential()
+        return tuple(axis for axis in range(reduced.num_vars)
+                     if reduced.domains[axis] > 1)
+
+    def smooth(self, axis):
+        """Drop an inessential variable (see structural_support)."""
+        need = np.max(self.lo, axis=axis)
+        room = np.min(self.hi, axis=axis)
+        if np.any(need > room):
+            raise ValueError("variable %d is essential" % axis)
+        # Keep the axis as a broadcast dimension of size 1 so variable
+        # indices stay stable; callers treat size-1 axes as absent.
+        return MVISF(np.expand_dims(need, axis),
+                     np.expand_dims(room, axis), self.out_size)
+
+    def cover(self):
+        """One compatible completely specified function (the lower
+        bound — the canonical choice in the MIN/MAX lattice papers)."""
+        return self.lo.copy()
+
+    def __eq__(self, other):
+        if not isinstance(other, MVISF):
+            return NotImplemented
+        return (self.out_size == other.out_size
+                and np.array_equal(self.lo, other.lo)
+                and np.array_equal(self.hi, other.hi))
+
+    def __repr__(self):
+        return ("MVISF(domains=%s, out=%d, dc=%d)"
+                % (list(self.domains), self.out_size, self.dc_count()))

@@ -1,0 +1,167 @@
+"""Multi-valued netlists: MIN/MAX gates plus literal (window) gates.
+
+The MV analogue of the two-input-gate netlist: binary AND/OR become
+MIN/MAX over ``{0..m-1}``; the terminal cases emit *literal gates*
+(arbitrary unary maps of one input variable), the standard MV circuit
+primitive.  Evaluation is vectorised over the whole input space with
+numpy broadcasting, which is also how verification works.
+"""
+
+import numpy as np
+
+INPUT = "INPUT"
+CONST = "CONST"
+LITERAL = "LITERAL"   # unary map applied to one primary input
+UNARY = "UNARY"       # unary map applied to another node's output
+MIN = "MIN"
+MAX = "MAX"
+
+
+class MVNetlist:
+    """A DAG of MIN/MAX/literal gates over MV inputs."""
+
+    def __init__(self, domains, out_size):
+        self.domains = tuple(int(d) for d in domains)
+        self.out_size = int(out_size)
+        self.types = []
+        self.payload = []   # var / value / (var, map) / (child, map)
+        self.fanins = []
+        self.outputs = []
+        self._hash = {}
+        self._inputs = []
+        for var in range(len(self.domains)):
+            self._inputs.append(self._new(INPUT, var, ()))
+
+    def _new(self, gate_type, payload, fanins):
+        node = len(self.types)
+        self.types.append(gate_type)
+        self.payload.append(payload)
+        self.fanins.append(tuple(fanins))
+        return node
+
+    def _hashed(self, gate_type, payload, fanins):
+        key = (gate_type, payload, fanins)
+        node = self._hash.get(key)
+        if node is None:
+            node = self._new(gate_type, payload, fanins)
+            self._hash[key] = node
+        return node
+
+    # -- construction ----------------------------------------------------
+    def input_node(self, var):
+        """Node id of primary input *var*."""
+        return self._inputs[var]
+
+    def constant(self, value):
+        """Constant output value."""
+        if not 0 <= value < self.out_size:
+            raise ValueError("constant %r outside output domain" % value)
+        return self._hashed(CONST, int(value), ())
+
+    def literal(self, var, mapping):
+        """Literal gate: output ``mapping[value_of(var)]``."""
+        mapping = tuple(int(v) for v in mapping)
+        if len(mapping) != self.domains[var]:
+            raise ValueError("mapping width does not match the domain")
+        if len(set(mapping)) == 1:
+            return self.constant(mapping[0])
+        return self._hashed(LITERAL, (var, mapping), ())
+
+    def unary(self, child, mapping):
+        """Value-remap gate on another node's output."""
+        mapping = tuple(int(v) for v in mapping)
+        if len(mapping) != self.out_size:
+            raise ValueError("unary map must cover the output domain")
+        if mapping == tuple(range(self.out_size)):
+            return child
+        if len(set(mapping)) == 1:
+            return self.constant(mapping[0])
+        return self._hashed(UNARY, mapping, (child,))
+
+    def add_min(self, a, b):
+        """MIN gate (the MV AND)."""
+        return self._gate(MIN, a, b)
+
+    def add_max(self, a, b):
+        """MAX gate (the MV OR)."""
+        return self._gate(MAX, a, b)
+
+    def _gate(self, gate_type, a, b):
+        if a == b:
+            return a
+        if self.types[a] == CONST:
+            a, b = b, a
+        if self.types[b] == CONST:
+            value = self.payload[b]
+            if gate_type == MIN and value == self.out_size - 1:
+                return a
+            if gate_type == MAX and value == 0:
+                return a
+            if gate_type == MIN and value == 0:
+                return self.constant(0)
+            if gate_type == MAX and value == self.out_size - 1:
+                return self.constant(self.out_size - 1)
+        if a > b:
+            a, b = b, a
+        return self._hashed(gate_type, None, (a, b))
+
+    def set_output(self, name, node):
+        """Declare a primary output."""
+        self.outputs.append((name, node))
+
+    # -- evaluation ------------------------------------------------------
+    def evaluate(self, node):
+        """Dense evaluation: array over the whole input space."""
+        grids = None
+        values = {}
+        for n in range(node + 1):
+            gate_type = self.types[n]
+            if gate_type == INPUT:
+                if grids is None:
+                    grids = np.indices(self.domains)
+                values[n] = grids[self.payload[n]]
+            elif gate_type == CONST:
+                values[n] = np.full(self.domains, self.payload[n],
+                                    dtype=np.int64)
+            elif gate_type == LITERAL:
+                var, mapping = self.payload[n]
+                if grids is None:
+                    grids = np.indices(self.domains)
+                values[n] = np.asarray(mapping,
+                                       dtype=np.int64)[grids[var]]
+            elif gate_type == UNARY:
+                mapping = np.asarray(self.payload[n], dtype=np.int64)
+                values[n] = mapping[values[self.fanins[n][0]]]
+            elif gate_type == MIN:
+                a, b = self.fanins[n]
+                values[n] = np.minimum(values[a], values[b])
+            elif gate_type == MAX:
+                a, b = self.fanins[n]
+                values[n] = np.maximum(values[a], values[b])
+            else:
+                raise ValueError("unknown MV gate %r" % gate_type)
+        return values[node]
+
+    def evaluate_outputs(self):
+        """``{output_name: dense_value_array}``."""
+        return {name: self.evaluate(node) for name, node in self.outputs}
+
+    # -- statistics -------------------------------------------------------
+    def gate_counts(self):
+        """Count live gates by type."""
+        live = set()
+        stack = [node for _name, node in self.outputs]
+        while stack:
+            node = stack.pop()
+            if node in live:
+                continue
+            live.add(node)
+            stack.extend(self.fanins[node])
+        counts = {}
+        for node in live:
+            counts[self.types[node]] = counts.get(self.types[node], 0) + 1
+        return counts
+
+    def __repr__(self):
+        return ("MVNetlist(domains=%s, out=%d, nodes=%d)"
+                % (list(self.domains), self.out_size, len(self.types)))

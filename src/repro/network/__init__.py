@@ -1,0 +1,28 @@
+"""Netlist substrate: two-input-gate networks, simulation, cost model,
+BDD extraction, verification and remapping."""
+
+from repro.network import gates
+from repro.network.netlist import Netlist
+from repro.network.simulate import (simulate, simulate_outputs,
+                                    simulate_single, output_values,
+                                    exhaustive_patterns, random_patterns,
+                                    simulate_with_faults)
+from repro.network.stats import NetlistStats, compute_stats
+from repro.network.extract import node_functions, output_functions
+from repro.network.verify import (VerificationError, verify_against_isfs,
+                                  verify_equivalent)
+from repro.network.remap import to_nand_network, to_aig
+from repro.network.mapper import (Cell, Match, Mapping, default_library,
+                                  map_netlist, verify_mapping)
+
+__all__ = [
+    "gates", "Netlist",
+    "simulate", "simulate_outputs", "simulate_single", "output_values",
+    "exhaustive_patterns", "random_patterns", "simulate_with_faults",
+    "NetlistStats", "compute_stats",
+    "node_functions", "output_functions",
+    "VerificationError", "verify_against_isfs", "verify_equivalent",
+    "to_nand_network", "to_aig",
+    "Cell", "Match", "Mapping", "default_library", "map_netlist",
+    "verify_mapping",
+]

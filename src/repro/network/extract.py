@@ -1,0 +1,76 @@
+"""Extract BDDs from a netlist (the bridge back into the BDD world).
+
+Used by the verifier and by the testability analysis: every netlist
+node's global function is computed bottom-up over a BDD manager whose
+variables correspond to the netlist's primary inputs.
+"""
+
+from repro.bdd.node import FALSE, TRUE
+from repro.network import gates as G
+
+_BDD_OPS = {
+    G.AND: "and_",
+    G.OR: "or_",
+    G.XOR: "xor",
+    G.NAND: "nand",
+    G.NOR: "nor",
+    G.XNOR: "xnor",
+}
+
+
+def node_functions(netlist, mgr, input_map=None, restrict_to=None):
+    """Compute the BDD of every netlist node.
+
+    Parameters
+    ----------
+    mgr:
+        BDD manager; must contain a variable for each primary input.
+    input_map:
+        Optional mapping from input name to manager variable (name or
+        index).  Defaults to the identity (input names are manager
+        variable names).
+    restrict_to:
+        Optional set of node ids; only these (and whatever precedes them
+        in id order) are computed.
+
+    Returns a list ``bdds`` indexed by node id (raw node ids on *mgr*).
+    """
+    bdds = [None] * netlist.num_nodes()
+    if restrict_to is None:
+        nodes = range(netlist.num_nodes())
+    else:
+        # Close over transitive fan-ins so every needed value exists.
+        cone = set()
+        stack = list(restrict_to)
+        while stack:
+            node = stack.pop()
+            if node in cone:
+                continue
+            cone.add(node)
+            stack.extend(netlist.fanins[node])
+        nodes = sorted(cone)
+    for node in nodes:
+        gate_type = netlist.types[node]
+        if gate_type == G.INPUT:
+            name = netlist.names[node]
+            if input_map is not None:
+                name = input_map[name]
+            bdds[node] = mgr.var(name)
+        elif gate_type == G.CONST0:
+            bdds[node] = FALSE
+        elif gate_type == G.CONST1:
+            bdds[node] = TRUE
+        elif gate_type == G.BUF:
+            bdds[node] = bdds[netlist.fanins[node][0]]
+        elif gate_type == G.NOT:
+            bdds[node] = mgr.not_(bdds[netlist.fanins[node][0]])
+        else:
+            a, b = (bdds[f] for f in netlist.fanins[node])
+            bdds[node] = getattr(mgr, _BDD_OPS[gate_type])(a, b)
+    return bdds
+
+
+def output_functions(netlist, mgr, input_map=None):
+    """BDD node per primary output: ``{output_name: bdd_node}``."""
+    bdds = node_functions(netlist, mgr, input_map)
+    return {name: bdds[node] for name, node in netlist.outputs}

@@ -1,0 +1,267 @@
+"""Standard-cell technology mapping (the paper's future-work item).
+
+"The future work includes extending the algorithm to work with
+arbitrary standard cell libraries."  This module provides that bridge:
+classic dynamic-programming **tree covering** of the decomposed netlist
+over a structural cell library.
+
+Flow:
+
+1. the subject netlist is rewritten into an AIG
+   (:func:`repro.network.remap.to_aig`), the canonical subject graph;
+2. the AIG is broken into trees at multi-fanout nodes and outputs;
+3. every cell is a set of AND/NOT tree patterns; at each AIG node the
+   minimum-area match is chosen by DP over the already-solved leaves;
+4. the result is a :class:`Mapping`: chosen cells, total area, and a
+   worst-path delay estimate, each match verifiable against the BDD of
+   its cone.
+
+Patterns use nested tuples: ``("and", p, q)``, ``("not", p)`` and
+``"leaf"``.  AND matching tries both operand orders (commutativity);
+associativity is handled by listing both tree shapes for 3-input cells.
+"""
+
+from repro.network import gates as G
+from repro.network.remap import to_aig
+
+LEAF = "leaf"
+
+
+class Cell:
+    """A library cell: name, cost, and its AND/NOT tree patterns.
+
+    *function* receives one BDD node per leaf (in pattern order) plus
+    the manager, and returns the cell's output BDD — used only for
+    verification.
+    """
+
+    def __init__(self, name, area, delay, patterns, function):
+        self.name = name
+        self.area = area
+        self.delay = delay
+        self.patterns = tuple(patterns)
+        self.function = function
+
+    def __repr__(self):
+        return "Cell(%s, area=%.1f)" % (self.name, self.area)
+
+
+def _p_not(p):
+    return ("not", p)
+
+
+def _p_and(p, q):
+    return ("and", p, q)
+
+
+def default_library():
+    """A conventional CMOS-flavoured standard-cell library."""
+    inv = Cell("INV", 1.0, 0.5, [_p_not(LEAF)],
+               lambda mgr, a: mgr.not_(a))
+    nand2 = Cell("NAND2", 2.0, 1.0, [_p_not(_p_and(LEAF, LEAF))],
+                 lambda mgr, a, b: mgr.nand(a, b))
+    nor2 = Cell("NOR2", 2.0, 1.0,
+                [_p_and(_p_not(LEAF), _p_not(LEAF))],
+                lambda mgr, a, b: mgr.and_(mgr.not_(a), mgr.not_(b)))
+    and2 = Cell("AND2", 3.0, 1.2, [_p_and(LEAF, LEAF)],
+                lambda mgr, a, b: mgr.and_(a, b))
+    or2 = Cell("OR2", 3.0, 1.2,
+               [_p_not(_p_and(_p_not(LEAF), _p_not(LEAF)))],
+               lambda mgr, a, b: mgr.or_(a, b))
+    nand3 = Cell("NAND3", 3.0, 1.4,
+                 [_p_not(_p_and(_p_and(LEAF, LEAF), LEAF)),
+                  _p_not(_p_and(LEAF, _p_and(LEAF, LEAF)))],
+                 lambda mgr, a, b, c: mgr.not_(
+                     mgr.and_(mgr.and_(a, b), c)))
+    nor3 = Cell("NOR3", 3.0, 1.4,
+                [_p_and(_p_and(_p_not(LEAF), _p_not(LEAF)),
+                        _p_not(LEAF)),
+                 _p_and(_p_not(LEAF),
+                        _p_and(_p_not(LEAF), _p_not(LEAF)))],
+                lambda mgr, a, b, c: mgr.nor(mgr.or_(a, b), c))
+    aoi21 = Cell("AOI21", 3.0, 1.3,
+                 [_p_and(_p_not(_p_and(LEAF, LEAF)), _p_not(LEAF))],
+                 lambda mgr, a, b, c: mgr.nor(mgr.and_(a, b), c))
+    oai21 = Cell("OAI21", 3.0, 1.3,
+                 [_p_not(_p_and(
+                     _p_not(_p_and(_p_not(LEAF), _p_not(LEAF))),
+                     LEAF))],
+                 lambda mgr, a, b, c: mgr.nand(mgr.or_(a, b), c))
+    # XOR/XNOR as produced by the AIG expansion in remap.to_aig:
+    # x ^ y = ~(~(x & ~y) & ~(~x & y)).
+    xor_pattern = _p_not(_p_and(
+        _p_not(_p_and(LEAF, _p_not(LEAF))),
+        _p_not(_p_and(_p_not(LEAF), LEAF))))
+    xor2 = Cell("XOR2", 5.0, 2.1, [xor_pattern],
+                lambda mgr, a, b, c, d: mgr.xor(a, b))
+    xnor2 = Cell("XNOR2", 5.0, 2.1, [_p_not(xor_pattern)],
+                 lambda mgr, a, b, c, d: mgr.xnor(a, b))
+    return [inv, nand2, nor2, and2, or2, nand3, nor3, aoi21, oai21,
+            xor2, xnor2]
+
+
+class Match:
+    """One chosen cell instance: cell, AIG root, leaf nodes."""
+
+    def __init__(self, cell, root, leaves):
+        self.cell = cell
+        self.root = root
+        self.leaves = tuple(leaves)
+
+    def __repr__(self):
+        return "Match(%s @ n%d, leaves=%s)" % (self.cell.name,
+                                               self.root, self.leaves)
+
+
+class Mapping:
+    """Result of technology mapping."""
+
+    def __init__(self, aig, matches, area, delay, cell_counts):
+        self.aig = aig
+        self.matches = matches
+        self.area = area
+        self.delay = delay
+        self.cell_counts = dict(cell_counts)
+
+    def __repr__(self):
+        return "Mapping(cells=%d, area=%.1f, delay=%.1f)" % (
+            sum(self.cell_counts.values()), self.area, self.delay)
+
+
+def _match_pattern(aig, pattern, node, stops, leaves):
+    """Structurally match *pattern* at *node*; collect leaves.
+
+    *stops* holds nodes that must be treated as leaves (multi-fanout
+    boundaries).  Returns True and extends *leaves* on success.
+    """
+    if pattern == LEAF:
+        leaves.append(node)
+        return True
+    gate_type = aig.types[node]
+    if pattern[0] == "not":
+        if gate_type != G.NOT:
+            return False
+        inner = aig.fanins[node][0]
+        if inner in stops and pattern[1] != LEAF:
+            return False  # cannot match through a tree boundary
+        return _match_pattern(aig, pattern[1], inner, stops, leaves)
+    if pattern[0] == "and":
+        if gate_type != G.AND:
+            return False
+        a, b = aig.fanins[node]
+        for first, second in ((a, b), (b, a)):
+            saved = len(leaves)
+            if ((first in stops and pattern[1] != LEAF)
+                    or (second in stops and pattern[2] != LEAF)):
+                del leaves[saved:]
+                continue
+            if _match_pattern(aig, pattern[1], first, stops, leaves) \
+                    and _match_pattern(aig, pattern[2], second, stops,
+                                       leaves):
+                return True
+            del leaves[saved:]
+        return False
+    raise ValueError("bad pattern element %r" % (pattern,))
+
+
+def map_netlist(netlist, library=None):
+    """Area-optimal tree covering of *netlist* over *library*.
+
+    Returns a :class:`Mapping`.  The subject netlist is first rewritten
+    into an AIG; multi-fanout AIG nodes and primary outputs become tree
+    roots so that no match crosses a shared boundary (classic tree
+    mapping).
+    """
+    if library is None:
+        library = default_library()
+    aig = to_aig(netlist)
+    live = aig.reachable_from_outputs()
+
+    fanout = {node: 0 for node in live}
+    for node in live:
+        for fanin in aig.fanins[node]:
+            fanout[fanin] += 1
+    stops = {node for node in live
+             if aig.types[node] == G.INPUT
+             or aig.types[node] in (G.CONST0, G.CONST1)
+             or fanout.get(node, 0) > 1}
+    # Every output is a tree root: other matches must not run through.
+    stops.update(node for _name, node in aig.outputs)
+
+    best_cost = {}
+    best_match = {}
+    arrival = {}
+    for node in sorted(live):
+        gate_type = aig.types[node]
+        if gate_type in (G.INPUT, G.CONST0, G.CONST1):
+            best_cost[node] = 0.0
+            arrival[node] = 0.0
+            continue
+        if gate_type == G.BUF:
+            inner = aig.fanins[node][0]
+            best_cost[node] = best_cost[inner]
+            arrival[node] = arrival[inner]
+            continue
+        choice = None
+        choice_cost = None
+        for cell in library:
+            for pattern in cell.patterns:
+                leaves = []
+                # Matching is allowed AT a stop node (it is a root),
+                # but not THROUGH one: temporarily unstop the root.
+                inner_stops = stops - {node}
+                if not _match_pattern(aig, pattern, node, inner_stops,
+                                      leaves):
+                    continue
+                if any(leaf not in best_cost for leaf in leaves):
+                    continue  # leaf not solved: crosses a boundary
+                cost = cell.area + sum(best_cost[leaf]
+                                       for leaf in leaves)
+                if choice_cost is None or cost < choice_cost:
+                    choice_cost = cost
+                    choice = Match(cell, node, leaves)
+        if choice is None:
+            raise ValueError("no cell matches AIG node %d (%s)"
+                             % (node, gate_type))
+        best_cost[node] = choice_cost
+        best_match[node] = choice
+        arrival[node] = choice.cell.delay + max(
+            (arrival[leaf] for leaf in choice.leaves), default=0.0)
+
+    # Back-trace from the outputs to the used matches only.
+    used = []
+    cell_counts = {}
+    visited = set()
+    stack = [node for _name, node in aig.outputs]
+    total_area = 0.0
+    while stack:
+        node = stack.pop()
+        if node in visited or node not in best_match:
+            continue
+        visited.add(node)
+        match = best_match[node]
+        used.append(match)
+        total_area += match.cell.area
+        cell_counts[match.cell.name] = \
+            cell_counts.get(match.cell.name, 0) + 1
+        stack.extend(match.leaves)
+    max_delay = max((arrival[node] for _name, node in aig.outputs),
+                    default=0.0)
+    return Mapping(aig, used, total_area, max_delay, cell_counts)
+
+
+def verify_mapping(mapping, mgr, input_map=None):
+    """Check every chosen match implements its AIG cone exactly.
+
+    Builds the BDD of each match's root from the cell function applied
+    to the leaves' BDDs and compares with the AIG's own function.
+    """
+    from repro.network.extract import node_functions
+    bdds = node_functions(mapping.aig, mgr, input_map)
+    for match in mapping.matches:
+        leaf_bdds = [bdds[leaf] for leaf in match.leaves]
+        got = match.cell.function(mgr, *leaf_bdds)
+        if got != bdds[match.root]:
+            raise AssertionError("match %r does not implement its cone"
+                                 % match)
+    return True

@@ -1,0 +1,108 @@
+"""Technology remapping passes.
+
+The paper lists "extending the algorithm to work with arbitrary
+standard cell libraries" as future work; this module provides the first
+step of that road: rewriting the AND/OR/XOR netlist into restricted
+libraries (NAND-only, AND/INV) while preserving function, so that the
+decomposition output can feed a conventional mapper.
+"""
+
+from repro.network import gates as G
+from repro.network.netlist import Netlist
+
+
+def to_nand_network(netlist):
+    """Rewrite into NAND2 + NOT gates only.
+
+    XOR is expanded with the standard 4-NAND pattern; XNOR adds an
+    inverter.  Returns a new :class:`Netlist` with the same inputs and
+    output names.
+    """
+    def build(out, node, memo):
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        gate_type = netlist.types[node]
+        fanins = [build(out, f, memo) for f in netlist.fanins[node]]
+        if gate_type == G.INPUT:
+            result = out.input_node(netlist.names[node])
+        elif gate_type in (G.CONST0, G.CONST1):
+            result = out.constant(1 if gate_type == G.CONST1 else 0)
+        elif gate_type == G.BUF:
+            result = fanins[0]
+        elif gate_type == G.NOT:
+            result = out.add_not(fanins[0])
+        elif gate_type == G.NAND:
+            result = out.add_gate(G.NAND, fanins[0], fanins[1])
+        elif gate_type == G.AND:
+            result = out.add_not(out.add_gate(G.NAND, fanins[0], fanins[1]))
+        elif gate_type == G.OR:
+            result = out.add_gate(G.NAND, out.add_not(fanins[0]),
+                                  out.add_not(fanins[1]))
+        elif gate_type == G.NOR:
+            result = out.add_not(out.add_gate(G.NAND, out.add_not(fanins[0]),
+                                              out.add_not(fanins[1])))
+        elif gate_type in (G.XOR, G.XNOR):
+            a, b = fanins
+            mid = out.add_gate(G.NAND, a, b)
+            left = out.add_gate(G.NAND, a, mid)
+            right = out.add_gate(G.NAND, b, mid)
+            result = out.add_gate(G.NAND, left, right)
+            if gate_type == G.XNOR:
+                result = out.add_not(result)
+        else:
+            raise ValueError("unknown gate type %r" % gate_type)
+        memo[node] = result
+        return result
+
+    out = Netlist(netlist.names[node] for node in netlist.inputs)
+    memo = {}
+    for name, node in netlist.outputs:
+        out.set_output(name, build(out, node, memo))
+    return out
+
+
+def to_aig(netlist):
+    """Rewrite into AND + NOT gates (an AIG-style network)."""
+    def build(out, node, memo):
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        gate_type = netlist.types[node]
+        fanins = [build(out, f, memo) for f in netlist.fanins[node]]
+        if gate_type == G.INPUT:
+            result = out.input_node(netlist.names[node])
+        elif gate_type in (G.CONST0, G.CONST1):
+            result = out.constant(1 if gate_type == G.CONST1 else 0)
+        elif gate_type == G.BUF:
+            result = fanins[0]
+        elif gate_type == G.NOT:
+            result = out.add_not(fanins[0])
+        elif gate_type == G.AND:
+            result = out.add_and(fanins[0], fanins[1])
+        elif gate_type == G.NAND:
+            result = out.add_not(out.add_and(fanins[0], fanins[1]))
+        elif gate_type == G.OR:
+            result = out.add_not(out.add_and(out.add_not(fanins[0]),
+                                             out.add_not(fanins[1])))
+        elif gate_type == G.NOR:
+            result = out.add_and(out.add_not(fanins[0]),
+                                 out.add_not(fanins[1]))
+        elif gate_type in (G.XOR, G.XNOR):
+            a, b = fanins
+            left = out.add_and(a, out.add_not(b))
+            right = out.add_and(out.add_not(a), b)
+            result = out.add_not(out.add_and(out.add_not(left),
+                                             out.add_not(right)))
+            if gate_type == G.XNOR:
+                result = out.add_not(result)
+        else:
+            raise ValueError("unknown gate type %r" % gate_type)
+        memo[node] = result
+        return result
+
+    out = Netlist(netlist.names[node] for node in netlist.inputs)
+    memo = {}
+    for name, node in netlist.outputs:
+        out.set_output(name, build(out, node, memo))
+    return out

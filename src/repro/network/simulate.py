@@ -1,0 +1,103 @@
+"""Bit-parallel netlist simulation.
+
+Patterns are packed into Python ints (arbitrary width), so one sweep
+evaluates the whole network on thousands of input vectors — used by the
+fault-simulation part of the testability analysis and by the
+simulation-based tests.
+"""
+
+from repro.network import gates as G
+
+
+def simulate(netlist, input_values, width=1):
+    """Evaluate *netlist* on packed input patterns.
+
+    Parameters
+    ----------
+    input_values:
+        Mapping from input name to an int whose bit *i* is the value of
+        that input in pattern *i*.
+    width:
+        Number of packed patterns (defines the bit mask for negation).
+
+    Returns a list ``values`` indexed by node id, plus use
+    :func:`output_values` to project onto the outputs.
+    """
+    mask = (1 << width) - 1
+    values = [0] * netlist.num_nodes()
+    for node in range(netlist.num_nodes()):
+        gate_type = netlist.types[node]
+        if gate_type == G.INPUT:
+            values[node] = input_values[netlist.names[node]] & mask
+        else:
+            fanin_values = tuple(values[f] for f in netlist.fanins[node])
+            values[node] = G.evaluate_gate(gate_type, fanin_values, mask)
+    return values
+
+
+def output_values(netlist, values):
+    """Project node values onto the outputs: ``{name: packed_int}``."""
+    return {name: values[node] for name, node in netlist.outputs}
+
+
+def simulate_outputs(netlist, input_values, width=1):
+    """Convenience: :func:`simulate` then :func:`output_values`."""
+    return output_values(netlist, simulate(netlist, input_values, width))
+
+
+def simulate_single(netlist, assignment):
+    """Evaluate on one assignment ``{input_name: 0/1}``; returns
+    ``{output_name: 0/1}``."""
+    packed = {name: (1 if value else 0)
+              for name, value in assignment.items()}
+    return {name: value & 1
+            for name, value in simulate_outputs(netlist, packed).items()}
+
+
+def exhaustive_patterns(input_names, max_inputs=20):
+    """Packed patterns enumerating all assignments of *input_names*.
+
+    Returns ``(input_values, width)`` covering all ``2^n`` assignments;
+    pattern *i* assigns bit *k* of *i* to input *k*.
+    """
+    n = len(input_names)
+    if n > max_inputs:
+        raise ValueError("refusing to enumerate 2^%d patterns" % n)
+    width = 1 << n
+    input_values = {}
+    for k, name in enumerate(input_names):
+        # Bit i of this word = (i >> k) & 1: blocks of 2^k ones/zeros.
+        block = (1 << (1 << k)) - 1          # 2^k ones
+        period = 1 << (k + 1)
+        word = 0
+        for start in range(1 << k, width, period):
+            word |= block << start
+        input_values[name] = word
+    return input_values, width
+
+
+def random_patterns(input_names, count, rng):
+    """*count* random packed patterns from the ``random.Random`` *rng*."""
+    input_values = {name: rng.getrandbits(count) for name in input_names}
+    return input_values, count
+
+
+def simulate_with_faults(netlist, input_values, width, faults):
+    """Simulate with a set of stuck-at faults injected.
+
+    *faults* maps node id -> 0/1 stuck value; the node's computed value
+    is overridden before it propagates.
+    """
+    mask = (1 << width) - 1
+    values = [0] * netlist.num_nodes()
+    for node in range(netlist.num_nodes()):
+        gate_type = netlist.types[node]
+        if gate_type == G.INPUT:
+            value = input_values[netlist.names[node]] & mask
+        else:
+            fanin_values = tuple(values[f] for f in netlist.fanins[node])
+            value = G.evaluate_gate(gate_type, fanin_values, mask)
+        if node in faults:
+            value = mask if faults[node] else 0
+        values[node] = value
+    return values

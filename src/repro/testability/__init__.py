@@ -1,0 +1,20 @@
+"""Stuck-at fault model, BDD-based ATPG and fault-coverage analysis
+(Theorem 5 of the paper, checked rather than assumed)."""
+
+from repro.testability.faults import Fault, enumerate_faults, internal_faults
+from repro.testability.atpg import (detectability, find_test,
+                                    classify_faults, generate_test_set,
+                                    care_sets)
+from repro.testability.integrated import (IntegratedAtpgResult,
+                                           generate_tests_integrated)
+from repro.testability.coverage import (FaultReport, analyze_testability,
+                                        simulate_coverage, patterns_by_name)
+
+__all__ = [
+    "Fault", "enumerate_faults", "internal_faults",
+    "detectability", "find_test", "classify_faults", "generate_test_set",
+    "care_sets",
+    "IntegratedAtpgResult", "generate_tests_integrated",
+    "FaultReport", "analyze_testability", "simulate_coverage",
+    "patterns_by_name",
+]

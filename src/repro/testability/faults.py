@@ -1,0 +1,65 @@
+"""Single stuck-at fault model.
+
+Theorem 5 of the paper: netlists produced by the bi-decomposition
+algorithm with its variable-grouping strategy have no redundant
+internal signals — they are 100 % testable for single stuck-at-0 /
+stuck-at-1 faults.  This package checks that claim instead of assuming
+it.
+
+A fault is a pair ``(node, stuck_value)``; the fault universe covers
+every signal in the output cones: primary inputs and gate outputs
+(fan-out branches are not modelled separately — the netlist is a DAG of
+stems, which is the granularity the paper's theorem speaks to).
+"""
+
+from repro.network import gates as G
+
+
+class Fault:
+    """A single stuck-at fault on a netlist signal."""
+
+    __slots__ = ("node", "stuck_value")
+
+    def __init__(self, node, stuck_value):
+        if stuck_value not in (0, 1):
+            raise ValueError("stuck value must be 0 or 1")
+        self.node = node
+        self.stuck_value = stuck_value
+
+    def __eq__(self, other):
+        return (isinstance(other, Fault) and self.node == other.node
+                and self.stuck_value == other.stuck_value)
+
+    def __hash__(self):
+        return hash((self.node, self.stuck_value))
+
+    def __repr__(self):
+        return "Fault(node=%d, stuck_at_%d)" % (self.node, self.stuck_value)
+
+
+def enumerate_faults(netlist):
+    """All single stuck-at faults on live signals of *netlist*.
+
+    Constants are skipped (a constant stuck at its own value is not a
+    fault, and stuck at the opposite value is equivalent to a fault on
+    its fan-out gate).
+    """
+    live = netlist.reachable_from_outputs()
+    faults = []
+    for node in sorted(live):
+        gate_type = netlist.types[node]
+        if gate_type in (G.CONST0, G.CONST1):
+            continue
+        faults.append(Fault(node, 0))
+        faults.append(Fault(node, 1))
+    return faults
+
+
+def internal_faults(netlist):
+    """Faults on gate outputs only (excluding primary inputs).
+
+    Theorem 5 speaks about "redundant internal signals"; this list is
+    the strict reading of that claim.
+    """
+    return [fault for fault in enumerate_faults(netlist)
+            if netlist.types[fault.node] != G.INPUT]

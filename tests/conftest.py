@@ -1,0 +1,57 @@
+"""Shared test helpers: truth-table oracles and hypothesis strategies."""
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.bdd import BDD
+from repro.boolfn import from_truth_table
+from repro.boolfn.isf import ISF
+
+
+def make_mgr(n, prefix="x"):
+    """Manager with n variables x0..x{n-1}."""
+    return BDD(["%s%d" % (prefix, i) for i in range(n)])
+
+
+def brute_force(mgr, node, variables):
+    """Truth table of *node* over *variables* as a packed int."""
+    table = 0
+    for i in range(1 << len(variables)):
+        assignment = {v: (i >> k) & 1 for k, v in enumerate(variables)}
+        full = {v: 0 for v in range(mgr.num_vars)}
+        full.update(assignment)
+        if mgr.eval(node, full):
+            table |= 1 << i
+    return table
+
+
+def tt_strategy(n):
+    """Hypothesis strategy for packed truth tables over n variables."""
+    return st.integers(min_value=0, max_value=(1 << (1 << n)) - 1)
+
+
+def isf_strategy(n):
+    """Hypothesis strategy for (on_tt, off_tt) pairs with empty overlap."""
+    def split(pair):
+        on, care = pair
+        return on & care, ~on & care & ((1 << (1 << n)) - 1)
+    return st.tuples(tt_strategy(n), tt_strategy(n)).map(split)
+
+
+def build_isf(mgr, variables, on_tt, off_tt):
+    """ISF from packed on/off truth tables over *variables*."""
+    on = mgr.fn(from_truth_table(mgr, variables, on_tt))
+    off = mgr.fn(from_truth_table(mgr, variables, off_tt))
+    return ISF(on, off)
+
+
+@pytest.fixture
+def mgr4():
+    """A fresh 4-variable manager (a, b, c, d)."""
+    return BDD(["a", "b", "c", "d"])
+
+
+@pytest.fixture
+def mgr6():
+    """A fresh 6-variable manager (x0..x5)."""
+    return make_mgr(6)

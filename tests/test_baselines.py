@@ -1,0 +1,153 @@
+"""Tests for the SIS-like and BDS-like baseline synthesisers."""
+
+from hypothesis import given, settings
+
+from repro.baselines import (bds_like_synthesize, factor_cubes,
+                             sis_like_synthesize, tree_to_netlist)
+from repro.baselines.factor import FactorTree
+from repro.bdd import BDD, Cube, isop
+from repro.boolfn import ISF, from_truth_table, parse, weight_set
+from repro.network import (Netlist, compute_stats, gates as G,
+                           verify_against_isfs)
+from repro.network.extract import node_functions
+
+from conftest import build_isf, isf_strategy, make_mgr, tt_strategy
+
+
+class TestFactoring:
+    @settings(max_examples=40, deadline=None)
+    @given(tt_strategy(4))
+    def test_factored_tree_equals_cover(self, table):
+        mgr = make_mgr(4)
+        f = from_truth_table(mgr, [0, 1, 2, 3], table)
+        _cover, cubes = isop(mgr, f, f)
+        tree = factor_cubes(cubes)
+        nl = Netlist(mgr.var_names)
+        var_nodes = {v: nl.input_node(mgr.var_name(v)) for v in range(4)}
+        node = tree_to_netlist(tree, nl, var_nodes)
+        bdds = node_functions(nl, mgr, restrict_to={node})
+        assert bdds[node] == f
+
+    def test_factoring_reduces_literals(self):
+        # a&b | a&c | a&d factors to a & (b | c | d): 6 -> 4 literals.
+        cubes = [Cube({0: 1, 1: 1}), Cube({0: 1, 2: 1}),
+                 Cube({0: 1, 3: 1})]
+        tree = factor_cubes(cubes)
+        assert tree.literal_count() == 4
+
+    def test_constants(self):
+        assert factor_cubes([]).payload == 0
+        assert factor_cubes([Cube()]).payload == 1
+        assert factor_cubes([Cube({0: 1}), Cube()]).payload == 1
+
+    def test_tree_repr_and_cost(self):
+        tree = FactorTree("and", [FactorTree.literal(0, 1),
+                                  FactorTree.literal(1, 0)])
+        assert tree.literal_count() == 2
+        assert "x0" in repr(tree)
+
+    def test_balanced_mapping_depth(self):
+        # A 16-cube single-literal OR should map to a depth-4 OR tree.
+        cubes = [Cube({i: 1}) for i in range(16)]
+        tree = factor_cubes(cubes)
+        nl = Netlist(["x%d" % i for i in range(16)])
+        var_nodes = {v: nl.input_node("x%d" % v) for v in range(16)}
+        node = tree_to_netlist(tree, nl, var_nodes)
+        nl.set_output("y", node)
+        assert compute_stats(nl).cascades == 4
+
+
+class TestSisLike:
+    @settings(max_examples=25, deadline=None)
+    @given(isf_strategy(4))
+    def test_correct_on_random_isfs(self, pair):
+        mgr = make_mgr(4)
+        specs = {"f": build_isf(mgr, [0, 1, 2, 3], *pair)}
+        for factor in (True, False):
+            result = sis_like_synthesize(specs, factor=factor)
+            verify_against_isfs(result.netlist, specs)
+
+    def test_never_emits_exor_gates(self):
+        mgr = make_mgr(6)
+        specs = {"p": mgr.fn(weight_set(mgr, range(6), {1, 3, 5}))}
+        result = sis_like_synthesize(specs)
+        assert result.netlist_stats().exors == 0
+
+    def test_factoring_beats_flat_sop(self):
+        mgr = make_mgr(6)
+        specs = {"f": parse(mgr, "x0&x1&x2 | x0&x1&x3 | x0&x1&x4"
+                                 "| x0&x1&x5")}
+        factored = sis_like_synthesize(specs, factor=True)
+        flat = sis_like_synthesize(specs, factor=False)
+        assert factored.netlist_stats().gates <= flat.netlist_stats().gates
+
+    def test_exploits_dont_cares(self):
+        mgr = BDD(["a", "b"])
+        tight = {"f": ISF.from_csf(parse(mgr, "a & b"))}
+        loose = {"f": ISF.from_interval(parse(mgr, "a & b"),
+                                        parse(mgr, "a"))}
+        tight_r = sis_like_synthesize(tight)
+        loose_r = sis_like_synthesize(loose)
+        assert loose_r.netlist_stats().gates <= \
+            tight_r.netlist_stats().gates
+        assert loose_r.extra["sop_literals"] < \
+            tight_r.extra["sop_literals"]
+
+    def test_reports_cube_statistics(self):
+        mgr = make_mgr(3)
+        result = sis_like_synthesize({"f": parse(mgr, "x0 ^ x1 ^ x2")})
+        assert result.extra["cubes"] == 4
+        assert result.extra["sop_literals"] == 12
+        assert result.elapsed >= 0
+
+
+class TestBdsLike:
+    @settings(max_examples=25, deadline=None)
+    @given(isf_strategy(4))
+    def test_correct_on_random_isfs(self, pair):
+        mgr = make_mgr(4)
+        specs = {"f": build_isf(mgr, [0, 1, 2, 3], *pair)}
+        result = bds_like_synthesize(specs)
+        verify_against_isfs(result.netlist, specs)
+
+    def test_xor_cut_fires_on_parity(self):
+        mgr = make_mgr(5)
+        f = mgr.fn_false()
+        for i in range(5):
+            f = f ^ mgr.fn(mgr.var(i))
+        result = bds_like_synthesize({"f": f})
+        stats = result.netlist_stats()
+        assert stats.exors == 4
+        assert stats.gates == 4
+
+    def test_xor_cut_can_be_disabled(self):
+        mgr = make_mgr(5)
+        f = mgr.fn_false()
+        for i in range(5):
+            f = f ^ mgr.fn(mgr.var(i))
+        result = bds_like_synthesize({"f": f}, use_xor=False)
+        verify_against_isfs(result.netlist, {"f": f})
+        assert result.netlist_stats().exors == 0
+
+    def test_shared_bdd_nodes_become_shared_gates(self):
+        mgr = make_mgr(4)
+        # Both outputs share the (x2 & x3) sub-BDD.
+        f = parse(mgr, "x0 & (x2 & x3)")
+        g = parse(mgr, "x1 | (x2 & x3)")
+        result = bds_like_synthesize({"f": f, "g": g})
+        verify_against_isfs(result.netlist, {"f": f, "g": g})
+        # One AND for x2&x3 + one AND for f + one OR for g.
+        assert result.netlist_stats().gates == 3
+
+    def test_dominator_cuts_for_and_or(self):
+        mgr = make_mgr(3)
+        result = bds_like_synthesize({"f": parse(mgr, "x0 & x1 & x2")})
+        stats = result.netlist_stats()
+        assert stats.gates == 2
+        assert stats.exors == 0
+
+    def test_mux_fallback(self):
+        mgr = BDD(["s", "a", "b"])
+        f = parse(mgr, "s & a | ~s & b")
+        result = bds_like_synthesize({"f": f})
+        verify_against_isfs(result.netlist, {"f": f})

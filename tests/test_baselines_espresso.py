@@ -1,0 +1,124 @@
+"""Tests for the espresso-style EXPAND/IRREDUNDANT/REDUCE minimiser."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines import (cover_cost, espresso, expand, irredundant,
+                             reduce_cover, sis_like_synthesize)
+from repro.bdd import Cube, cover_to_bdd, isop
+from repro.bdd.node import FALSE
+from repro.boolfn import from_truth_table, parse
+
+from conftest import build_isf, isf_strategy, make_mgr, tt_strategy
+
+
+class TestEspressoContract:
+    @settings(max_examples=40, deadline=None)
+    @given(isf_strategy(4))
+    def test_cover_stays_in_interval(self, pair):
+        on_tt, off_tt = pair
+        mgr = make_mgr(4)
+        variables = [0, 1, 2, 3]
+        lower = from_truth_table(mgr, variables, on_tt)
+        upper = mgr.not_(from_truth_table(mgr, variables, off_tt))
+        cubes, cover = espresso(mgr, lower, upper)
+        assert mgr.diff(lower, cover) == FALSE
+        assert mgr.diff(cover, upper) == FALSE
+        assert cover_to_bdd(mgr, cubes) == cover
+
+    @settings(max_examples=30, deadline=None)
+    @given(tt_strategy(4))
+    def test_result_is_prime_and_irredundant(self, table):
+        mgr = make_mgr(4)
+        variables = [0, 1, 2, 3]
+        f = from_truth_table(mgr, variables, table)
+        cubes, cover = espresso(mgr, f, f)
+        # Prime: no literal of any cube can be dropped.
+        for cube in cubes:
+            for var in cube.literals:
+                trial = dict(cube.literals)
+                del trial[var]
+                assert mgr.diff(Cube(trial).to_bdd(mgr), f) != FALSE
+        # Irredundant: no cube can be dropped.
+        for skip in range(len(cubes)):
+            rest = cover_to_bdd(mgr, [c for i, c in enumerate(cubes)
+                                      if i != skip])
+            assert mgr.diff(f, rest) != FALSE
+
+    def test_never_worse_than_isop(self):
+        mgr = make_mgr(4)
+        f = parse(mgr, "x0&x1 | x0&x2 | x1&x2 | x3")
+        _node, icubes = isop(mgr, f.node, f.node)
+        cubes, _cover = espresso(mgr, f.node, f.node)
+        assert cover_cost(cubes) <= cover_cost(icubes)
+
+    def test_invalid_interval_rejected(self):
+        mgr = make_mgr(2)
+        with pytest.raises(ValueError):
+            espresso(mgr, mgr.true, mgr.var(0))
+
+
+class TestPhases:
+    def test_expand_absorbs_contained_cubes(self):
+        mgr = make_mgr(3)
+        f = parse(mgr, "x0")
+        cubes = [Cube({0: 1}), Cube({0: 1, 1: 1}), Cube({0: 1, 2: 0})]
+        primes = expand(mgr, cubes, f.node)
+        assert len(primes) == 1
+        assert primes[0].literals == {0: 1}
+
+    def test_expand_uses_dont_cares(self):
+        # on = x0 & x1, dc everything with x0: expands to the x0 wire.
+        mgr = make_mgr(2)
+        upper = parse(mgr, "x0")
+        primes = expand(mgr, [Cube({0: 1, 1: 1})], upper.node)
+        assert primes == [Cube({0: 1})]
+
+    def test_irredundant_keeps_coverage(self):
+        mgr = make_mgr(3)
+        f = parse(mgr, "x0 | x1")
+        cubes = [Cube({0: 1}), Cube({1: 1}), Cube({0: 1, 1: 1})]
+        kept = irredundant(mgr, cubes, f.node)
+        assert cover_to_bdd(mgr, kept) == f.node
+        assert len(kept) == 2
+
+    def test_reduce_keeps_coverage(self):
+        mgr = make_mgr(3)
+        f = parse(mgr, "x0 | x1")
+        # Overlapping primes: reduce must not lose the overlap.
+        cubes = [Cube({0: 1}), Cube({1: 1})]
+        reduced = reduce_cover(mgr, cubes, f.node)
+        assert mgr.diff(f.node, cover_to_bdd(mgr, reduced)) == FALSE
+
+    def test_reduce_shrinks_overspecified_cube(self):
+        mgr = make_mgr(2)
+        # Cover {x0, x1} of on-set x0&~x1 | x1: cube x0 only *needs*
+        # x0&~x1 once x1 takes its half.
+        lower = parse(mgr, "x0 & ~x1 | x1")
+        cubes = [Cube({0: 1}), Cube({1: 1})]
+        reduced = reduce_cover(mgr, cubes, lower.node)
+        assert reduced[0].literals == {0: 1, 1: 0}
+
+    def test_reduce_drops_useless_cube(self):
+        mgr = make_mgr(2)
+        lower = parse(mgr, "x0")
+        cubes = [Cube({0: 1, 1: 1}), Cube({0: 1})]
+        reduced = reduce_cover(mgr, cubes, lower.node)
+        assert len(reduced) == 1
+
+
+class TestSisIntegration:
+    def test_espresso_minimizer_flows_through(self):
+        mgr = make_mgr(4)
+        specs = {"f": parse(mgr, "x0&x1&x2 | x0&x1&~x2 | x3")}
+        from repro.network import verify_against_isfs
+        result = sis_like_synthesize(specs, minimizer="espresso")
+        verify_against_isfs(result.netlist, specs)
+        # The two adjacent cubes must have merged.
+        assert result.extra["cubes"] == 2
+
+    def test_unknown_minimizer_rejected(self):
+        mgr = make_mgr(2)
+        with pytest.raises(ValueError):
+            sis_like_synthesize({"f": parse(mgr, "x0")},
+                                minimizer="magic")

@@ -1,0 +1,53 @@
+"""Tests for DOT export and structural statistics."""
+
+from repro.bdd import BDD, stats, to_dot
+
+
+class TestToDot:
+    def test_contains_variable_labels_and_edges(self):
+        mgr = BDD(["a", "b"])
+        f = mgr.and_(mgr.var("a"), mgr.var("b"))
+        dot = to_dot(mgr, [f], ["f"])
+        assert dot.startswith("digraph bdd {")
+        assert 'label="a"' in dot
+        assert 'label="b"' in dot
+        assert "style=dashed" in dot and "style=solid" in dot
+        assert '"f"' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_terminals_rendered_as_boxes(self):
+        mgr = BDD(["a"])
+        dot = to_dot(mgr, [mgr.var("a")])
+        assert 'shape=box,label="0"' in dot
+        assert 'shape=box,label="1"' in dot
+
+    def test_default_root_names(self):
+        mgr = BDD(["a"])
+        dot = to_dot(mgr, [mgr.var("a"), mgr.not_(mgr.var("a"))])
+        assert '"f0"' in dot and '"f1"' in dot
+
+    def test_shared_nodes_emitted_once(self):
+        mgr = BDD(["a", "b"])
+        f = mgr.and_(mgr.var("a"), mgr.var("b"))
+        g = mgr.or_(f, mgr.var("b"))
+        dot = to_dot(mgr, [f, g])
+        # Node f appears exactly once as a declaration.
+        assert dot.count("n%d [shape=circle" % f) == 1
+
+
+class TestStats:
+    def test_counts(self):
+        mgr = BDD(["a", "b", "c"])
+        f = mgr.ite(mgr.var("a"), mgr.var("b"), mgr.var("c"))
+        info = stats(mgr, [f])
+        assert info["roots"] == 1
+        assert info["internal_nodes"] == 3
+        assert info["total_nodes"] == 5
+        assert info["support_size"] == 3
+        assert info["manager_size"] >= info["total_nodes"]
+
+    def test_constant_root(self):
+        mgr = BDD(["a"])
+        info = stats(mgr, [mgr.true])
+        assert info["internal_nodes"] == 0
+        assert info["support_size"] == 0

@@ -1,0 +1,126 @@
+"""Tests for the operator-overloaded Function handle."""
+
+import pytest
+
+from repro.bdd import BDD, BDDError, Function
+
+
+@pytest.fixture
+def mgr():
+    return BDD(["a", "b", "c"])
+
+
+class TestConstruction:
+    def test_fn_vars(self, mgr):
+        a, b, c = mgr.fn_vars()
+        assert a.support_names() == ("a",)
+        assert isinstance(a, Function)
+
+    def test_constants(self, mgr):
+        assert mgr.fn_true().is_true()
+        assert mgr.fn_false().is_false()
+        assert Function.true(mgr) == mgr.fn_true()
+
+    def test_literal(self, mgr):
+        lit = Function.literal(mgr, "b", positive=False)
+        assert lit(a=0, b=0, c=0)
+        assert not lit(a=0, b=1, c=0)
+
+
+class TestOperators:
+    def test_boolean_algebra(self, mgr):
+        a, b, c = mgr.fn_vars()
+        assert (a & b) | (a & c) == a & (b | c)
+        assert ~(a | b) == ~a & ~b
+        assert (a ^ b) == (a & ~b) | (~a & b)
+        assert (a - b) == (a & ~b)
+
+    def test_mixing_with_python_bools(self, mgr):
+        a, _b, _c = mgr.fn_vars()
+        assert (a & True) == a
+        assert (a & False).is_false()
+        assert (a | True).is_true()
+        assert (a ^ True) == ~a
+
+    def test_implies_iff_ite(self, mgr):
+        a, b, c = mgr.fn_vars()
+        assert a.implies(b) == (~a | b)
+        assert a.iff(b) == ~(a ^ b)
+        assert a.ite(b, c) == (a & b) | (~a & c)
+
+    def test_mixed_managers_rejected(self, mgr):
+        other = BDD(["a"])
+        with pytest.raises(BDDError):
+            _ = mgr.fn_vars()[0] & other.fn_vars()[0]
+
+    def test_invalid_operand_type(self, mgr):
+        a = mgr.fn_vars()[0]
+        with pytest.raises(TypeError):
+            _ = a & "banana"
+
+
+class TestPredicates:
+    def test_truthiness_is_ambiguous(self, mgr):
+        a = mgr.fn_vars()[0]
+        with pytest.raises(BDDError):
+            bool(a)
+
+    def test_equality_with_constants(self, mgr):
+        a = mgr.fn_vars()[0]
+        assert (a ^ a) == 0
+        assert (a | ~a) == 1
+
+    def test_containment_operators(self, mgr):
+        a, b, _c = mgr.fn_vars()
+        assert (a & b) <= a
+        assert a >= (a & b)
+        assert not (a <= (a & b))
+
+    def test_hashable_and_stable(self, mgr):
+        a, b, _c = mgr.fn_vars()
+        seen = {a & b: "ab"}
+        assert seen[b & a] == "ab"
+
+
+class TestQueriesAndTransforms:
+    def test_support_and_counts(self, mgr):
+        a, b, c = mgr.fn_vars()
+        f = (a & b) | c
+        assert f.support_names() == ("a", "b", "c")
+        assert f.sat_count() == 5
+        assert f.node_count() >= 4
+
+    def test_cofactor_restrict_compose(self, mgr):
+        a, b, c = mgr.fn_vars()
+        f = a.ite(b, c)
+        assert f.cofactor("a", 1) == b
+        assert f.restrict({"a": 0, "c": 1}).is_true()
+        assert f.compose("b", c) == c  # ite(a, c, c) collapses to c
+
+    def test_quantifier_sugar(self, mgr):
+        a, b, c = mgr.fn_vars()
+        f = (a & b) | c
+        assert f.exists("a") == (b | c)
+        assert f.forall("a", "b") == c
+        assert f.exists(["a", "b"]) == f.exists("a", "b")
+
+    def test_eval_styles(self, mgr):
+        a, b, _c = mgr.fn_vars()
+        f = a ^ b
+        assert f(a=1, b=0, c=0)
+        assert f.eval({"a": 1, "b": 1, "c": 0}) is False
+
+    def test_isop_sugar(self, mgr):
+        a, b, _c = mgr.fn_vars()
+        f = a & b
+        cover, cubes = f.isop()
+        assert cover == f
+        assert len(cubes) == 1
+        wide, _cubes = f.isop(upper=a)
+        assert f <= wide and wide <= a
+
+    def test_repr_mentions_support(self, mgr):
+        a, b, _c = mgr.fn_vars()
+        assert "a" in repr(a & b)
+        assert repr(mgr.fn_true()) == "Function(1)"
+        assert repr(mgr.fn_false()) == "Function(0)"

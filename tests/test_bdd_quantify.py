@@ -1,0 +1,116 @@
+"""Tests for existential/universal quantification and and_exists."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDD, FALSE, TRUE, and_exists, exists, forall
+from repro.boolfn import from_truth_table
+
+from conftest import brute_force, make_mgr, tt_strategy
+
+
+def _oracle_exists(table, var, n):
+    """Existential quantification on a packed truth table."""
+    result = 0
+    for i in range(1 << n):
+        if (table >> i) & 1:
+            result |= 1 << i
+            result |= 1 << (i ^ (1 << var))
+    return result
+
+
+def _oracle_forall(table, var, n):
+    mask = (1 << (1 << n)) - 1
+    return mask & ~_oracle_exists(mask & ~table, var, n)
+
+
+class TestAgainstOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(tt_strategy(3), st.integers(min_value=0, max_value=2))
+    def test_exists_single(self, table, var):
+        mgr = make_mgr(3)
+        f = from_truth_table(mgr, [0, 1, 2], table)
+        got = brute_force(mgr, exists(mgr, [var], f), [0, 1, 2])
+        assert got == _oracle_exists(table, var, 3)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tt_strategy(3), st.integers(min_value=0, max_value=2))
+    def test_forall_single(self, table, var):
+        mgr = make_mgr(3)
+        f = from_truth_table(mgr, [0, 1, 2], table)
+        got = brute_force(mgr, forall(mgr, [var], f), [0, 1, 2])
+        assert got == _oracle_forall(table, var, 3)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tt_strategy(4))
+    def test_exists_set_equals_iterated(self, table):
+        mgr = make_mgr(4)
+        f = from_truth_table(mgr, [0, 1, 2, 3], table)
+        both = exists(mgr, [1, 3], f)
+        iterated = exists(mgr, [3], exists(mgr, [1], f))
+        assert both == iterated
+
+    @settings(max_examples=40, deadline=None)
+    @given(tt_strategy(4), tt_strategy(4))
+    def test_and_exists_equals_composition(self, tt_f, tt_g):
+        mgr = make_mgr(4)
+        f = from_truth_table(mgr, [0, 1, 2, 3], tt_f)
+        g = from_truth_table(mgr, [0, 1, 2, 3], tt_g)
+        fused = and_exists(mgr, [0, 2], f, g)
+        plain = exists(mgr, [0, 2], mgr.and_(f, g))
+        assert fused == plain
+
+
+class TestAlgebraicProperties:
+    def test_quantifying_absent_variable_is_identity(self):
+        mgr = BDD(["a", "b", "c"])
+        f = mgr.and_(mgr.var("a"), mgr.var("b"))
+        assert exists(mgr, ["c"], f) == f
+        assert forall(mgr, ["c"], f) == f
+
+    def test_empty_variable_set_is_identity(self):
+        mgr = BDD(["a"])
+        f = mgr.var("a")
+        assert exists(mgr, [], f) == f
+        assert forall(mgr, [], f) == f
+
+    def test_duality(self):
+        mgr = BDD(["a", "b", "c"])
+        f = mgr.ite(mgr.var("a"), mgr.var("b"), mgr.not_(mgr.var("c")))
+        assert forall(mgr, ["a", "b"], f) == \
+            mgr.not_(exists(mgr, ["a", "b"], mgr.not_(f)))
+
+    def test_forall_below_exists(self):
+        mgr = BDD(["a", "b"])
+        f = mgr.xor(mgr.var("a"), mgr.var("b"))
+        assert forall(mgr, ["a"], f) == FALSE
+        assert exists(mgr, ["a"], f) == TRUE
+
+    def test_result_drops_quantified_support(self):
+        mgr = BDD(["a", "b", "c"])
+        f = mgr.ite(mgr.var("a"), mgr.var("b"), mgr.var("c"))
+        g = exists(mgr, ["b"], f)
+        assert 1 not in mgr.support(g)
+
+    def test_exists_over_constants(self):
+        mgr = BDD(["a"])
+        assert exists(mgr, ["a"], TRUE) == TRUE
+        assert exists(mgr, ["a"], FALSE) == FALSE
+        assert forall(mgr, ["a"], TRUE) == TRUE
+
+    def test_and_exists_short_circuits_to_false(self):
+        mgr = BDD(["a", "b"])
+        assert and_exists(mgr, ["a"], FALSE, mgr.var("b")) == FALSE
+
+    def test_karnaugh_map_example(self):
+        # The paper's Fig. 2: quantification over the column variables
+        # equals OR-ing (AND-ing) all columns of the Karnaugh map.
+        mgr = BDD(["a", "b", "c", "d"])
+        a, b, c, d = (mgr.var(v) for v in "abcd")
+        f = mgr.or_(mgr.and_(a, b), mgr.and_(mgr.not_(c), d))
+        smoothed = exists(mgr, ["a", "b"], f)
+        # Some column contains a 1 for every (c, d) where ~c & d holds,
+        # and the a&b column makes every row reachable.
+        assert smoothed == TRUE
+        consensus = forall(mgr, ["a", "b"], f)
+        assert consensus == mgr.and_(mgr.not_(c), d)

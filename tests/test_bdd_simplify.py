@@ -1,0 +1,104 @@
+"""Tests for the Coudert-Madre constrain/restrict/minimize operators."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd import BDD, FALSE, TRUE, constrain, minimize, restrict
+from repro.boolfn import ISF, from_truth_table, parse
+
+from conftest import build_isf, isf_strategy, make_mgr, tt_strategy
+
+
+class TestContract:
+    @settings(max_examples=60, deadline=None)
+    @given(tt_strategy(4), tt_strategy(4))
+    def test_agreement_on_care_set(self, tt_f, tt_c):
+        if tt_c == 0:
+            return
+        mgr = make_mgr(4)
+        f = from_truth_table(mgr, [0, 1, 2, 3], tt_f)
+        c = from_truth_table(mgr, [0, 1, 2, 3], tt_c)
+        for op in (constrain, restrict):
+            result = op(mgr, f, c)
+            assert mgr.and_(result, c) == mgr.and_(f, c), op.__name__
+
+    @settings(max_examples=40, deadline=None)
+    @given(tt_strategy(4), tt_strategy(4))
+    def test_minimize_never_grows(self, tt_f, tt_c):
+        if tt_c == 0:
+            return
+        mgr = make_mgr(4)
+        f = from_truth_table(mgr, [0, 1, 2, 3], tt_f)
+        c = from_truth_table(mgr, [0, 1, 2, 3], tt_c)
+        result = minimize(mgr, f, c)
+        assert mgr.node_count(result) <= mgr.node_count(f)
+        assert mgr.and_(result, c) == mgr.and_(f, c)
+
+    def test_empty_care_set_rejected(self):
+        mgr = make_mgr(2)
+        with pytest.raises(ValueError):
+            constrain(mgr, mgr.var(0), FALSE)
+        with pytest.raises(ValueError):
+            restrict(mgr, mgr.var(0), FALSE)
+
+
+class TestKnownSimplifications:
+    def test_constrain_collapses_to_cofactor(self):
+        mgr = BDD(["a", "b"])
+        f = parse(mgr, "a & b")
+        # Care set a=1: f must only be right there; f|a=1 = b.
+        result = constrain(mgr, f.node, mgr.var("a"))
+        assert result == mgr.var("b")
+
+    def test_full_care_is_identity(self):
+        mgr = make_mgr(3)
+        f = parse(mgr, "x0 ^ x1 & x2")
+        assert constrain(mgr, f.node, TRUE) == f.node
+        assert restrict(mgr, f.node, TRUE) == f.node
+
+    def test_restrict_ignores_foreign_care_variables(self):
+        # Care set constrains x2, which f does not depend on: restrict
+        # must not introduce x2 into the result.
+        mgr = make_mgr(3)
+        f = parse(mgr, "x0 & x1")
+        care = parse(mgr, "x2 | x0")
+        result = restrict(mgr, f.node, care.node)
+        assert 2 not in mgr.support(result)
+        assert mgr.and_(result, care.node) == (f & care).node
+
+    def test_constrain_of_equal_function(self):
+        mgr = make_mgr(2)
+        f = parse(mgr, "x0 | x1")
+        assert constrain(mgr, f.node, f.node) == TRUE
+
+
+class TestCoverIntegration:
+    @settings(max_examples=40, deadline=None)
+    @given(isf_strategy(4))
+    def test_restrict_cover_is_compatible(self, pair):
+        mgr = make_mgr(4)
+        isf = build_isf(mgr, [0, 1, 2, 3], *pair)
+        cover = isf.cover(method="restrict")
+        assert isf.is_compatible(cover)
+
+    def test_all_dc_interval(self):
+        mgr = make_mgr(2)
+        isf = ISF(mgr.fn_false(), mgr.fn_false())
+        assert isf.cover(method="restrict").is_false()
+
+    def test_unknown_method_rejected(self):
+        mgr = make_mgr(2)
+        isf = ISF.from_csf(parse(mgr, "x0"))
+        with pytest.raises(ValueError):
+            isf.cover(method="magic")
+
+    def test_restrict_cover_can_beat_isop_in_nodes(self):
+        # A dense interval where sibling substitution shines: on-set is
+        # a parity fragment, care set excludes half the space.
+        mgr = make_mgr(4)
+        f = parse(mgr, "x0 ^ x1 ^ x2 ^ x3")
+        care = parse(mgr, "x0")
+        isf = ISF(f & care, ~f & care)
+        by_restrict = isf.cover(method="restrict")
+        assert isf.is_compatible(by_restrict)
+        assert by_restrict.node_count() <= isf.cover("isop").node_count()

@@ -1,0 +1,177 @@
+"""Tests for the benchmark builders and the registry."""
+
+from math import comb
+
+import pytest
+
+from repro.bench import REGISTRY, TABLE2, TABLE3, get, names
+from repro.bench.synth_pla import clustered_pla, windowed_pla
+from repro.bdd import sat_count
+from repro.boolfn import parse
+
+SMALL = ("9sym", "rd53", "rd73", "rd84", "5xp1", "alu2", "t481",
+         "misex1", "16sym8")
+
+
+class TestRegistry:
+    def test_table_membership(self):
+        assert set(TABLE2) <= set(names())
+        assert set(TABLE3) <= set(names())
+        assert len(TABLE2) == 10
+        assert len(TABLE3) == 7
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_declared_dimensions_hold(self, name):
+        bench = get(name)
+        mgr, specs = bench.build()
+        assert mgr.num_vars == bench.inputs
+        assert len(specs) == bench.outputs
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get("nonexistent")
+
+    def test_notes_mark_exactness(self):
+        assert get("9sym").exact
+        assert get("rd84").exact
+        assert not get("misex1").exact
+
+
+class TestExactBuilders:
+    def test_9sym_is_weight_3_to_6(self):
+        mgr, specs = get("9sym").build()
+        f = specs["f"].on
+        expected = sum(comb(9, k) for k in (3, 4, 5, 6))
+        assert f.sat_count() == expected
+        # Spot-check symmetry: permuting an assignment keeps the value.
+        assert f(**{"x%d" % i: 1 if i < 3 else 0 for i in range(9)})
+        assert f(**{"x%d" % i: 1 if i >= 6 else 0 for i in range(9)})
+
+    def test_rd84_outputs_are_count_bits(self):
+        mgr, specs = get("rd84").build()
+        assert set(specs) == {"c0", "c1", "c2", "c3"}
+        assignment = {"x%d" % i: 1 if i < 5 else 0 for i in range(8)}
+        got = sum(1 << b for b in range(4)
+                  if specs["c%d" % b].on(**assignment))
+        assert got == 5
+
+    def test_16sym8_is_totally_symmetric(self):
+        mgr, specs = get("16sym8").build()
+        f = specs["f"].on
+        base = {"x%d" % i: 1 if i < 4 else 0 for i in range(16)}
+        rotated = {"x%d" % i: 1 if 4 <= i < 8 else 0 for i in range(16)}
+        assert f(**base) == f(**rotated)
+        assert f(**base)  # weight 4 -> on (4 mod 8 in {4..7})
+
+    def test_5xp1_computes_square_plus_x(self):
+        mgr, specs = get("5xp1").build()
+        x = 11
+        assignment = {"x%d" % i: (x >> i) & 1 for i in range(7)}
+        value = sum(1 << b for b in range(10)
+                    if specs["y%d" % b].on(**assignment))
+        assert value == (x * x + x) % 1024
+
+    def test_t481_structure(self):
+        mgr, specs = get("t481").build()
+        expected = parse(
+            mgr, "(x0^x1)&(x2^x3) ^ (x4^x5)&(x6^x7)"
+                 " ^ (x8^x9)&(x10^x11) ^ (x12^x13)&(x14^x15)")
+        assert specs["f"].on == expected
+
+    def test_xor5_and_maj(self):
+        _mgr, specs = get("xor5").build()
+        assert specs["f"].on.sat_count() == 16
+        _mgr2, specs2 = get("maj").build()
+        assert specs2["f"].on(x0=1, x1=1, x2=1, x3=0, x4=0)
+        assert not specs2["f"].on(x0=1, x1=1, x2=0, x3=0, x4=0)
+
+    def test_squar5_exhaustive(self):
+        _mgr, specs = get("squar5").build()
+        for x in range(32):
+            assignment = {"x%d" % i: (x >> i) & 1 for i in range(5)}
+            value = sum(1 << b for b in range(8)
+                        if specs["y%d" % b].on(**assignment))
+            assert value == (x * x) % 256, x
+
+    def test_z4ml_is_an_adder(self):
+        _mgr, specs = get("z4ml").build()
+        for a in range(8):
+            for b in range(8):
+                for cin in (0, 1):
+                    assignment = {"cin": cin}
+                    for i in range(3):
+                        assignment["a%d" % i] = (a >> i) & 1
+                        assignment["b%d" % i] = (b >> i) & 1
+                    value = sum(1 << i for i in range(4)
+                                if specs["s%d" % i].on(**assignment))
+                    assert value == a + b + cin
+
+    def test_mul4_spot_checks(self):
+        _mgr, specs = get("mul4").build()
+        for a, b in ((3, 5), (7, 9), (15, 15), (0, 11)):
+            assignment = {}
+            for i in range(4):
+                assignment["a%d" % i] = (a >> i) & 1
+                assignment["b%d" % i] = (b >> i) & 1
+            value = sum(1 << i for i in range(8)
+                        if specs["p%d" % i].on(**assignment))
+            assert value == (a * b) % 256, (a, b)
+
+    def test_alu2_add_op(self):
+        mgr, specs = get("alu2").build()
+        # Control 00 selects addition: a=3, b=5 -> 8.
+        assignment = {"c0": 0, "c1": 0}
+        for i in range(4):
+            assignment["a%d" % i] = (3 >> i) & 1
+            assignment["b%d" % i] = (5 >> i) & 1
+        got = sum(1 << b for b in range(5)
+                  if specs["r%d" % b].on(**assignment))
+        assert got == 8
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ("misex1", "vg2", "pdc"))
+    def test_seeded_plas_are_reproducible(self, name):
+        _m1, specs1 = get(name).build()
+        _m2, specs2 = get(name).build()
+        for out in specs1:
+            assert specs1[out].on.sat_count() == specs2[out].on.sat_count()
+            assert specs1[out].off.sat_count() == \
+                specs2[out].off.sat_count()
+
+    def test_pdc_has_dont_cares(self):
+        _mgr, specs = get("pdc").build()
+        assert any(not isf.dc.is_false() for isf in specs.values())
+
+
+class TestGenerators:
+    def test_clustered_pla_dimensions(self):
+        data = clustered_pla(10, 6, seed=1, cluster_size=3,
+                             support_size=5, cubes_per_cluster=4)
+        assert data.num_inputs == 10
+        assert data.num_outputs == 6
+        # 2 clusters x 4 cubes.
+        assert len(data.cubes) == 8
+        mgr, specs = data.to_isfs()
+        assert len(specs) == 6
+
+    def test_clustered_pla_respects_support(self):
+        data = clustered_pla(12, 4, seed=2, cluster_size=4,
+                             support_size=5, cubes_per_cluster=6)
+        mgr, specs = data.to_isfs()
+        union_support = set()
+        for isf in specs.values():
+            union_support.update(isf.structural_support())
+        assert len(union_support) <= 5
+
+    def test_dc_cubes_emitted(self):
+        data = clustered_pla(8, 2, seed=3, cluster_size=2,
+                             support_size=4, cubes_per_cluster=3,
+                             dc_per_cluster=2)
+        assert any("-" in outputs for _inputs, outputs in data.cubes)
+
+    def test_windowed_pla(self):
+        data = windowed_pla(20, 20, seed=4, window=5)
+        mgr, specs = data.to_isfs()
+        for name, isf in specs.items():
+            assert len(isf.structural_support()) <= 5

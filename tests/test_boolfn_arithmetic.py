@@ -1,0 +1,148 @@
+"""Exhaustive tests for the bit-vector arithmetic builders."""
+
+import pytest
+
+from repro.bdd import BDD
+from repro.boolfn import arithmetic as arith
+
+from conftest import make_mgr
+
+
+def _mgr_and_vectors(width):
+    a_vars = list(range(width))
+    b_vars = list(range(width, 2 * width))
+    mgr = make_mgr(2 * width)
+    return mgr, arith.var_vector(mgr, a_vars), arith.var_vector(mgr, b_vars)
+
+
+def _assignment(a, b, width):
+    assignment = {}
+    for i in range(width):
+        assignment[i] = (a >> i) & 1
+        assignment[width + i] = (b >> i) & 1
+    return assignment
+
+
+def _value(mgr, bits, assignment):
+    return sum(1 << i for i, bit in enumerate(bits)
+               if mgr.eval(bit, assignment))
+
+
+WIDTH = 3
+ALL_PAIRS = [(a, b) for a in range(1 << WIDTH) for b in range(1 << WIDTH)]
+
+
+class TestAddSub:
+    def test_ripple_add_exhaustive(self):
+        mgr, xs, ys = _mgr_and_vectors(WIDTH)
+        total, carry = arith.ripple_add(mgr, xs, ys)
+        for a, b in ALL_PAIRS:
+            assignment = _assignment(a, b, WIDTH)
+            got = _value(mgr, total + [carry], assignment)
+            assert got == a + b, (a, b)
+
+    def test_unequal_widths_zero_extend(self):
+        mgr, xs, ys = _mgr_and_vectors(WIDTH)
+        total, carry = arith.ripple_add(mgr, xs[:2], ys)
+        for a, b in [(3, 7), (1, 5), (2, 2)]:
+            assignment = _assignment(a & 3, b, WIDTH)
+            got = _value(mgr, total + [carry], assignment)
+            assert got == (a & 3) + b
+
+    def test_ripple_sub_exhaustive_modular(self):
+        mgr, xs, ys = _mgr_and_vectors(WIDTH)
+        diff = arith.ripple_sub(mgr, xs, ys)
+        for a, b in ALL_PAIRS:
+            assignment = _assignment(a, b, WIDTH)
+            got = _value(mgr, diff, assignment)
+            assert got == (a - b) % (1 << WIDTH), (a, b)
+
+    def test_negate(self):
+        mgr, xs, _ys = _mgr_and_vectors(WIDTH)
+        neg = arith.negate(mgr, xs)
+        for a in range(1 << WIDTH):
+            assignment = _assignment(a, 0, WIDTH)
+            assert _value(mgr, neg, assignment) == (-a) % (1 << WIDTH)
+
+
+class TestMultiply:
+    def test_multiply_exhaustive(self):
+        mgr, xs, ys = _mgr_and_vectors(WIDTH)
+        product = arith.multiply(mgr, xs, ys)
+        for a, b in ALL_PAIRS:
+            assignment = _assignment(a, b, WIDTH)
+            assert _value(mgr, product, assignment) == a * b, (a, b)
+
+    def test_truncated_width(self):
+        mgr, xs, ys = _mgr_and_vectors(WIDTH)
+        product = arith.multiply(mgr, xs, ys, width=3)
+        for a, b in ALL_PAIRS:
+            assignment = _assignment(a, b, WIDTH)
+            assert _value(mgr, product, assignment) == (a * b) % 8
+
+    def test_square(self):
+        mgr, xs, _ys = _mgr_and_vectors(WIDTH)
+        squared = arith.square(mgr, xs)
+        for a in range(1 << WIDTH):
+            assignment = _assignment(a, 0, WIDTH)
+            assert _value(mgr, squared, assignment) == a * a
+
+
+class TestComparisons:
+    def test_equal_exhaustive(self):
+        mgr, xs, ys = _mgr_and_vectors(WIDTH)
+        eq = arith.equal(mgr, xs, ys)
+        for a, b in ALL_PAIRS:
+            assert mgr.eval(eq, _assignment(a, b, WIDTH)) == (a == b)
+
+    def test_less_than_exhaustive(self):
+        mgr, xs, ys = _mgr_and_vectors(WIDTH)
+        lt = arith.unsigned_less_than(mgr, xs, ys)
+        for a, b in ALL_PAIRS:
+            assert mgr.eval(lt, _assignment(a, b, WIDTH)) == (a < b)
+
+
+class TestVectorHelpers:
+    def test_const_vector(self):
+        mgr = make_mgr(1)
+        bits = arith.const_vector(mgr, 0b101, 4)
+        assert [bit == mgr.true for bit in bits] == [True, False, True,
+                                                     False]
+
+    def test_mux_vector(self):
+        mgr, xs, ys = _mgr_and_vectors(2)
+        sel_mgr_var = mgr.add_var("sel")
+        sel = mgr.var("sel")
+        muxed = arith.mux_vector(mgr, sel, xs, ys)
+        assignment = _assignment(0b10, 0b01, 2)
+        assignment[sel_mgr_var] = 1
+        assert _value(mgr, muxed, assignment) == 0b10
+        assignment[sel_mgr_var] = 0
+        assert _value(mgr, muxed, assignment) == 0b01
+
+    def test_bitwise(self):
+        mgr, xs, ys = _mgr_and_vectors(2)
+        anded = arith.bitwise(mgr, mgr.and_, xs, ys)
+        assignment = _assignment(0b11, 0b10, 2)
+        assert _value(mgr, anded, assignment) == 0b10
+
+    def test_weighted_sum(self):
+        mgr = make_mgr(3)
+        total = arith.weighted_sum(mgr, [0, 1, 2], [1, 2, 4], width=4)
+        for i in range(8):
+            assignment = {k: (i >> k) & 1 for k in range(3)}
+            expected = (i & 1) + 2 * ((i >> 1) & 1) + 4 * ((i >> 2) & 1)
+            assert _value(mgr, total, assignment) == expected
+
+
+class TestFullAdder:
+    @pytest.mark.parametrize("a,b,cin", [(x, y, z) for x in (0, 1)
+                                         for y in (0, 1) for z in (0, 1)])
+    def test_full_adder_truth_table(self, a, b, cin):
+        mgr = BDD(["a", "b", "cin"])
+        s, cout = arith.full_adder(mgr, mgr.var("a"), mgr.var("b"),
+                                   mgr.var("cin"))
+        assignment = {"a": a, "b": b, "cin": cin}
+        total = a + b + cin
+        assert mgr.eval(s, assignment) == bool(total & 1)
+        assert mgr.eval(cout, assignment) == bool(total >> 1)

@@ -1,0 +1,95 @@
+"""Tests for the Boolean expression parser."""
+
+import pytest
+
+from repro.bdd import BDD
+from repro.boolfn import ExprError, parse
+
+
+@pytest.fixture
+def mgr():
+    return BDD(["a", "b", "c"])
+
+
+class TestBasics:
+    def test_literals_and_constants(self, mgr):
+        assert parse(mgr, "a") == mgr.fn_vars()[0]
+        assert parse(mgr, "1").is_true()
+        assert parse(mgr, "0").is_false()
+
+    def test_negation_forms(self, mgr):
+        a = mgr.fn_vars()[0]
+        assert parse(mgr, "~a") == ~a
+        assert parse(mgr, "!a") == ~a
+        assert parse(mgr, "~~a") == a
+
+    def test_operator_aliases(self, mgr):
+        a, b, _c = mgr.fn_vars()
+        assert parse(mgr, "a * b") == (a & b)
+        assert parse(mgr, "a + b") == (a | b)
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_xor(self, mgr):
+        a, b, c = mgr.fn_vars()
+        assert parse(mgr, "a ^ b & c") == (a ^ (b & c))
+
+    def test_xor_binds_tighter_than_or(self, mgr):
+        a, b, c = mgr.fn_vars()
+        assert parse(mgr, "a | b ^ c") == (a | (b ^ c))
+
+    def test_not_binds_tightest(self, mgr):
+        a, b, _c = mgr.fn_vars()
+        assert parse(mgr, "~a & b") == (~a & b)
+
+    def test_parentheses_override(self, mgr):
+        a, b, c = mgr.fn_vars()
+        assert parse(mgr, "(a | b) & c") == ((a | b) & c)
+
+    def test_left_associativity(self, mgr):
+        a, b, c = mgr.fn_vars()
+        assert parse(mgr, "a ^ b ^ c") == ((a ^ b) ^ c)
+
+
+class TestAutoVars:
+    def test_unknown_variable_rejected_by_default(self, mgr):
+        with pytest.raises(ExprError):
+            parse(mgr, "zz")
+
+    def test_auto_vars_creates_variables(self):
+        mgr = BDD()
+        f = parse(mgr, "p & ~q", auto_vars=True)
+        assert mgr.var_names == ("p", "q")
+        assert f(p=1, q=0)
+
+    def test_bracketed_identifiers(self):
+        mgr = BDD()
+        f = parse(mgr, "x[0] ^ x[1]", auto_vars=True)
+        assert "x[0]" in mgr.var_names
+
+
+class TestErrors:
+    def test_trailing_garbage(self, mgr):
+        with pytest.raises(ExprError):
+            parse(mgr, "a b")
+
+    def test_unbalanced_parens(self, mgr):
+        with pytest.raises(ExprError):
+            parse(mgr, "(a & b")
+
+    def test_bad_character(self, mgr):
+        with pytest.raises(ExprError):
+            parse(mgr, "a @ b")
+
+    def test_empty_operand(self, mgr):
+        with pytest.raises(ExprError):
+            parse(mgr, "a &")
+
+
+class TestRoundTripWithEvaluation:
+    def test_complex_expression(self, mgr):
+        f = parse(mgr, "(a ^ b) & (b | ~c) ^ ~(a & c)")
+        for i in range(8):
+            a, b, c = i & 1, (i >> 1) & 1, (i >> 2) & 1
+            expected = ((a ^ b) & (b | (1 - c))) ^ (1 - (a & c))
+            assert f(a=a, b=b, c=c) == bool(expected), (a, b, c)

@@ -1,0 +1,104 @@
+"""Tests for the totally-symmetric function builders."""
+
+from math import comb
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDD, sat_count
+from repro.boolfn import (count_ones_bit, exactly, majority, parity,
+                          symmetric, threshold, weight_set)
+
+from conftest import make_mgr
+
+
+def _weight(assignment, n):
+    return sum(assignment.get(i, 0) for i in range(n))
+
+
+class TestSymmetric:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.booleans(), min_size=6, max_size=6))
+    def test_matches_definition_exhaustively(self, vector):
+        n = 5
+        mgr = make_mgr(n)
+        node = symmetric(mgr, range(n), vector)
+        for i in range(1 << n):
+            assignment = {k: (i >> k) & 1 for k in range(n)}
+            expected = bool(vector[_weight(assignment, n)])
+            assert mgr.eval(node, assignment) == expected
+
+    def test_wrong_vector_length_rejected(self):
+        mgr = make_mgr(3)
+        with pytest.raises(ValueError):
+            symmetric(mgr, range(3), [1, 0])
+
+    def test_invariant_under_variable_permutation(self):
+        mgr = make_mgr(4)
+        vector = [0, 1, 1, 0, 1]
+        assert symmetric(mgr, [0, 1, 2, 3], vector) == \
+            symmetric(mgr, [3, 1, 0, 2], vector)
+
+    def test_node_count_is_quadratic_not_exponential(self):
+        mgr = make_mgr(16)
+        node = weight_set(mgr, range(16), {8})
+        # The counting lattice has at most sum_{i<=n}(i+1) nodes.
+        assert mgr.node_count(node) <= 17 * 18 // 2 + 2
+
+    def test_zero_variables(self):
+        mgr = make_mgr(1)
+        assert symmetric(mgr, [], [1]) == mgr.true
+        assert symmetric(mgr, [], [0]) == mgr.false
+
+
+class TestNamedFamilies:
+    def test_weight_set_count(self):
+        mgr = make_mgr(9)
+        node = weight_set(mgr, range(9), {3, 4, 5, 6})
+        expected = sum(comb(9, k) for k in (3, 4, 5, 6))
+        assert sat_count(mgr, node) == expected
+
+    def test_parity_odd_and_even(self):
+        mgr = make_mgr(5)
+        odd = parity(mgr, range(5), odd=True)
+        even = parity(mgr, range(5), odd=False)
+        assert mgr.not_(odd) == even
+        assert sat_count(mgr, odd) == 16
+        # Parity equals the XOR chain.
+        chain = mgr.false
+        for i in range(5):
+            chain = mgr.xor(chain, mgr.var(i))
+        assert odd == chain
+
+    def test_threshold_and_exactly(self):
+        mgr = make_mgr(6)
+        assert sat_count(mgr, threshold(mgr, range(6), 4)) == \
+            comb(6, 4) + comb(6, 5) + comb(6, 6)
+        assert sat_count(mgr, exactly(mgr, range(6), 2)) == comb(6, 2)
+        # threshold(k) - threshold(k+1) == exactly(k)
+        diff = mgr.diff(threshold(mgr, range(6), 2),
+                        threshold(mgr, range(6), 3))
+        assert diff == exactly(mgr, range(6), 2)
+
+    def test_majority(self):
+        mgr = make_mgr(3)
+        node = majority(mgr, range(3))
+        assert mgr.eval(node, {0: 1, 1: 1, 2: 0})
+        assert not mgr.eval(node, {0: 1, 1: 0, 2: 0})
+
+    def test_count_ones_bits_recompose_weight(self):
+        n = 7
+        mgr = make_mgr(n)
+        bits = [count_ones_bit(mgr, range(n), b) for b in range(3)]
+        for i in range(1 << n):
+            assignment = {k: (i >> k) & 1 for k in range(n)}
+            weight = _weight(assignment, n)
+            got = sum((1 << b) for b in range(3)
+                      if mgr.eval(bits[b], assignment))
+            assert got == weight
+
+    def test_subset_of_variables(self):
+        mgr = make_mgr(5)
+        node = threshold(mgr, [1, 3], 2)
+        assert node == mgr.and_(mgr.var(1), mgr.var(3))

@@ -1,0 +1,121 @@
+"""Tests for Ashenhurst simple disjoint decomposition (BDD-cut method)."""
+
+import itertools
+
+from hypothesis import given, settings
+
+from repro.bdd import BDD, FALSE, TRUE
+from repro.boolfn import from_truth_table, parse
+from repro.decomp.ashenhurst import (ashenhurst_decompose,
+                                     find_ashenhurst)
+
+from conftest import brute_force, make_mgr, tt_strategy
+
+
+def _column_multiplicity(table, bound, n):
+    """Brute-force oracle: number of distinct columns of the map whose
+    rows are bound-set assignments."""
+    free = [v for v in range(n) if v not in bound]
+    columns = set()
+    for b_bits in range(1 << len(bound)):
+        column = 0
+        for f_bits in range(1 << len(free)):
+            index = 0
+            for k, var in enumerate(bound):
+                index |= ((b_bits >> k) & 1) << var
+            for k, var in enumerate(free):
+                index |= ((f_bits >> k) & 1) << var
+            column |= ((table >> index) & 1) << f_bits
+        columns.add(column)
+    return len(columns)
+
+
+class TestAgainstOracle:
+    @settings(max_examples=50, deadline=None)
+    @given(tt_strategy(4))
+    def test_decomposability_matches_column_multiplicity(self, table):
+        for bound in itertools.combinations(range(4), 2):
+            mgr = make_mgr(4)
+            f = from_truth_table(mgr, [0, 1, 2, 3], table)
+            expected = _column_multiplicity(table, bound, 4) <= 2
+            result = ashenhurst_decompose(mgr, f, bound)
+            assert (result is not None) == expected, (bound, table)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tt_strategy(4))
+    def test_recomposition_is_exact(self, table):
+        for bound in itertools.combinations(range(4), 2):
+            mgr = make_mgr(4)
+            f = from_truth_table(mgr, [0, 1, 2, 3], table)
+            expected_tt = brute_force(mgr, f, [0, 1, 2, 3])
+            result = ashenhurst_decompose(mgr, f, bound)
+            if result is None:
+                continue
+            rebuilt = result.recompose(mgr)
+            assert brute_force(mgr, rebuilt, [0, 1, 2, 3]) \
+                == expected_tt
+            # G depends only on the bound set, H's parts only on free.
+            assert set(mgr.support(result.g)) <= set(bound)
+            free = set(range(4)) - set(bound)
+            assert set(mgr.support(result.h1)) <= free
+            assert set(mgr.support(result.h0)) <= free
+
+
+class TestKnownStructures:
+    def test_xor_of_bound_block(self):
+        mgr = BDD(["a", "b", "c", "d"])
+        f = parse(mgr, "(a ^ b) ^ (c & d)")
+        result = ashenhurst_decompose(mgr, f.node, ["a", "b"])
+        assert result is not None
+        assert set(mgr.support(result.g)) == {0, 1}
+
+    def test_mux_driven_by_block(self):
+        mgr = BDD(["a", "b", "c", "d"])
+        f = parse(mgr, "(a & b) & c | ~(a & b) & d")
+        result = ashenhurst_decompose(mgr, f.node, ["a", "b"])
+        assert result is not None
+        # G must be (a & b) up to complement.
+        g = mgr.fn(result.g)
+        ab = parse(mgr, "a & b")
+        assert g == ab or g == ~ab
+
+    def test_undundecomposable_bound_set(self):
+        # Column multiplicity of an adder-sum w.r.t. a mixed pair is 4.
+        mgr = BDD(["a", "b", "c", "d"])
+        f = parse(mgr, "(a & c) | (b & d) | (a & ~b & ~d)")
+        assert ashenhurst_decompose(mgr, f.node, ["a", "b"]) is None
+
+    def test_constant_and_independent_functions(self):
+        mgr = BDD(["a", "b", "c"])
+        result = ashenhurst_decompose(mgr, TRUE, ["a"])
+        assert result is not None and result.h1 == TRUE
+        f = parse(mgr, "b & c")
+        result = ashenhurst_decompose(mgr, f.node, ["a"])
+        assert result is not None
+        assert result.g == FALSE
+        assert result.h0 == f.node
+
+    def test_function_of_bound_only(self):
+        mgr = BDD(["a", "b", "c"])
+        f = parse(mgr, "a ^ b")
+        result = ashenhurst_decompose(mgr, f.node, ["a", "b"])
+        assert result is not None
+        assert result.recompose(mgr) == f.node
+
+
+class TestSearch:
+    def test_finds_hidden_block(self):
+        mgr = BDD(["a", "b", "c", "d", "e"])
+        f = parse(mgr, "((a ^ b) | c) & (d ^ e) | (~((a^b) | c) & ~d)")
+        result = find_ashenhurst(mgr, f.node)
+        assert result is not None
+        rebuilt = result.recompose(mgr)
+        assert brute_force(mgr, rebuilt, [0, 1, 2, 3, 4]) == \
+            brute_force(mgr, f.node, [0, 1, 2, 3, 4])
+
+    def test_none_for_prime_function(self):
+        # 3-input majority has no simple disjoint decomposition with a
+        # proper bound set of size 2.
+        mgr = BDD(["a", "b", "c"])
+        f = parse(mgr, "a&b | b&c | a&c")
+        assert find_ashenhurst(mgr, f.node) is None

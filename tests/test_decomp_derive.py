@@ -1,0 +1,122 @@
+"""Tests for component derivation (Theorems 3 & 4, Table 1).
+
+The central property: for any decomposable ISF and any compatible
+choice f_A from component A's interval, the derived component B admits
+a compatible f_B such that ``f_A <gate> f_B`` is compatible with the
+original interval — with the right supports.
+"""
+
+from hypothesis import given, settings
+
+from repro.bdd import BDD
+from repro.boolfn import ISF, parse
+from repro.decomp import (and_decomposable, derive_and_component_a,
+                          derive_and_component_b, derive_or_component_a,
+                          derive_or_component_b,
+                          derive_weak_or_component_a,
+                          derive_weak_and_component_a,
+                          or_decomposable, weak_or_useful)
+
+from conftest import build_isf, isf_strategy, make_mgr
+
+
+def _supports_within(fn, allowed):
+    return set(fn.support()) <= set(allowed)
+
+
+class TestOrDerivation:
+    @settings(max_examples=60, deadline=None)
+    @given(isf_strategy(4))
+    def test_theorem3_and_4_recompose(self, pair):
+        on_tt, off_tt = pair
+        mgr = make_mgr(4)
+        isf = build_isf(mgr, [0, 1, 2, 3], on_tt, off_tt)
+        xa, xb = [0], [1]
+        if not or_decomposable(isf, xa, xb):
+            return
+        isf_a = derive_or_component_a(isf, xa, xb)
+        # A's interval must be non-empty and independent of XB.
+        f_a = isf_a.cover()
+        assert isf_a.is_compatible(f_a)
+        assert _supports_within(f_a, [0, 2, 3])
+        isf_b = derive_or_component_b(isf, f_a, xa)
+        f_b = isf_b.cover()
+        assert isf_b.is_compatible(f_b)
+        assert _supports_within(f_b, [1, 2, 3])
+        assert isf.is_compatible(f_a | f_b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(isf_strategy(4))
+    def test_or_derivation_accepts_extreme_choices(self, pair):
+        # Not just the heuristic cover: the lower and upper bounds of
+        # A's interval must also recompose.
+        on_tt, off_tt = pair
+        mgr = make_mgr(4)
+        isf = build_isf(mgr, [0, 1, 2, 3], on_tt, off_tt)
+        xa, xb = [0, 2], [1, 3]
+        if not or_decomposable(isf, xa, xb):
+            return
+        isf_a = derive_or_component_a(isf, xa, xb)
+        for f_a in (isf_a.on, isf_a.upper):
+            isf_b = derive_or_component_b(isf, f_a, xa)
+            f_b = isf_b.cover()
+            assert isf.is_compatible(f_a | f_b)
+
+
+class TestAndDerivation:
+    @settings(max_examples=60, deadline=None)
+    @given(isf_strategy(4))
+    def test_and_recomposes_via_duality(self, pair):
+        on_tt, off_tt = pair
+        mgr = make_mgr(4)
+        isf = build_isf(mgr, [0, 1, 2, 3], on_tt, off_tt)
+        xa, xb = [0], [1]
+        if not and_decomposable(isf, xa, xb):
+            return
+        isf_a = derive_and_component_a(isf, xa, xb)
+        f_a = isf_a.cover()
+        assert _supports_within(f_a, [0, 2, 3])
+        isf_b = derive_and_component_b(isf, f_a, xa)
+        f_b = isf_b.cover()
+        assert _supports_within(f_b, [1, 2, 3])
+        assert isf.is_compatible(f_a & f_b)
+
+    def test_known_and_example(self):
+        mgr = BDD(["a", "b", "c"])
+        isf = ISF.from_csf(parse(mgr, "(a | c) & (b | c)"))
+        assert and_decomposable(isf, ["a"], ["b"])
+        isf_a = derive_and_component_a(isf, ["a"], ["b"])
+        assert isf_a.is_compatible(parse(mgr, "a | c"))
+
+
+class TestWeakDerivation:
+    @settings(max_examples=60, deadline=None)
+    @given(isf_strategy(4))
+    def test_weak_or_recomposes_and_shrinks(self, pair):
+        on_tt, off_tt = pair
+        mgr = make_mgr(4)
+        isf = build_isf(mgr, [0, 1, 2, 3], on_tt, off_tt)
+        xa = [0]
+        if not weak_or_useful(isf, xa):
+            return
+        isf_a = derive_weak_or_component_a(isf, xa)
+        # Usefulness means A's on-set strictly shrank.
+        assert isf_a.on.sat_count() < isf.on.sat_count()
+        f_a = isf_a.cover()
+        isf_b = derive_or_component_b(isf, f_a, xa)
+        f_b = isf_b.cover()
+        # B must not depend on XA.
+        assert 0 not in f_b.support()
+        assert isf.is_compatible(f_a | f_b)
+
+    def test_weak_and_dual(self):
+        mgr = BDD(["a", "b", "c"])
+        isf = ISF.from_csf(parse(mgr, "(a | ~c) & (b | c)"))
+        isf_a = derive_weak_and_component_a(isf, ["a"])
+        # Weak AND grows A's *off*-freedom: off-set shrinks.
+        assert isf_a.off.sat_count() <= isf.off.sat_count()
+        f_a = isf_a.cover()
+        isf_b = derive_and_component_b(isf, f_a, ["a"])
+        f_b = isf_b.cover()
+        assert "a" not in f_b.support_names()
+        assert isf.is_compatible(f_a & f_b)

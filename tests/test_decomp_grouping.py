@@ -1,0 +1,119 @@
+"""Tests for variable grouping (Figs. 5 and 6) and grouping selection."""
+
+from hypothesis import given, settings
+
+from repro.bdd import BDD
+from repro.boolfn import ISF, parse, weight_set
+from repro.decomp import (AND_GATE, EXOR_GATE, OR_GATE, and_decomposable,
+                          exor_decomposable, find_best_grouping,
+                          find_initial_grouping, group_variables,
+                          grouping_score, or_decomposable)
+
+from conftest import build_isf, isf_strategy, make_mgr
+
+
+def _check_of(gate):
+    return {OR_GATE: or_decomposable, AND_GATE: and_decomposable,
+            EXOR_GATE: exor_decomposable}[gate]
+
+
+class TestInitialGrouping:
+    def test_finds_seed_for_or_function(self):
+        mgr = BDD(["a", "b", "c", "d"])
+        isf = ISF.from_csf(parse(mgr, "a & b | c & d"))
+        seed = find_initial_grouping(isf, isf.structural_support(),
+                                     OR_GATE)
+        assert seed is not None
+        xa, xb = seed
+        assert len(xa) == 1 and len(xb) == 1
+        assert or_decomposable(isf, xa, xb)
+
+    def test_returns_none_when_impossible(self):
+        # 3-input majority has no strong bi-decomposition at all.
+        mgr = BDD(["a", "b", "c"])
+        isf = ISF.from_csf(parse(mgr, "a&b | b&c | a&c"))
+        support = isf.structural_support()
+        for gate in (OR_GATE, AND_GATE, EXOR_GATE):
+            assert find_initial_grouping(isf, support, gate) is None
+
+    def test_exor_seed_on_parity(self):
+        mgr = make_mgr(4)
+        f = mgr.fn_false()
+        for i in range(4):
+            f = f ^ mgr.fn(mgr.var(i))
+        isf = ISF.from_csf(f)
+        seed = find_initial_grouping(isf, isf.structural_support(),
+                                     EXOR_GATE)
+        assert seed is not None
+
+
+class TestGroupVariables:
+    @settings(max_examples=30, deadline=None)
+    @given(isf_strategy(4))
+    def test_grown_sets_remain_valid_and_disjoint(self, pair):
+        on_tt, off_tt = pair
+        mgr = make_mgr(4)
+        isf = build_isf(mgr, [0, 1, 2, 3], on_tt, off_tt)
+        support = isf.structural_support()
+        for gate in (OR_GATE, AND_GATE, EXOR_GATE):
+            grouping = group_variables(isf, support, gate)
+            if grouping is None:
+                continue
+            xa, xb = grouping
+            assert xa and xb
+            assert not (xa & xb)
+            assert (xa | xb) <= set(support)
+            assert _check_of(gate)(isf, xa, xb)
+
+    def test_disjoint_or_groups_everything(self):
+        # F = (a|b) | (c|d): grouping should absorb all four variables.
+        mgr = BDD(["a", "b", "c", "d"])
+        isf = ISF.from_csf(parse(mgr, "a | b | c | d"))
+        xa, xb = group_variables(isf, isf.structural_support(), OR_GATE)
+        assert len(xa) + len(xb) == 4
+
+    def test_balanced_growth_for_symmetric_function(self):
+        # 6-input parity: EXOR grouping must cover all variables with
+        # |XA| and |XB| differing by at most 1 (the Fig. 6 strategy).
+        mgr = make_mgr(6)
+        f = mgr.fn_false()
+        for i in range(6):
+            f = f ^ mgr.fn(mgr.var(i))
+        isf = ISF.from_csf(f)
+        xa, xb = group_variables(isf, isf.structural_support(), EXOR_GATE)
+        assert len(xa) + len(xb) == 6
+        assert abs(len(xa) - len(xb)) <= 1
+
+
+class TestBestGrouping:
+    def test_score_prefers_more_variables(self):
+        assert grouping_score({0, 1, 2}, {3}) > grouping_score({0}, {3})
+
+    def test_score_prefers_balance_on_equal_size(self):
+        assert grouping_score({0, 1}, {2, 3}) > \
+            grouping_score({0, 1, 2}, {3})
+
+    def test_find_best_uses_preference_on_ties(self):
+        candidates = {OR_GATE: ({0}, {1}), AND_GATE: ({0}, {1})}
+        gate, _xa, _xb = find_best_grouping(
+            candidates, preference=(AND_GATE, OR_GATE, EXOR_GATE))
+        assert gate == AND_GATE
+        gate, _xa, _xb = find_best_grouping(
+            candidates, preference=(OR_GATE, AND_GATE, EXOR_GATE))
+        assert gate == OR_GATE
+
+    def test_find_best_skips_missing(self):
+        candidates = {OR_GATE: None, EXOR_GATE: ({0, 2}, {1})}
+        gate, xa, xb = find_best_grouping(candidates)
+        assert gate == EXOR_GATE
+        assert (xa, xb) == ({0, 2}, {1})
+
+    def test_find_best_none_when_empty(self):
+        assert find_best_grouping({OR_GATE: None}) is None
+        assert find_best_grouping({}) is None
+
+    def test_bigger_grouping_beats_preference(self):
+        candidates = {OR_GATE: ({0}, {1}),
+                      EXOR_GATE: ({0, 2}, {1, 3})}
+        gate, _xa, _xb = find_best_grouping(candidates)
+        assert gate == EXOR_GATE

@@ -1,0 +1,176 @@
+"""Tests for the terminal-case gate emitter and the component cache."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BDD
+from repro.boolfn import ISF, from_truth_table, parse
+from repro.decomp import ComponentCache, NullCache, find_gate
+from repro.network import Netlist, compute_stats, gates as G
+from repro.network.extract import node_functions
+
+from conftest import make_mgr
+
+
+def _setup(n=2):
+    mgr = make_mgr(n)
+    nl = Netlist(mgr.var_names)
+    var_nodes = {v: nl.input_node(mgr.var_name(v)) for v in range(n)}
+    return mgr, nl, var_nodes
+
+
+def _netlist_tt(nl, node, mgr):
+    bdds = node_functions(nl, mgr, restrict_to={node})
+    return bdds[node]
+
+
+class TestFindGateExhaustive:
+    def test_all_two_variable_intervals(self):
+        # Every consistent (must1, must0) mask pair over 2 variables:
+        # 3^4 = 81 interval combinations.
+        mgr, nl, var_nodes = _setup(2)
+        variables = [0, 1]
+        for cells in itertools.product((0, 1, None), repeat=4):
+            on_tt = sum(1 << i for i, cell in enumerate(cells)
+                        if cell == 1)
+            off_tt = sum(1 << i for i, cell in enumerate(cells)
+                         if cell == 0)
+            on = mgr.fn(from_truth_table(mgr, variables, on_tt))
+            off = mgr.fn(from_truth_table(mgr, variables, off_tt))
+            isf = ISF(on, off)
+            csf, node = find_gate(isf, variables, nl, var_nodes)
+            assert isf.is_compatible(csf), cells
+            # The netlist node must compute exactly the claimed CSF.
+            assert _netlist_tt(nl, node, mgr) == csf.node, cells
+
+    def test_single_variable_cases(self):
+        mgr, nl, var_nodes = _setup(1)
+        a = parse(mgr, "x0")
+        for on, off, expected in [
+                (a, ~a, a), (~a, a, ~a),
+                (a, mgr.fn_false(), None),  # any superset of a works
+                (mgr.fn_false(), mgr.fn_false(), None)]:
+            csf, node = find_gate(ISF(on, off), [0], nl, var_nodes)
+            assert ISF(on, off).is_compatible(csf)
+            if expected is not None:
+                assert csf == expected
+
+    def test_empty_support_constant(self):
+        mgr, nl, var_nodes = _setup(1)
+        csf, node = find_gate(ISF(mgr.fn_true(), mgr.fn_false()), [],
+                              nl, var_nodes)
+        assert csf.is_true()
+        assert nl.is_constant(node, 1)
+
+    def test_too_many_variables_rejected(self):
+        mgr, nl, var_nodes = _setup(3)
+        isf = ISF(mgr.fn_false(), mgr.fn_false())
+        with pytest.raises(ValueError):
+            find_gate(isf, [0, 1, 2], nl, var_nodes)
+
+
+class TestFindGateCost:
+    def test_prefers_wire_over_gate(self):
+        mgr, nl, var_nodes = _setup(2)
+        a = parse(mgr, "x0")
+        # Interval [x0 & x1, x0 | x1] admits the plain wire x0.
+        isf = ISF.from_interval(a & parse(mgr, "x1"),
+                                a | parse(mgr, "x1"))
+        csf, node = find_gate(isf, [0, 1], nl, var_nodes)
+        assert node == var_nodes[0] or node == var_nodes[1]
+
+    def test_prefers_constant_over_everything(self):
+        mgr, nl, var_nodes = _setup(2)
+        isf = ISF(parse(mgr, "x0 & x1"), mgr.fn_false())
+        csf, node = find_gate(isf, [0, 1], nl, var_nodes)
+        assert csf.is_true()
+
+    def test_emits_exor_only_when_forced(self):
+        mgr, nl, var_nodes = _setup(2)
+        f = parse(mgr, "x0 ^ x1")
+        csf, node = find_gate(ISF.from_csf(f), [0, 1], nl, var_nodes)
+        assert csf == f
+        assert nl.types[node] == G.XOR
+
+    def test_negative_literal_costs_one_inverter(self):
+        mgr, nl, var_nodes = _setup(2)
+        f = ~parse(mgr, "x0")
+        csf, node = find_gate(ISF.from_csf(f), [0], nl, var_nodes)
+        assert nl.types[node] == G.NOT
+
+
+class TestComponentCache:
+    def test_direct_hit(self):
+        mgr = make_mgr(2)
+        cache = ComponentCache()
+        f = parse(mgr, "x0 & x1")
+        cache.insert(f, 42)
+        hit = cache.lookup(ISF.from_csf(f), f.support())
+        assert hit == (f, 42, False)
+        assert cache.hits == 1
+
+    def test_complement_hit(self):
+        mgr = make_mgr(2)
+        cache = ComponentCache()
+        f = parse(mgr, "x0 | x1")
+        cache.insert(f, 7)
+        isf = ISF.from_csf(~f)
+        csf, node, complemented = cache.lookup(isf, f.support())
+        assert complemented is True
+        assert node == 7
+        assert csf == ~f
+        assert cache.complement_hits == 1
+
+    def test_interval_hit(self):
+        mgr = make_mgr(2)
+        cache = ComponentCache()
+        f = parse(mgr, "x0 | x1")
+        cache.insert(f, 3)
+        isf = ISF.from_interval(parse(mgr, "x0 & x1"),
+                                parse(mgr, "x0 | x1"))
+        hit = cache.lookup(isf, isf.structural_support())
+        assert hit is not None and hit[1] == 3
+
+    def test_exact_support_hashing_misses_smaller_support(self):
+        # The paper hashes by exact support: a compatible function with
+        # a *smaller* support is deliberately not searched for.
+        mgr = make_mgr(2)
+        cache = ComponentCache()
+        cache.insert(parse(mgr, "x0"), 3)  # support {x0}
+        isf = ISF.from_interval(parse(mgr, "x0 & x1"),
+                                parse(mgr, "x0 | x1"))  # support {x0,x1}
+        assert cache.lookup(isf, isf.structural_support()) is None
+
+    def test_miss_on_wrong_support(self):
+        mgr = make_mgr(3)
+        cache = ComponentCache()
+        f = parse(mgr, "x0 & x1")
+        cache.insert(f, 1)
+        isf = ISF.from_csf(parse(mgr, "x0 & x2"))
+        assert cache.lookup(isf, isf.structural_support()) is None
+
+    def test_miss_on_incompatible_function(self):
+        mgr = make_mgr(2)
+        cache = ComponentCache()
+        cache.insert(parse(mgr, "x0 & x1"), 1)
+        isf = ISF.from_csf(parse(mgr, "x0 ^ x1"))
+        assert cache.lookup(isf, isf.structural_support()) is None
+        assert cache.hits == 0
+
+    def test_stats_and_size(self):
+        mgr = make_mgr(2)
+        cache = ComponentCache()
+        cache.insert(parse(mgr, "x0"), 1)
+        cache.insert(parse(mgr, "x0 & x1"), 2)
+        stats = cache.stats()
+        assert stats["insertions"] == 2
+        assert stats["size"] == 2
+
+    def test_null_cache_never_hits(self):
+        mgr = make_mgr(2)
+        cache = NullCache()
+        f = parse(mgr, "x0")
+        cache.insert(f, 1)
+        assert cache.lookup(ISF.from_csf(f), f.support()) is None
+        assert cache.size() == 0

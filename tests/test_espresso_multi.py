@@ -1,0 +1,128 @@
+"""Tests for multi-output (shared-cube) espresso minimisation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines import (MOCube, espresso_multi, multi_cost,
+                             pla_area, pla_rows)
+from repro.baselines.espresso_multi import (expand_multi,
+                                            irredundant_multi,
+                                            reduce_multi)
+from repro.bdd import BDD, FALSE
+from repro.boolfn import from_truth_table, parse
+
+from conftest import isf_strategy, make_mgr
+
+
+def _interval_dicts(mgr, pairs):
+    lowers = {}
+    uppers = {}
+    for name, (on_tt, off_tt) in pairs.items():
+        lowers[name] = from_truth_table(mgr, [0, 1, 2, 3], on_tt)
+        uppers[name] = mgr.not_(from_truth_table(mgr, [0, 1, 2, 3],
+                                                 off_tt))
+    return lowers, uppers
+
+
+class TestContract:
+    @settings(max_examples=25, deadline=None)
+    @given(isf_strategy(4), isf_strategy(4))
+    def test_every_output_stays_in_its_interval(self, p1, p2):
+        mgr = make_mgr(4)
+        lowers, uppers = _interval_dicts(mgr, {"u": p1, "v": p2})
+        cubes, covers = espresso_multi(mgr, lowers, uppers)
+        for name in lowers:
+            assert mgr.diff(lowers[name], covers[name]) == FALSE
+            assert mgr.diff(covers[name], uppers[name]) == FALSE
+        # Validity: every cube lies inside each connected output's
+        # upper bound.
+        for cube in cubes:
+            node = cube.to_bdd(mgr)
+            for output in cube.outputs:
+                assert mgr.diff(node, uppers[output]) == FALSE
+
+    def test_invalid_interval_rejected(self):
+        mgr = make_mgr(2)
+        with pytest.raises(ValueError):
+            espresso_multi(mgr, {"u": mgr.true}, {"u": mgr.var(0)})
+
+
+class TestSharing:
+    def test_common_product_term_is_shared(self):
+        mgr = BDD(["a", "b", "c", "d"])
+        f = parse(mgr, "a&b | c")
+        g = parse(mgr, "a&b | d")
+        cubes, _covers = espresso_multi(
+            mgr, {"f": f.node, "g": g.node},
+            {"f": f.node, "g": g.node})
+        assert pla_rows(cubes) == 3
+        shared = [c for c in cubes if len(c.outputs) == 2]
+        assert len(shared) == 1
+        assert shared[0].literals == {0: 1, 1: 1}
+
+    def test_identical_outputs_collapse_to_one_column_set(self):
+        mgr = BDD(["a", "b"])
+        f = parse(mgr, "a ^ b")
+        cubes, _covers = espresso_multi(
+            mgr, {"u": f.node, "v": f.node},
+            {"u": f.node, "v": f.node})
+        assert all(c.outputs == frozenset({"u", "v"}) for c in cubes)
+        assert pla_rows(cubes) == 2
+
+    def test_output_raising_uses_dont_cares(self):
+        mgr = BDD(["a", "b"])
+        f = parse(mgr, "a & b")
+        # g's interval is wide open: raising may connect anything.
+        cubes, covers = espresso_multi(
+            mgr, {"f": f.node, "g": f.node},
+            {"f": f.node, "g": mgr.true})
+        assert pla_rows(cubes) == 1
+        assert cubes[0].outputs == frozenset({"f", "g"})
+
+
+class TestCostModel:
+    def test_pla_area_formula(self):
+        cubes = [MOCube({0: 1}, {"a"}), MOCube({1: 0}, {"a", "b"})]
+        assert pla_rows(cubes) == 2
+        assert pla_area(cubes, num_inputs=3, num_outputs=2) == 2 * 8
+        assert multi_cost(cubes) == (2, 2 + 3)
+
+
+class TestPhases:
+    def test_expand_raises_outputs(self):
+        mgr = BDD(["a", "b"])
+        f = parse(mgr, "a")
+        cubes = [MOCube({0: 1, 1: 1}, {"u"})]
+        grown = expand_multi(mgr, cubes, {"u": f.node, "v": f.node})
+        assert grown[0].literals == {0: 1}
+        assert grown[0].outputs == frozenset({"u", "v"})
+
+    def test_expand_absorbs_dominated(self):
+        mgr = BDD(["a", "b"])
+        upper = parse(mgr, "a")
+        cubes = [MOCube({0: 1}, {"u", "v"}), MOCube({0: 1, 1: 1}, {"u"})]
+        grown = expand_multi(mgr, cubes,
+                             {"u": upper.node, "v": upper.node})
+        assert len(grown) == 1
+
+    def test_irredundant_drops_connection_not_cube(self):
+        mgr = BDD(["a", "b"])
+        lowers = {"u": parse(mgr, "a").node, "v": parse(mgr, "a & b").node}
+        cubes = [MOCube({0: 1}, {"u"}),
+                 MOCube({0: 1, 1: 1}, {"u", "v"})]
+        kept = irredundant_multi(mgr, cubes, lowers)
+        # The second cube's "u" connection is redundant (cube 1 covers
+        # u alone) but its "v" connection is essential.
+        by_literals = {frozenset(c.literals.items()): c for c in kept}
+        narrow = by_literals[frozenset({(0, 1), (1, 1)})]
+        assert narrow.outputs == frozenset({"v"})
+
+    def test_reduce_keeps_coverage(self):
+        mgr = BDD(["a", "b"])
+        lowers = {"u": parse(mgr, "a | b").node}
+        cubes = [MOCube({0: 1}, {"u"}), MOCube({1: 1}, {"u"})]
+        reduced = reduce_multi(mgr, cubes, lowers)
+        cover = FALSE
+        for cube in reduced:
+            cover = mgr.or_(cover, cube.to_bdd(mgr))
+        assert mgr.diff(lowers["u"], cover) == FALSE

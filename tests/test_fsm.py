@@ -1,0 +1,181 @@
+"""Tests for the FSM substrate: KISS2, encoding, synthesis."""
+
+import itertools
+
+import pytest
+
+from repro.fsm import (FSM, FSMError, binary_codes, check_against_fsm,
+                       encode_fsm, one_hot_codes, parse_kiss,
+                       synthesize_fsm, write_kiss)
+
+DETECTOR = """\
+.i 1
+.o 1
+.s 3
+.p 6
+.r S0
+0 S0 S0 0
+1 S0 S1 0
+0 S1 S0 0
+1 S1 S2 1
+0 S2 S0 0
+1 S2 S2 1
+.e
+"""
+
+PARTIAL = """\
+.i 2
+.o 2
+.r A
+00 A A 00
+01 A B 0-
+10 A C 01
+00 B B 10
+11 B D --
+01 C A 1-
+10 C D 11
+-- D A 00
+.e
+"""
+
+
+class TestKiss:
+    def test_parse_headers_and_rows(self):
+        fsm = parse_kiss(DETECTOR)
+        assert fsm.num_inputs == 1
+        assert fsm.num_outputs == 1
+        assert fsm.num_states() == 3
+        assert fsm.reset_state == "S0"
+        assert len(fsm.transitions) == 6
+
+    def test_declared_counts_checked(self):
+        bad = DETECTOR.replace(".p 6", ".p 5")
+        with pytest.raises(FSMError):
+            parse_kiss(bad)
+        bad = DETECTOR.replace(".s 3", ".s 4")
+        with pytest.raises(FSMError):
+            parse_kiss(bad)
+
+    def test_roundtrip(self):
+        fsm = parse_kiss(PARTIAL)
+        fsm2 = parse_kiss(write_kiss(fsm))
+        assert fsm2.num_states() == fsm.num_states()
+        assert len(fsm2.transitions) == len(fsm.transitions)
+        assert fsm2.reset_state == fsm.reset_state
+
+    def test_bad_rows_rejected(self):
+        with pytest.raises(FSMError):
+            parse_kiss(".i 1\n.o 1\n0 A B\n.e\n")
+        with pytest.raises(FSMError):
+            parse_kiss(".i 2\n.o 1\n0 A B 1\n.e\n")
+
+
+class TestMachine:
+    def test_step_follows_transitions(self):
+        fsm = parse_kiss(DETECTOR)
+        assert fsm.step("S0", (1,)) == ("S1", (0,))
+        assert fsm.step("S1", (1,)) == ("S2", (1,))
+        assert fsm.step("S2", (1,)) == ("S2", (1,))
+
+    def test_unspecified_step_returns_none(self):
+        fsm = parse_kiss(PARTIAL)
+        assert fsm.step("B", (1, 0)) == (None, None)
+
+    def test_run_detects_11_sequence(self):
+        fsm = parse_kiss(DETECTOR)
+        trace = list(fsm.run([(1,), (1,), (0,), (1,), (1,)]))
+        outputs = [outs[0] for _s, _i, _n, outs in trace]
+        assert outputs == [0, 1, 0, 0, 1]
+
+    def test_nondeterminism_detected(self):
+        fsm = FSM(1, 1)
+        fsm.add_transition("-", "A", "B", "0")
+        fsm.add_transition("1", "A", "C", "0")
+        with pytest.raises(FSMError):
+            fsm.check_deterministic()
+
+    def test_consistent_overlap_allowed(self):
+        fsm = FSM(1, 1)
+        fsm.add_transition("-", "A", "B", "-")
+        fsm.add_transition("1", "A", "B", "1")
+        assert fsm.check_deterministic()
+
+
+class TestEncoding:
+    def test_binary_and_onehot_codes(self):
+        fsm = parse_kiss(DETECTOR)
+        assert binary_codes(fsm) == {"S0": 0, "S1": 1, "S2": 2}
+        assert one_hot_codes(fsm) == {"S0": 1, "S1": 2, "S2": 4}
+
+    def test_unused_codes_become_dont_cares(self):
+        # 3 states in 2 bits: code 3 is unused; every extracted ISF
+        # must leave it free.
+        fsm = parse_kiss(DETECTOR)
+        encoded = encode_fsm(fsm)
+        unused = {"in0": 0, "st0": 1, "st1": 1}
+        for name, isf in encoded.specs.items():
+            assert isf.dc.eval(unused), name
+
+    def test_no_dc_mode_pins_everything(self):
+        fsm = parse_kiss(DETECTOR)
+        encoded = encode_fsm(fsm, use_dont_cares=False)
+        for isf in encoded.specs.values():
+            assert isf.is_completely_specified()
+
+    def test_output_dash_is_free(self):
+        fsm = parse_kiss(PARTIAL)
+        encoded = encode_fsm(fsm)
+        # Edge "01 A B 0-": output 1 unspecified at in=01, state A.
+        assignment = encoded.assignment_for("A", (0, 1))
+        assert encoded.specs["out1"].dc.eval(assignment)
+        assert encoded.specs["out0"].off.eval(assignment)
+
+    def test_unknown_encoding_rejected(self):
+        fsm = parse_kiss(DETECTOR)
+        with pytest.raises(FSMError):
+            encode_fsm(fsm, encoding="gray")
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("encoding", ("binary", "onehot"))
+    def test_synthesis_matches_behaviour(self, encoding):
+        for kiss in (DETECTOR, PARTIAL):
+            fsm = parse_kiss(kiss)
+            synth = synthesize_fsm(fsm, encoding=encoding)
+            assert check_against_fsm(synth) > 0
+
+    def test_sequential_dont_cares_shrink_logic(self):
+        fsm = parse_kiss(PARTIAL)
+        with_dc = synthesize_fsm(fsm, use_dont_cares=True)
+        without = synthesize_fsm(fsm, use_dont_cares=False)
+        assert with_dc.result.netlist_stats().area <= \
+            without.result.netlist_stats().area
+        check_against_fsm(with_dc)
+        check_against_fsm(without)
+
+    def test_equivalence_checker_catches_wrong_logic(self):
+        fsm = parse_kiss(DETECTOR)
+        synth = synthesize_fsm(fsm)
+        # Corrupt the output driver.
+        netlist = synth.netlist
+        name, node = next((n, nd) for n, nd in netlist.outputs
+                          if n == "out0")
+        netlist.outputs[[n for n, _ in netlist.outputs].index("out0")] \
+            = ("out0", netlist.constant(0))
+        with pytest.raises(AssertionError):
+            check_against_fsm(synth)
+
+    def test_full_sequence_simulation(self):
+        fsm = parse_kiss(DETECTOR)
+        synth = synthesize_fsm(fsm)
+        codes = synth.encoded.codes
+        state_code = codes[fsm.reset_state]
+        inv_codes = {v: k for k, v in codes.items()}
+        behavioural = fsm.reset_state
+        for inputs in [(1,), (1,), (1,), (0,), (1,), (1,)]:
+            next_behavioural, expected = fsm.step(behavioural, inputs)
+            next_code, outs = synth.step(inv_codes[state_code], inputs)
+            assert next_code == codes[next_behavioural]
+            assert outs == expected
+            behavioural = next_behavioural
+            state_code = next_code

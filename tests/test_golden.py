@@ -1,0 +1,76 @@
+"""Golden-result regression net.
+
+The decomposition engine is fully deterministic (no wall-clock, no
+unordered-set iteration in decision paths), so every benchmark's cost
+metrics are reproducible bit-for-bit.  This test pins them: any change
+to a heuristic, the cache, the grouping order or the cost model shows
+up here as an explicit diff instead of silent quality drift.
+
+Regenerate after an intentional change with::
+
+    python - <<'PY'
+    import json
+    from repro.bench import get
+    from repro.decomp import bi_decompose
+    names = json.load(open("tests/golden_results.json"))
+    out = {}
+    for name in names:
+        mgr, specs = get(name).build()
+        r = bi_decompose(specs)
+        st = r.netlist_stats()
+        out[name] = {"gates": st.gates, "exors": st.exors,
+                     "inverters": st.inverters, "area": st.area,
+                     "cascades": st.cascades,
+                     "delay": round(st.delay, 4),
+                     "calls": r.stats.calls,
+                     "cache_hits": r.stats.cache_hits,
+                     "shannon": r.stats.shannon}
+    json.dump(out, open("tests/golden_results.json", "w"),
+              indent=2, sort_keys=True)
+    PY
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import get
+from repro.decomp import bi_decompose
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__),
+                           "golden_results.json")
+with open(GOLDEN_PATH) as _handle:
+    GOLDEN = json.load(_handle)
+
+#: The slowest benchmarks are exercised by benchmarks/, not here.
+FAST = sorted(name for name in GOLDEN
+              if name not in ("alu4", "cordic", "16sym8", "cps"))
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_golden_metrics_exact(name):
+    expected = GOLDEN[name]
+    mgr, specs = get(name).build()
+    result = bi_decompose(specs)
+    stats = result.netlist_stats()
+    got = {
+        "gates": stats.gates,
+        "exors": stats.exors,
+        "inverters": stats.inverters,
+        "area": stats.area,
+        "cascades": stats.cascades,
+        "delay": round(stats.delay, 4),
+        "calls": result.stats.calls,
+        "cache_hits": result.stats.cache_hits,
+        "shannon": result.stats.shannon,
+    }
+    assert got == expected, (
+        "golden drift on %s — if intentional, regenerate "
+        "tests/golden_results.json (see module docstring)" % name)
+
+
+def test_golden_file_covers_table_benchmarks():
+    from repro.bench import TABLE2, TABLE3
+    missing = (set(TABLE2) | set(TABLE3)) - set(GOLDEN)
+    assert not missing, missing

@@ -1,0 +1,193 @@
+"""Tests for the multi-valued (MIN/MAX) bi-decomposition extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mvlogic import (InconsistentMVISF, MVDecomposer, MVISF,
+                           MVNetlist, mv_decompose)
+
+
+def mv_isf_strategy(shape=(3, 3), m=3):
+    size = int(np.prod(shape))
+    return st.tuples(
+        st.lists(st.integers(0, m - 1), min_size=size, max_size=size),
+        st.lists(st.integers(0, m - 1), min_size=size, max_size=size),
+    ).map(lambda pair: _to_isf(pair, shape, m))
+
+
+def _to_isf(pair, shape, m):
+    a = np.array(pair[0]).reshape(shape)
+    b = np.array(pair[1]).reshape(shape)
+    return MVISF(np.minimum(a, b), np.maximum(a, b), m)
+
+
+class TestMVISF:
+    def test_inconsistent_rejected(self):
+        with pytest.raises(InconsistentMVISF):
+            MVISF(np.array([2]), np.array([1]), 3)
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            MVISF(np.array([0]), np.array([3]), 3)
+        with pytest.raises(ValueError):
+            MVISF(np.array([0, 0]), np.array([0]), 2)
+
+    def test_from_function_and_compatibility(self):
+        values = np.array([[0, 1], [2, 1]])
+        isf = MVISF.from_function(values, 3)
+        assert isf.is_completely_specified()
+        assert isf.is_compatible(values)
+        assert not isf.is_compatible(values + 0 * values + 1 - 1 == 0)
+
+    def test_from_table_defaults_to_dc(self):
+        isf = MVISF.from_table((2, 2), 3, [((0, 0), 2)])
+        assert isf.lo[0, 0] == 2 and isf.hi[0, 0] == 2
+        assert isf.lo[1, 1] == 0 and isf.hi[1, 1] == 2
+        assert isf.dc_count() == 6
+
+    def test_support_of_literal(self):
+        values = np.array([[0, 1, 2], [0, 1, 2]])  # depends on axis 1
+        isf = MVISF.from_function(values, 3)
+        assert isf.structural_support() == (1,)
+
+    def test_iterative_inessential_removal(self):
+        # Each axis individually removable only after the other: the
+        # classic case needing the greedy sweep.
+        lo = np.array([[0, 0], [0, 2]])
+        hi = np.array([[2, 2], [2, 2]])
+        isf = MVISF(lo, hi, 3)
+        reduced, removed = isf.remove_inessential()
+        assert len(removed) == 2
+        assert reduced.lo.shape == (1, 1)
+
+    def test_smooth_essential_rejected(self):
+        values = np.array([[0, 2], [2, 0]])
+        isf = MVISF.from_function(values, 3)
+        with pytest.raises(ValueError):
+            isf.smooth(0)
+
+
+class TestMVNetlist:
+    def test_literal_and_constants(self):
+        nl = MVNetlist((3,), 3)
+        lit = nl.literal(0, [2, 0, 1])
+        assert np.array_equal(nl.evaluate(lit), np.array([2, 0, 1]))
+        const = nl.literal(0, [1, 1, 1])
+        assert nl.types[const] == "CONST"
+
+    def test_min_max_semantics(self):
+        nl = MVNetlist((3, 3), 3)
+        a = nl.input_node(0)
+        b = nl.input_node(1)
+        lo = nl.add_min(a, b)
+        hi = nl.add_max(a, b)
+        grid = np.indices((3, 3))
+        assert np.array_equal(nl.evaluate(lo),
+                              np.minimum(grid[0], grid[1]))
+        assert np.array_equal(nl.evaluate(hi),
+                              np.maximum(grid[0], grid[1]))
+
+    def test_constant_folding(self):
+        nl = MVNetlist((3,), 3)
+        a = nl.input_node(0)
+        assert nl.add_min(a, nl.constant(2)) == a
+        assert nl.add_max(a, nl.constant(0)) == a
+        assert nl.types[nl.add_min(a, nl.constant(0))] == "CONST"
+        assert nl.add_min(a, a) == a
+
+    def test_unary_folding(self):
+        nl = MVNetlist((3,), 3)
+        a = nl.input_node(0)
+        assert nl.unary(a, [0, 1, 2]) == a
+        assert nl.types[nl.unary(a, [1, 1, 1])] == "CONST"
+        swap = nl.unary(a, [2, 1, 0])
+        assert np.array_equal(nl.evaluate(swap), np.array([2, 1, 0]))
+
+    def test_structural_hashing(self):
+        nl = MVNetlist((3, 3), 3)
+        a, b = nl.input_node(0), nl.input_node(1)
+        assert nl.add_min(a, b) == nl.add_min(b, a)
+
+
+class TestDecomposition:
+    @settings(max_examples=40, deadline=None)
+    @given(mv_isf_strategy())
+    def test_random_intervals_decompose_compatibly(self, isf):
+        nl, values, stats = mv_decompose({"f": isf}, isf.domains,
+                                         isf.out_size)
+        out = nl.evaluate_outputs()["f"]
+        assert isf.is_compatible(out)
+        resolved = (stats.terminal + stats.strong_max + stats.strong_min
+                    + stats.weak_max + stats.weak_min + stats.shannon
+                    + stats.cache_hits)
+        assert resolved == stats.calls
+
+    def test_exact_reproduction_of_csf(self):
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 4, size=(3, 2, 3))
+        isf = MVISF.from_function(values, 4)
+        nl, _v, _s = mv_decompose({"f": isf}, (3, 2, 3), 4)
+        assert np.array_equal(nl.evaluate_outputs()["f"], values)
+
+    def test_max_structure_found(self):
+        g = np.array([0, 2, 1])
+        h = np.array([1, 0, 2])
+        f = np.maximum(g[:, None], h[None, :])
+        isf = MVISF.from_function(f, 3)
+        nl, _v, stats = mv_decompose({"f": isf}, (3, 3), 3)
+        assert stats.strong_max == 1
+        assert stats.shannon == 0
+        counts = nl.gate_counts()
+        assert counts.get("MAX") == 1
+
+    def test_min_structure_found(self):
+        g = np.array([0, 2, 1])
+        h = np.array([1, 0, 2])
+        f = np.minimum(g[:, None], h[None, :])
+        isf = MVISF.from_function(f, 3)
+        nl, _v, stats = mv_decompose({"f": isf}, (3, 3), 3)
+        assert stats.strong_min == 1
+
+    def test_boolean_special_case_matches_or(self):
+        # m = 2: MAX == OR; a | b must decompose into a single MAX of
+        # two literals.
+        f = np.array([[0, 1], [1, 1]])
+        isf = MVISF.from_function(f, 2)
+        nl, _v, stats = mv_decompose({"f": isf}, (2, 2), 2)
+        assert stats.strong_max == 1
+        assert np.array_equal(nl.evaluate_outputs()["f"], f)
+
+    def test_dont_cares_simplify_result(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 3, size=(3, 3, 2))
+        tight = MVISF.from_function(values, 3)
+        loose = MVISF(np.where(values == 2, 2, 0),
+                      np.where(values == 0, 0, 2), 3)
+        nl_t, _v, _s = mv_decompose({"f": tight}, (3, 3, 2), 3)
+        nl_l, _v2, _s2 = mv_decompose({"f": loose}, (3, 3, 2), 3)
+        assert loose.is_compatible(nl_l.evaluate_outputs()["f"])
+        gates_t = sum(v for k, v in nl_t.gate_counts().items()
+                      if k in ("MIN", "MAX"))
+        gates_l = sum(v for k, v in nl_l.gate_counts().items()
+                      if k in ("MIN", "MAX"))
+        assert gates_l <= gates_t
+
+    def test_multi_output_shared_engine(self):
+        rng = np.random.default_rng(11)
+        values = rng.integers(0, 3, size=(3, 3))
+        isf = MVISF.from_function(values, 3)
+        nl, _v, stats = mv_decompose({"a": isf, "b": isf}, (3, 3), 3)
+        assert stats.cache_hits >= 1
+        outs = nl.evaluate_outputs()
+        assert np.array_equal(outs["a"], outs["b"])
+
+    def test_decomposability_checks_directly(self):
+        eng = MVDecomposer((3, 3), 3)
+        g = np.array([0, 1, 2])
+        f_max = np.maximum(g[:, None], g[None, :])
+        isf = MVISF.from_function(f_max, 3)
+        assert eng.max_decomposable(isf, [0], [1])
+        # MIN structure is absent from this MAX function.
+        assert not eng.min_decomposable(isf, [0], [1])

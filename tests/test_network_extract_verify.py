@@ -1,0 +1,148 @@
+"""Tests for BDD extraction from netlists and the BDD-based verifier."""
+
+import pytest
+
+from repro.bdd import BDD
+from repro.boolfn import ISF, parse
+from repro.network import (Netlist, VerificationError, node_functions,
+                           output_functions, simulate_single,
+                           verify_against_isfs, verify_equivalent)
+
+
+def _netlist_and_mgr():
+    nl = Netlist(["a", "b", "c"])
+    a, b, c = nl.inputs
+    f = nl.add_or(nl.add_and(a, b), nl.add_not(c))
+    nl.set_output("f", f)
+    mgr = BDD(["a", "b", "c"])
+    return nl, mgr
+
+
+class TestExtraction:
+    def test_outputs_match_expression(self):
+        nl, mgr = _netlist_and_mgr()
+        outs = output_functions(nl, mgr)
+        assert mgr.fn(outs["f"]) == parse(mgr, "a & b | ~c")
+
+    def test_extraction_agrees_with_simulation(self):
+        nl, mgr = _netlist_and_mgr()
+        outs = output_functions(nl, mgr)
+        for i in range(8):
+            assignment = {"a": i & 1, "b": (i >> 1) & 1, "c": (i >> 2) & 1}
+            sim = simulate_single(nl, assignment)["f"]
+            bdd = mgr.eval(outs["f"], assignment)
+            assert sim == int(bdd)
+
+    def test_every_gate_type_extracts(self):
+        nl = Netlist(["a", "b"])
+        a, b = nl.inputs
+        mgr = BDD(["a", "b"])
+        gates = {
+            "and": nl.add_gate("AND", a, b),
+            "or": nl.add_gate("OR", a, b),
+            "xor": nl.add_gate("XOR", a, b),
+            "nand": nl.add_gate("NAND", a, b),
+            "nor": nl.add_gate("NOR", a, b),
+            "xnor": nl.add_gate("XNOR", a, b),
+            "not": nl.add_not(a),
+            "k0": nl.constant(0),
+            "k1": nl.constant(1),
+        }
+        for name, node in gates.items():
+            nl.set_output(name, node)
+        outs = output_functions(nl, mgr)
+        va, vb = mgr.var("a"), mgr.var("b")
+        assert outs["and"] == mgr.and_(va, vb)
+        assert outs["nand"] == mgr.nand(va, vb)
+        assert outs["xor"] == mgr.xor(va, vb)
+        assert outs["xnor"] == mgr.xnor(va, vb)
+        assert outs["nor"] == mgr.nor(va, vb)
+        assert outs["not"] == mgr.not_(va)
+        assert outs["k0"] == mgr.false
+        assert outs["k1"] == mgr.true
+
+    def test_restrict_to_computes_cone_closure(self):
+        nl, mgr = _netlist_and_mgr()
+        target = nl.output_node("f")
+        bdds = node_functions(nl, mgr, restrict_to={target})
+        assert bdds[target] is not None
+
+    def test_input_map_renames(self):
+        nl = Netlist(["p"])
+        nl.set_output("y", nl.add_not(nl.inputs[0]))
+        mgr = BDD(["q"])
+        outs = output_functions(nl, mgr, input_map={"p": "q"})
+        assert outs["y"] == mgr.not_(mgr.var("q"))
+
+
+class TestVerifier:
+    def test_accepts_compatible_netlist(self):
+        nl, mgr = _netlist_and_mgr()
+        spec = ISF.from_csf(parse(mgr, "a & b | ~c"))
+        assert verify_against_isfs(nl, {"f": spec})
+
+    def test_accepts_dc_freedom(self):
+        nl, mgr = _netlist_and_mgr()
+        # Specification leaves (a & b & c) region free; netlist says 1.
+        on = parse(mgr, "(a & b | ~c) & ~(a & b & c)")
+        dc = parse(mgr, "a & b & c")
+        spec = ISF.from_on_dc(on, dc)
+        assert verify_against_isfs(nl, {"f": spec})
+
+    def test_rejects_wrong_netlist_with_counterexample(self):
+        nl, mgr = _netlist_and_mgr()
+        spec = ISF.from_csf(parse(mgr, "a | ~c"))
+        with pytest.raises(VerificationError) as excinfo:
+            verify_against_isfs(nl, {"f": spec})
+        witness = excinfo.value.counterexample
+        assert witness is not None
+        # The witness must actually show a violation.
+        assert simulate_single(nl, witness)["f"] != \
+            int(mgr.eval(spec.on.node, witness))
+
+    def test_soft_failure_mode(self):
+        nl, mgr = _netlist_and_mgr()
+        spec = ISF.from_csf(parse(mgr, "a"))
+        assert verify_against_isfs(nl, {"f": spec},
+                                   raise_on_fail=False) is False
+
+    def test_missing_output_detected(self):
+        nl, mgr = _netlist_and_mgr()
+        spec = ISF.from_csf(parse(mgr, "a"))
+        with pytest.raises(VerificationError):
+            verify_against_isfs(nl, {"nope": spec})
+
+
+class TestEquivalence:
+    def test_equivalent_netlists(self):
+        nl1, mgr = _netlist_and_mgr()
+        nl2 = Netlist(["a", "b", "c"])
+        a, b, c = nl2.inputs
+        # De Morgan'd variant of the same function.
+        f = nl2.add_not(nl2.add_and(nl2.add_gate("NAND", a, b), c))
+        nl2.set_output("f", f)
+        assert verify_equivalent(nl1, nl2, mgr)
+
+    def test_inequivalent_netlists(self):
+        nl1, mgr = _netlist_and_mgr()
+        nl2 = Netlist(["a", "b", "c"])
+        nl2.set_output("f", nl2.inputs[0])
+        with pytest.raises(VerificationError):
+            verify_equivalent(nl1, nl2, mgr)
+
+    def test_care_set_limited_equivalence(self):
+        nl1, mgr = _netlist_and_mgr()
+        nl2 = Netlist(["a", "b", "c"])
+        nl2.set_output("f", nl2.constant(1))
+        # They agree where c = 0 (both give 1).
+        care = mgr.not_(mgr.var("c"))
+        assert verify_equivalent(nl1, nl2, mgr, care=care)
+        with pytest.raises(VerificationError):
+            verify_equivalent(nl1, nl2, mgr)
+
+    def test_output_name_mismatch(self):
+        nl1, mgr = _netlist_and_mgr()
+        nl2 = Netlist(["a", "b", "c"])
+        nl2.set_output("g", nl2.inputs[0])
+        with pytest.raises(VerificationError):
+            verify_equivalent(nl1, nl2, mgr)

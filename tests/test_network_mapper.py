@@ -1,0 +1,146 @@
+"""Tests for the standard-cell technology mapper (tree covering)."""
+
+import pytest
+
+from repro.bdd import BDD
+from repro.boolfn import parse, weight_set
+from repro.decomp import bi_decompose
+from repro.network import (Cell, Netlist, default_library, gates as G,
+                           map_netlist, verify_mapping)
+from repro.network.mapper import LEAF, _p_and, _p_not
+
+from conftest import make_mgr
+
+
+class TestLibrary:
+    def test_default_library_names(self):
+        names = {cell.name for cell in default_library()}
+        assert {"INV", "NAND2", "NOR2", "XOR2", "AOI21"} <= names
+
+    def test_cell_repr(self):
+        cell = default_library()[0]
+        assert "INV" in repr(cell)
+
+
+class TestSimpleMappings:
+    def test_single_and_gate(self):
+        nl = Netlist(["a", "b"])
+        nl.set_output("y", nl.add_and(*nl.inputs))
+        mapping = map_netlist(nl)
+        assert mapping.cell_counts == {"AND2": 1}
+        assert mapping.area == 3.0
+
+    def test_nand_is_one_cell_not_and_plus_inv(self):
+        nl = Netlist(["a", "b"])
+        nl.set_output("y", nl.add_gate(G.NAND, *nl.inputs))
+        mapping = map_netlist(nl)
+        assert mapping.cell_counts == {"NAND2": 1}
+
+    def test_xor_matches_xor_cell(self):
+        nl = Netlist(["a", "b"])
+        nl.set_output("y", nl.add_xor(*nl.inputs))
+        mapping = map_netlist(nl)
+        assert mapping.cell_counts == {"XOR2": 1}
+        assert mapping.area == 5.0
+
+    def test_aoi21_covers_three_gates(self):
+        # ~(a & b | c) should map to a single AOI21.
+        nl = Netlist(["a", "b", "c"])
+        a, b, c = nl.inputs
+        nl.set_output("y", nl.add_not(nl.add_or(nl.add_and(a, b), c)))
+        mapping = map_netlist(nl)
+        assert mapping.cell_counts.get("AOI21") == 1
+        assert sum(mapping.cell_counts.values()) == 1
+
+    def test_three_input_and_maps_structurally(self):
+        # Structural (phase-less) matching: the AIG of a 3-input AND
+        # has no inverter, so NAND3+INV cannot match; two AND2 cells is
+        # the correct structural optimum.
+        nl = Netlist(["a", "b", "c"])
+        a, b, c = nl.inputs
+        nl.set_output("y", nl.add_and(nl.add_and(a, b), c))
+        mapping = map_netlist(nl)
+        assert mapping.cell_counts == {"AND2": 2}
+        assert mapping.area == 6.0
+
+    def test_three_input_nand_uses_nand3(self):
+        # With the inverter present structurally, NAND3 matches.
+        nl = Netlist(["a", "b", "c"])
+        a, b, c = nl.inputs
+        nl.set_output("y",
+                      nl.add_not(nl.add_and(nl.add_and(a, b), c)))
+        mapping = map_netlist(nl)
+        assert mapping.cell_counts == {"NAND3": 1}
+        assert mapping.area == 3.0
+
+    def test_wire_output_maps_to_nothing(self):
+        nl = Netlist(["a"])
+        nl.set_output("y", nl.inputs[0])
+        mapping = map_netlist(nl)
+        assert mapping.area == 0.0
+        assert mapping.matches == []
+
+
+class TestBoundaries:
+    def test_shared_node_not_duplicated(self):
+        # The shared AND must be its own match, referenced twice.
+        nl = Netlist(["a", "b", "c", "d"])
+        a, b, c, d = nl.inputs
+        shared = nl.add_and(a, b)
+        nl.set_output("u", nl.add_or(shared, c))
+        nl.set_output("v", nl.add_and(shared, d))
+        mapping = map_netlist(nl)
+        roots = [match.root for match in mapping.matches]
+        assert len(roots) == len(set(roots))
+        mgr = BDD(["a", "b", "c", "d"])
+        verify_mapping(mapping, mgr)
+
+    def test_no_match_through_multi_fanout(self):
+        # shared = a & b feeds two further ANDs: any match rooted above
+        # must treat `shared` as a leaf, never re-cover its cone.
+        nl = Netlist(["a", "b", "c", "d"])
+        a, b, c, d = nl.inputs
+        shared = nl.add_and(a, b)
+        nl.set_output("u", nl.add_and(shared, c))
+        nl.set_output("v", nl.add_and(shared, d))
+        mapping = map_netlist(nl)
+        mgr = BDD(["a", "b", "c", "d"])
+        verify_mapping(mapping, mgr)
+        shared_aig = None
+        for match in mapping.matches:
+            if set(match.leaves) <= {0, 1} and match.leaves:
+                shared_aig = match.root
+        assert shared_aig is not None, "shared AND must be its own match"
+        above = [m for m in mapping.matches if m.root != shared_aig
+                 and m.leaves]
+        for match in above:
+            assert 0 not in match.leaves and 1 not in match.leaves, \
+                "a match re-covered the shared cone: %r" % match
+
+
+class TestOnDecompositions:
+    @pytest.mark.parametrize("name_weights", [({1, 2}, 4), ({2, 3}, 5)])
+    def test_decomposed_netlists_map_and_verify(self, name_weights):
+        weights, n = name_weights
+        mgr = make_mgr(n)
+        f = mgr.fn(weight_set(mgr, range(n), weights))
+        result = bi_decompose({"f": f})
+        mapping = map_netlist(result.netlist)
+        assert verify_mapping(mapping, mgr)
+        assert mapping.area > 0
+        assert mapping.delay > 0
+
+    def test_custom_library(self):
+        # NAND2 + INV only: universal, everything must still map.
+        inv = Cell("INV", 1.0, 0.5, [_p_not(LEAF)],
+                   lambda mgr, a: mgr.not_(a))
+        nand2 = Cell("NAND2", 2.0, 1.0, [_p_not(_p_and(LEAF, LEAF))],
+                     lambda mgr, a, b: mgr.nand(a, b))
+        and2 = Cell("AND2", 3.0, 1.2, [_p_and(LEAF, LEAF)],
+                    lambda mgr, a, b: mgr.and_(a, b))
+        mgr = make_mgr(4)
+        f = parse(mgr, "x0 ^ x1 | x2 & x3")
+        result = bi_decompose({"f": f})
+        mapping = map_netlist(result.netlist, [inv, nand2, and2])
+        assert verify_mapping(mapping, mgr)
+        assert set(mapping.cell_counts) <= {"INV", "NAND2", "AND2"}

@@ -1,0 +1,78 @@
+"""Tests for the NAND-only / AIG remapping passes."""
+
+import pytest
+
+from repro.bdd import BDD
+from repro.boolfn import parse
+from repro.network import (Netlist, compute_stats, gates as G,
+                           to_aig, to_nand_network, verify_equivalent)
+
+
+def _rich_netlist():
+    """A netlist exercising every gate type."""
+    nl = Netlist(["a", "b", "c", "d"])
+    a, b, c, d = nl.inputs
+    x1 = nl.add_gate(G.XOR, a, b)
+    x2 = nl.add_gate(G.XNOR, c, d)
+    n1 = nl.add_gate(G.NAND, x1, c)
+    n2 = nl.add_gate(G.NOR, x2, a)
+    o1 = nl.add_gate(G.OR, n1, n2)
+    o2 = nl.add_gate(G.AND, nl.add_not(o1), d)
+    nl.set_output("u", o1)
+    nl.set_output("v", o2)
+    nl.set_output("k", nl.constant(1))
+    return nl
+
+
+@pytest.fixture
+def mgr():
+    return BDD(["a", "b", "c", "d"])
+
+
+class TestNandRemap:
+    def test_equivalence_preserved(self, mgr):
+        nl = _rich_netlist()
+        remapped = to_nand_network(nl)
+        assert verify_equivalent(nl, remapped, mgr)
+
+    def test_only_nand_and_not_gates(self):
+        remapped = to_nand_network(_rich_netlist())
+        live = remapped.reachable_from_outputs()
+        for node in live:
+            assert remapped.types[node] in (G.INPUT, G.CONST0, G.CONST1,
+                                            G.NOT, G.NAND, G.BUF)
+
+    def test_no_exors_remain(self):
+        stats = compute_stats(to_nand_network(_rich_netlist()))
+        assert stats.exors == 0
+
+    def test_shared_logic_stays_shared(self):
+        nl = Netlist(["a", "b"])
+        a, b = nl.inputs
+        shared = nl.add_xor(a, b)
+        nl.set_output("u", nl.add_and(shared, a))
+        nl.set_output("v", nl.add_or(shared, b))
+        remapped = to_nand_network(nl)
+        # The 4-NAND XOR expansion must appear only once.
+        assert compute_stats(remapped).gates <= 4 + 2 + 2
+
+
+class TestAigRemap:
+    def test_equivalence_preserved(self, mgr):
+        nl = _rich_netlist()
+        remapped = to_aig(nl)
+        assert verify_equivalent(nl, remapped, mgr)
+
+    def test_only_and_and_not_gates(self):
+        remapped = to_aig(_rich_netlist())
+        live = remapped.reachable_from_outputs()
+        for node in live:
+            assert remapped.types[node] in (G.INPUT, G.CONST0, G.CONST1,
+                                            G.NOT, G.AND, G.BUF)
+
+    def test_remap_of_wire_output(self, mgr):
+        nl = Netlist(["a", "b", "c", "d"])
+        nl.set_output("y", nl.inputs[0])
+        for transform in (to_nand_network, to_aig):
+            out = transform(nl)
+            assert verify_equivalent(nl, out, mgr)

@@ -1,0 +1,103 @@
+"""Tests for bit-parallel netlist simulation."""
+
+import random
+
+import pytest
+
+from repro.network import (Netlist, exhaustive_patterns, gates as G,
+                           random_patterns, simulate, simulate_outputs,
+                           simulate_single, simulate_with_faults)
+
+
+def _sample_netlist():
+    nl = Netlist(["a", "b", "c"])
+    a, b, c = nl.inputs
+    x = nl.add_xor(a, b)
+    y = nl.add_and(x, c)
+    z = nl.add_or(y, nl.add_not(a))
+    nl.set_output("y", y)
+    nl.set_output("z", z)
+    return nl
+
+
+def _oracle(a, b, c):
+    x = a ^ b
+    y = x & c
+    z = y | (1 - a)
+    return y, z
+
+
+class TestSingle:
+    @pytest.mark.parametrize("i", range(8))
+    def test_single_matches_oracle(self, i):
+        nl = _sample_netlist()
+        a, b, c = i & 1, (i >> 1) & 1, (i >> 2) & 1
+        out = simulate_single(nl, {"a": a, "b": b, "c": c})
+        want_y, want_z = _oracle(a, b, c)
+        assert out == {"y": want_y, "z": want_z}
+
+
+class TestPacked:
+    def test_exhaustive_patterns_cover_all_assignments(self):
+        inputs, width = exhaustive_patterns(["a", "b", "c"])
+        assert width == 8
+        seen = set()
+        for i in range(8):
+            seen.add(tuple((inputs[name] >> i) & 1 for name in "abc"))
+        assert len(seen) == 8
+
+    def test_exhaustive_refuses_huge_spaces(self):
+        with pytest.raises(ValueError):
+            exhaustive_patterns(["x%d" % i for i in range(25)])
+
+    def test_packed_equals_serial(self):
+        nl = _sample_netlist()
+        inputs, width = exhaustive_patterns(["a", "b", "c"])
+        packed = simulate_outputs(nl, inputs, width)
+        for i in range(width):
+            a, b, c = ((inputs["a"] >> i) & 1, (inputs["b"] >> i) & 1,
+                       (inputs["c"] >> i) & 1)
+            want_y, want_z = _oracle(a, b, c)
+            assert (packed["y"] >> i) & 1 == want_y
+            assert (packed["z"] >> i) & 1 == want_z
+
+    def test_constants_and_not_respect_mask(self):
+        nl = Netlist(["a"])
+        nl.set_output("k1", nl.constant(1))
+        nl.set_output("na", nl.add_not(nl.inputs[0]))
+        out = simulate_outputs(nl, {"a": 0b0101}, width=4)
+        assert out["k1"] == 0b1111
+        assert out["na"] == 0b1010
+
+    def test_random_patterns_width(self):
+        rng = random.Random(7)
+        inputs, width = random_patterns(["a", "b"], 12, rng)
+        assert width == 12
+        assert inputs["a"] < (1 << 12)
+
+
+class TestFaultInjection:
+    def test_stuck_at_overrides_node(self):
+        nl = _sample_netlist()
+        x_node = 3  # first gate created: xor(a, b)
+        assert nl.types[x_node] == G.XOR
+        inputs, width = exhaustive_patterns(["a", "b", "c"])
+        faulty = simulate_with_faults(nl, inputs, width, {x_node: 1})
+        # With x stuck at 1, y = c.
+        y_node = nl.output_node("y")
+        assert faulty[y_node] == inputs["c"]
+
+    def test_fault_on_input(self):
+        nl = _sample_netlist()
+        a_node = nl.input_node("a")
+        inputs, width = exhaustive_patterns(["a", "b", "c"])
+        faulty = simulate_with_faults(nl, inputs, width, {a_node: 0})
+        z_node = nl.output_node("z")
+        # a stuck at 0: z = (b & c) | 1 = all ones.
+        assert faulty[z_node] == (1 << width) - 1
+
+    def test_no_faults_equals_plain_simulation(self):
+        nl = _sample_netlist()
+        inputs, width = exhaustive_patterns(["a", "b", "c"])
+        assert simulate(nl, inputs, width) == \
+            simulate_with_faults(nl, inputs, width, {})

@@ -1,0 +1,89 @@
+"""Tests for the area/delay/level cost model (the paper's Table 2
+columns)."""
+
+from repro.network import Netlist, compute_stats, gates as G
+
+
+class TestCounting:
+    def test_simple_chain(self):
+        nl = Netlist(["a", "b", "c"])
+        a, b, c = nl.inputs
+        x = nl.add_xor(a, b)      # area 5, delay 2.1
+        y = nl.add_and(x, c)      # area 2, delay 1.0
+        nl.set_output("y", y)
+        stats = compute_stats(nl)
+        assert stats.gates == 2
+        assert stats.exors == 1
+        assert stats.inverters == 0
+        assert stats.area == 7.0
+        assert stats.cascades == 2
+        assert abs(stats.delay - 3.1) < 1e-9
+
+    def test_inverters_transparent_for_levels_but_not_delay(self):
+        nl = Netlist(["a", "b"])
+        a, b = nl.inputs
+        na = nl.add_not(a)
+        y = nl.add_and(na, b)
+        nl.set_output("y", y)
+        stats = compute_stats(nl)
+        assert stats.cascades == 1          # NOT does not add a level
+        assert abs(stats.delay - 1.5) < 1e-9  # but adds 0.5 delay
+        assert stats.inverters == 1
+        assert stats.area == 3.0
+
+    def test_dead_logic_not_counted(self):
+        nl = Netlist(["a", "b"])
+        a, b = nl.inputs
+        live = nl.add_or(a, b)
+        nl.add_xor(a, b)  # dead
+        nl.set_output("y", live)
+        stats = compute_stats(nl)
+        assert stats.gates == 1
+        assert stats.exors == 0
+        assert stats.area == 2.0
+
+    def test_paper_area_delay_ratios(self):
+        # EXOR : NOR must be 5:2 in area and 2.1:1.0 in delay.
+        assert G.AREA[G.XOR] / G.AREA[G.NOR] == 2.5
+        assert abs(G.DELAY[G.XOR] / G.DELAY[G.NOR] - 2.1) < 1e-9
+
+    def test_delay_is_longest_output_path(self):
+        nl = Netlist(["a", "b", "c"])
+        a, b, c = nl.inputs
+        short = nl.add_and(a, b)
+        long = nl.add_xor(nl.add_xor(a, b), c)
+        nl.set_output("s", short)
+        nl.set_output("l", long)
+        stats = compute_stats(nl)
+        assert stats.cascades == 2
+        assert abs(stats.delay - 4.2) < 1e-9
+
+    def test_wire_only_output(self):
+        nl = Netlist(["a"])
+        nl.set_output("y", nl.inputs[0])
+        stats = compute_stats(nl)
+        assert stats.gates == 0
+        assert stats.cascades == 0
+        assert stats.delay == 0.0
+
+    def test_shared_gate_counted_once(self):
+        nl = Netlist(["a", "b", "c"])
+        a, b, c = nl.inputs
+        shared = nl.add_and(a, b)
+        nl.set_output("u", nl.add_or(shared, c))
+        nl.set_output("v", nl.add_xor(shared, c))
+        stats = compute_stats(nl)
+        assert stats.gates == 3  # shared AND counted once
+
+    def test_as_dict(self):
+        nl = Netlist(["a", "b"])
+        nl.set_output("y", nl.add_and(*nl.inputs))
+        d = compute_stats(nl).as_dict()
+        assert set(d) == {"gates", "exors", "inverters", "area",
+                          "cascades", "delay"}
+        assert d["gates"] == 1
+
+    def test_repr(self):
+        nl = Netlist(["a", "b"])
+        nl.set_output("y", nl.add_and(*nl.inputs))
+        assert "gates=1" in repr(compute_stats(nl))

@@ -1,0 +1,122 @@
+"""Cross-feature property and stress tests.
+
+These deliberately combine subsystems that do not meet in the unit
+tests: garbage collection under reordering, decomposition idempotence,
+multi-output random specifications, and full-pipeline randomised runs.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDD, live_size, reorder_to, sift, swap_levels
+from repro.boolfn import ISF, from_truth_table
+from repro.decomp import bi_decompose, bi_decompose_function
+from repro.network import verify_against_isfs
+from repro.network.extract import output_functions
+
+from conftest import brute_force, build_isf, isf_strategy, make_mgr, \
+    tt_strategy
+
+
+class TestGcReorderInterplay:
+    @settings(max_examples=15, deadline=None)
+    @given(tt_strategy(4), st.permutations([0, 1, 2, 3]))
+    def test_collect_then_reorder_then_operate(self, table, order):
+        mgr = make_mgr(4)
+        f = from_truth_table(mgr, [0, 1, 2, 3], table)
+        expected = brute_force(mgr, f, [0, 1, 2, 3])
+        mgr.ref(f)
+        # Garbage + collect.
+        from_truth_table(mgr, [0, 1, 2, 3], (~table) & 0xFFFF)
+        mgr.collect()
+        # Reorder in place.
+        reorder_to(mgr, order)
+        assert brute_force(mgr, f, [0, 1, 2, 3]) == expected
+        # Collect again after reordering; the function must survive.
+        mgr.collect()
+        assert brute_force(mgr, f, [0, 1, 2, 3]) == expected
+
+    def test_swap_after_collect_consistent(self):
+        mgr = make_mgr(3)
+        f = from_truth_table(mgr, [0, 1, 2], 0b10010110)
+        mgr.ref(f)
+        from_truth_table(mgr, [0, 1, 2], 0b01010101)
+        mgr.collect()
+        before = brute_force(mgr, f, [0, 1, 2])
+        swap_levels(mgr, 0)
+        swap_levels(mgr, 1)
+        assert brute_force(mgr, f, [0, 1, 2]) == before
+
+    def test_sift_with_garbage_in_arena(self):
+        mgr = BDD(["a0", "a1", "a2", "b0", "b1", "b2"])
+        f = mgr.false
+        for i in range(3):
+            f = mgr.or_(f, mgr.and_(mgr.var("a%d" % i),
+                                    mgr.var("b%d" % i)))
+        # Unrelated garbage should not confuse live-size accounting.
+        mgr.xor(mgr.var("a0"), mgr.var("b2"))
+        final = sift(mgr, [f])
+        assert final == live_size(mgr, [f]) == 8
+
+
+class TestDecompositionIdempotence:
+    @settings(max_examples=25, deadline=None)
+    @given(tt_strategy(4))
+    def test_redecomposing_the_result_is_stable(self, table):
+        mgr = make_mgr(4)
+        f = mgr.fn(from_truth_table(mgr, [0, 1, 2, 3], table))
+        first = bi_decompose_function(f)
+        g = mgr.fn(output_functions(first.netlist, mgr)["f"])
+        assert g == f
+        second = bi_decompose_function(g)
+        # Same function in, same netlist out (engine is deterministic).
+        assert first.netlist.types == second.netlist.types
+        assert first.netlist.fanins == second.netlist.fanins
+
+
+class TestMultiOutputRandom:
+    @settings(max_examples=15, deadline=None)
+    @given(isf_strategy(4), isf_strategy(4), isf_strategy(4))
+    def test_three_random_outputs_share_one_netlist(self, p1, p2, p3):
+        mgr = make_mgr(4)
+        specs = {
+            "u": build_isf(mgr, [0, 1, 2, 3], *p1),
+            "v": build_isf(mgr, [0, 1, 2, 3], *p2),
+            "w": build_isf(mgr, [0, 1, 2, 3], *p3),
+        }
+        result = bi_decompose(specs)
+        verify_against_isfs(result.netlist, specs)
+        # Output order must not affect correctness.
+        reordered = dict(reversed(list(specs.items())))
+        result2 = bi_decompose(reordered)
+        verify_against_isfs(result2.netlist, specs)
+
+    def test_many_outputs_random_seeded(self):
+        rng = random.Random(0xBEEF)
+        mgr = make_mgr(6)
+        specs = {}
+        for k in range(12):
+            table = rng.getrandbits(64)
+            f = mgr.fn(from_truth_table(mgr, list(range(6)), table))
+            specs["o%d" % k] = ISF.from_csf(f)
+        result = bi_decompose(specs, verify=True)
+        assert result.cache_stats["lookups"] > 0
+
+
+class TestPipelineRandomised:
+    def test_pla_text_fuzz_roundtrip(self):
+        # Randomised (seeded) PLA -> ISFs -> decompose -> BLIF -> parse
+        # -> compatible, across several seeds in one go.
+        from repro.bench.synth_pla import structured_pla
+        from repro.io import parse_blif, write_blif
+        for seed in (1, 7, 42):
+            data = structured_pla(10, 6, seed=seed, cluster_size=3,
+                                  support_size=6)
+            mgr, specs = data.to_isfs()
+            result = bi_decompose(specs, verify=True)
+            text = write_blif(result.netlist)
+            _mgr, outputs = parse_blif(text, mgr=mgr)
+            for name, isf in specs.items():
+                assert isf.is_compatible(outputs[name]), (seed, name)

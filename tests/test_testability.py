@@ -1,0 +1,174 @@
+"""Tests for the stuck-at fault model, ATPG and coverage analysis —
+including the reproduction of Theorem 5 on decomposed netlists."""
+
+import pytest
+
+from repro.bdd import BDD
+from repro.boolfn import ISF, parse, weight_set
+from repro.decomp import bi_decompose, bi_decompose_function
+from repro.network import Netlist, gates as G
+from repro.testability import (Fault, analyze_testability, care_sets,
+                               classify_faults, detectability,
+                               enumerate_faults, find_test,
+                               generate_test_set, internal_faults,
+                               patterns_by_name, simulate_coverage)
+
+from conftest import make_mgr
+
+
+def _redundant_netlist():
+    """f = (a & b) | (a & b & c): the 3-input branch is redundant."""
+    nl = Netlist(["a", "b", "c"])
+    a, b, c = nl.inputs
+    ab = nl.add_and(a, b)
+    abc = nl._hashed(G.AND, (ab, c))   # bypass simplification on purpose
+    out = nl._hashed(G.OR, (ab, abc))
+    nl.set_output("f", out)
+    return nl, ab, abc
+
+
+class TestFaultModel:
+    def test_enumeration_covers_live_signals_twice(self):
+        nl = Netlist(["a", "b"])
+        nl.set_output("y", nl.add_and(*nl.inputs))
+        faults = enumerate_faults(nl)
+        assert len(faults) == 6  # 2 inputs + 1 gate, sa0 and sa1
+
+    def test_constants_excluded(self):
+        nl = Netlist(["a"])
+        nl.set_output("y", nl.add_or(nl.inputs[0], nl.constant(0)))
+        # add_or folds the constant away; force one through outputs.
+        nl.set_output("k", nl.constant(1))
+        nodes = {fault.node for fault in enumerate_faults(nl)}
+        assert nl.constant(1) not in nodes
+
+    def test_dead_gates_excluded(self):
+        nl = Netlist(["a", "b"])
+        dead = nl.add_xor(*nl.inputs)
+        nl.set_output("y", nl.add_and(*nl.inputs))
+        nodes = {fault.node for fault in enumerate_faults(nl)}
+        assert dead not in nodes
+
+    def test_internal_faults_exclude_inputs(self):
+        nl = Netlist(["a", "b"])
+        nl.set_output("y", nl.add_and(*nl.inputs))
+        assert all(nl.types[f.node] != G.INPUT
+                   for f in internal_faults(nl))
+
+    def test_fault_object(self):
+        assert Fault(3, 0) == Fault(3, 0)
+        assert Fault(3, 0) != Fault(3, 1)
+        assert hash(Fault(3, 0)) == hash(Fault(3, 0))
+        with pytest.raises(ValueError):
+            Fault(1, 2)
+
+
+class TestDetectability:
+    def test_simple_and_gate(self):
+        nl = Netlist(["a", "b"])
+        g = nl.add_and(*nl.inputs)
+        nl.set_output("y", g)
+        mgr = BDD(["a", "b"])
+        # Output stuck-at-0 is detected exactly by the (1,1) vector.
+        detect = detectability(nl, mgr, Fault(g, 0))
+        assert detect == mgr.and_(mgr.var("a"), mgr.var("b"))
+        # Stuck-at-1 detected by the three other vectors.
+        detect1 = detectability(nl, mgr, Fault(g, 1))
+        assert detect1 == mgr.nand(mgr.var("a"), mgr.var("b"))
+
+    def test_redundant_fault_has_empty_detectability(self):
+        nl, ab, abc = _redundant_netlist()
+        mgr = BDD(["a", "b", "c"])
+        assert detectability(nl, mgr, Fault(abc, 0)) == mgr.false
+        assert find_test(nl, mgr, Fault(abc, 0)) is None
+
+    def test_find_test_returns_valid_vector(self):
+        nl = Netlist(["a", "b"])
+        g = nl.add_xor(*nl.inputs)
+        nl.set_output("y", g)
+        mgr = BDD(["a", "b"])
+        fault = Fault(nl.input_node("a"), 1)
+        pattern = find_test(nl, mgr, fault)
+        assert pattern is not None
+        detect = detectability(nl, mgr, fault)
+        assert mgr.eval(detect, pattern)
+
+    def test_care_set_restriction_creates_redundancy(self):
+        nl = Netlist(["a", "b"])
+        g = nl.add_and(*nl.inputs)
+        nl.set_output("y", g)
+        mgr = BDD(["a", "b"])
+        # If (a=1, b=1) never occurs, stuck-at-0 becomes untestable.
+        cares = {"y": mgr.nand(mgr.var("a"), mgr.var("b"))}
+        assert detectability(nl, mgr, Fault(g, 0), cares=cares) \
+            == mgr.false
+
+
+class TestClassification:
+    def test_redundant_netlist_classified(self):
+        nl, ab, abc = _redundant_netlist()
+        mgr = BDD(["a", "b", "c"])
+        testable, redundant = classify_faults(nl, mgr)
+        redundant_nodes = {(f.node, f.stuck_value) for f in redundant}
+        assert (abc, 0) in redundant_nodes
+        report = analyze_testability(nl, mgr)
+        assert not report.fully_testable()
+        assert 0 < report.coverage < 1
+
+    def test_report_math(self):
+        from repro.testability.coverage import FaultReport
+        r = FaultReport(10, 8, [Fault(1, 0), Fault(1, 1)])
+        assert r.coverage == 0.8
+        r_empty = FaultReport(0, 0, [])
+        assert r_empty.coverage == 1.0
+
+
+class TestTheorem5OnDecompositions:
+    @pytest.mark.parametrize("weights", [{1, 2}, {0, 3, 5}, {2, 4}])
+    def test_symmetric_decompositions_fully_testable(self, weights):
+        mgr = make_mgr(5)
+        f = mgr.fn(weight_set(mgr, range(5), weights))
+        result = bi_decompose_function(f)
+        report = analyze_testability(result.netlist, mgr)
+        assert report.fully_testable(), report
+
+    def test_isf_decomposition_testable_on_care_set(self):
+        mgr = BDD(["a", "b", "c", "d"])
+        isf = ISF(parse(mgr, "a & b & ~c"),
+                  parse(mgr, "~a & d | c & ~d"))
+        result = bi_decompose({"f": isf}, verify=True)
+        cares = care_sets({"f": isf})
+        report = analyze_testability(result.netlist, mgr, cares)
+        assert report.fully_testable(), report
+
+
+class TestTestSetGeneration:
+    def test_test_set_covers_all_detectable(self):
+        mgr = make_mgr(5)
+        f = mgr.fn(weight_set(mgr, range(5), {2, 3}))
+        result = bi_decompose_function(f)
+        nl = result.netlist
+        patterns, redundant = generate_test_set(nl, mgr)
+        assert not redundant
+        named = patterns_by_name(mgr, patterns)
+        detected, undetected = simulate_coverage(nl, named)
+        assert not undetected
+        # Fault dropping should compress well below 2 * #faults.
+        assert len(patterns) < len(detected)
+
+    def test_simulation_agrees_with_bdd_classification(self):
+        nl, ab, abc = _redundant_netlist()
+        mgr = BDD(["a", "b", "c"])
+        testable, redundant = classify_faults(nl, mgr)
+        patterns, redundant2 = generate_test_set(nl, mgr)
+        assert set(redundant) == set(redundant2)
+        named = patterns_by_name(mgr, patterns)
+        detected, undetected = simulate_coverage(nl, named)
+        assert set(undetected) == set(redundant)
+
+    def test_empty_pattern_set(self):
+        nl = Netlist(["a"])
+        nl.set_output("y", nl.inputs[0])
+        detected, undetected = simulate_coverage(nl, [])
+        assert detected == []
+        assert len(undetected) == 2
