@@ -1,12 +1,18 @@
-"""Shared benchmark helpers.
+"""Shared benchmark helpers, composed from the session/pipeline layer.
 
 Every benchmark times one synthesis run with ``benchmark.pedantic``
 (single round — these are macro-benchmarks with seconds-long bodies,
 not microseconds) and attaches the paper's table columns to
 ``extra_info`` so they appear in ``--benchmark-json`` dumps.
+
+Synthesis goes through :class:`repro.pipeline.Session` /
+:class:`repro.pipeline.Pipeline`, the same instrumented path the CLI
+and harness use, so the timed span covers exactly the stages the paper
+timed — and the per-stage breakdown rides along in ``extra_info``.
 """
 
-import pytest
+from repro.bench import get
+from repro.pipeline import Pipeline, PipelineConfig, PipelineInput, Session
 
 
 def record_stats(benchmark, label, stats):
@@ -21,3 +27,29 @@ def record_stats(benchmark, label, stats):
 def run_once(benchmark, fn):
     """Run *fn* exactly once under timing and return its result."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def synthesize(name, flow="bidecomp", config=None, verify=True,
+               flow_options=None, mgr_specs=None):
+    """Run benchmark *name* through the standard pipeline.
+
+    Returns the finished :class:`~repro.pipeline.PipelineRun` (with
+    ``result``, ``netlist_stats()`` and the per-stage records).
+    """
+    if mgr_specs is None:
+        mgr, specs = get(name).build()
+    else:
+        mgr, specs = mgr_specs
+    session = Session(PipelineConfig(decomposition=config, flow=flow,
+                                     verify=verify,
+                                     flow_options=flow_options))
+    pipeline = Pipeline.standard(emit=False)
+    return pipeline.run(session, PipelineInput(mgr=mgr, specs=specs,
+                                               label=name))
+
+
+def record_stage_breakdown(benchmark, run):
+    """Attach the pipeline's per-stage elapsed times to ``extra_info``."""
+    for payload in run.stages:
+        benchmark.extra_info["stage_%s_s" % payload["stage"]] = \
+            round(payload.get("elapsed", 0.0), 6)

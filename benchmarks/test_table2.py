@@ -14,12 +14,10 @@ Run:  pytest benchmarks/test_table2.py --benchmark-only
 
 import pytest
 
-from repro.baselines import sis_like_synthesize
 from repro.bench import TABLE2, get
-from repro.decomp import bi_decompose
-from repro.network import verify_against_isfs
 
-from conftest import record_stats, run_once
+from conftest import (record_stage_breakdown, record_stats, run_once,
+                      synthesize)
 
 #: Benchmarks whose character is EXOR-intensive; the paper's headline
 #: wins concentrate here.
@@ -34,10 +32,12 @@ CONTROL_PLAS = ("misex1", "vg2", "duke2", "pdc", "spla", "cps")
 def test_table2_bidecomp(benchmark, name):
     bench = get(name)
     mgr, specs = bench.build()
-    result = run_once(benchmark, lambda: bi_decompose(specs))
-    verify_against_isfs(result.netlist, specs)
-    stats = result.netlist_stats()
+    run = run_once(benchmark,
+                   lambda: synthesize(name, mgr_specs=(mgr, specs)))
+    result = run.result
+    stats = run.netlist_stats()
     record_stats(benchmark, "bidecomp", stats)
+    record_stage_breakdown(benchmark, run)
     benchmark.extra_info["ins"] = bench.inputs
     benchmark.extra_info["outs"] = bench.outputs
     benchmark.extra_info.update(result.stats.as_dict())
@@ -55,11 +55,13 @@ def test_table2_sis_like(benchmark, name):
     mgr, specs = bench.build()
     # factor=False reproduces the paper's SIS setup: mapping only, no
     # multi-level factoring script.
-    result = run_once(benchmark,
-                      lambda: sis_like_synthesize(specs, factor=False))
-    verify_against_isfs(result.netlist, specs)
-    stats = result.netlist_stats()
+    run = run_once(benchmark,
+                   lambda: synthesize(name, flow="sis",
+                                      flow_options={"factor": False},
+                                      mgr_specs=(mgr, specs)))
+    stats = run.netlist_stats()
     record_stats(benchmark, "sis", stats)
+    record_stage_breakdown(benchmark, run)
     assert stats.exors == 0, "the SIS-like flow must not emit EXORs"
 
 
@@ -70,8 +72,10 @@ def test_table2_shape_bidecomp_wins_on_exor_intensive(benchmark, name):
     mgr, specs = bench.build()
 
     def both():
-        return (bi_decompose(specs),
-                sis_like_synthesize(specs, factor=False))
+        return (synthesize(name, mgr_specs=(mgr, specs)),
+                synthesize(name, flow="sis",
+                           flow_options={"factor": False},
+                           mgr_specs=(mgr, specs)))
 
     bidecomp, sis = run_once(benchmark, both)
     bd_stats = bidecomp.netlist_stats()
@@ -96,8 +100,10 @@ def test_table2_shape_bidecomp_wins_on_control_plas(benchmark, name):
     mgr, specs = bench.build()
 
     def both():
-        return (bi_decompose(specs),
-                sis_like_synthesize(specs, factor=False))
+        return (synthesize(name, mgr_specs=(mgr, specs)),
+                synthesize(name, flow="sis",
+                           flow_options={"factor": False},
+                           mgr_specs=(mgr, specs)))
 
     bidecomp, sis = run_once(benchmark, both)
     bd_stats = bidecomp.netlist_stats()

@@ -11,22 +11,21 @@ Run:  pytest benchmarks/test_table3.py --benchmark-only
 
 import pytest
 
-from repro.baselines import bds_like_synthesize
 from repro.bench import TABLE3, get
-from repro.decomp import bi_decompose
-from repro.network import verify_against_isfs
 
-from conftest import record_stats, run_once
+from conftest import (record_stage_breakdown, record_stats, run_once,
+                      synthesize)
 
 
 @pytest.mark.parametrize("name", TABLE3)
 def test_table3_bidecomp(benchmark, name):
     bench = get(name)
     mgr, specs = bench.build()
-    result = run_once(benchmark, lambda: bi_decompose(specs))
-    verify_against_isfs(result.netlist, specs)
-    stats = result.netlist_stats()
+    run = run_once(benchmark,
+                   lambda: synthesize(name, mgr_specs=(mgr, specs)))
+    stats = run.netlist_stats()
     record_stats(benchmark, "bidecomp", stats)
+    record_stage_breakdown(benchmark, run)
     assert stats.gates > 0
 
 
@@ -34,10 +33,12 @@ def test_table3_bidecomp(benchmark, name):
 def test_table3_bds_like(benchmark, name):
     bench = get(name)
     mgr, specs = bench.build()
-    result = run_once(benchmark, lambda: bds_like_synthesize(specs))
-    verify_against_isfs(result.netlist, specs)
-    stats = result.netlist_stats()
+    run = run_once(benchmark,
+                   lambda: synthesize(name, flow="bds",
+                                      mgr_specs=(mgr, specs)))
+    stats = run.netlist_stats()
     record_stats(benchmark, "bds", stats)
+    record_stage_breakdown(benchmark, run)
     assert stats.gates > 0
 
 
@@ -56,7 +57,8 @@ def test_table3_shape_strong_beats_weak_cuts(benchmark, name):
     mgr, specs = bench.build()
 
     def both():
-        return bi_decompose(specs), bds_like_synthesize(specs)
+        return (synthesize(name, mgr_specs=(mgr, specs)),
+                synthesize(name, flow="bds", mgr_specs=(mgr, specs)))
 
     bidecomp, bds = run_once(benchmark, both)
     bd_stats = bidecomp.netlist_stats()

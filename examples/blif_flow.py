@@ -2,17 +2,21 @@
 
 Mirrors the paper's experimental pipeline: "Both programs used the PLA
 input files ... the CPU time needed to perform the bi-decomposition and
-write the results into a BLIF file".
+write the results into a BLIF file".  The whole flow runs through
+:class:`repro.pipeline.Session` — the same instrumented path as
+``python -m repro.cli decompose`` — so the per-stage report the CLI
+writes with ``--stats-json`` is available here as ``run.stats_json()``.
 
 Run:  python examples/blif_flow.py
 """
 
+import json
 import os
 import tempfile
 
-from repro.decomp import bi_decompose
-from repro.io import parse_blif, parse_pla, write_blif, write_pla
+from repro.io import parse_blif, parse_pla, write_pla
 from repro.network import to_nand_network, verify_equivalent
+from repro.pipeline import Pipeline, PipelineConfig, PipelineInput, Session
 
 EXAMPLE_PLA = """\
 # A small fd-type control PLA with output don't-cares.
@@ -35,17 +39,29 @@ EXAMPLE_PLA = """\
 
 def main():
     data = parse_pla(EXAMPLE_PLA)
-    mgr, specs = data.to_isfs()
     print("parsed PLA: %d inputs, %d outputs, %d cubes"
           % (data.num_inputs, data.num_outputs, len(data.cubes)))
 
-    result = bi_decompose(specs, verify=True)
-    print("decomposed:", result.netlist_stats())
-
     with tempfile.TemporaryDirectory() as tmp:
         blif_path = os.path.join(tmp, "out.blif")
-        write_blif(result.netlist, model="blif_flow", path=blif_path)
+
+        # One session = one BDD manager + config + event bus; the
+        # standard pipeline parses, builds ISFs, decomposes, verifies
+        # and emits the BLIF file in named, timed stages.
+        session = Session(PipelineConfig(verify=True, model="blif_flow"))
+        run = Pipeline.standard().run(
+            session, PipelineInput(text=EXAMPLE_PLA, label="blif_flow",
+                                   emit_path=blif_path))
+        mgr, specs = run.mgr, run.specs
+        print("decomposed:", run.netlist_stats())
         print("wrote", blif_path)
+
+        # The structured run report (what the CLI's --stats-json emits).
+        report = run.stats_json(config=session.config)
+        print("stage times:",
+              json.dumps({s["stage"]: round(s["elapsed"], 6)
+                          for s in report["stages"]}))
+        print("cache hit rate: %.2f" % report.get("cache_hit_rate", 0.0))
 
         # Read the BLIF back on the same manager and check every output
         # stays inside its specification interval.
@@ -65,8 +81,8 @@ def main():
 
     # Bonus: remap to a NAND-only library (the paper's future-work item)
     # and verify structural equivalence on the care set.
-    nand = to_nand_network(result.netlist)
-    verify_equivalent(result.netlist, nand, mgr)
+    nand = to_nand_network(run.netlist)
+    verify_equivalent(run.netlist, nand, mgr)
     print("NAND-only remap verified equivalent")
 
 

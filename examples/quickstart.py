@@ -1,17 +1,16 @@
 """Quickstart: decompose an incompletely specified function.
 
 Builds the paper's running example style of ISF (an on-set plus a
-don't-care set), runs bi-decomposition, and prints the resulting
-two-input gate netlist, its cost, and the BLIF output.
+don't-care set), runs it through the instrumented pipeline, and prints
+the resulting two-input gate netlist, its cost, the per-stage timing
+events, and the BLIF output.
 
 Run:  python examples/quickstart.py
 """
 
 from repro.bdd import BDD
 from repro.boolfn import ISF, parse
-from repro.decomp import bi_decompose
-from repro.io import write_blif
-from repro.network import verify_against_isfs
+from repro.pipeline import Pipeline, PipelineConfig, PipelineInput, Session
 
 
 def main():
@@ -28,9 +27,18 @@ def main():
     print("  don't-cares     :", spec.dc.sat_count())
     print("  off-set minterms:", spec.off.sat_count())
 
-    result = bi_decompose({"y": spec}, verify=True)
+    # A Session owns the BDD manager, the validated config, and an event
+    # bus; the standard pipeline runs parse -> build_isfs -> preprocess
+    # -> decompose -> verify -> emit inside it.  Supplying prebuilt
+    # specs skips the parse/build stages (they still emit their events,
+    # flagged skipped=True).
+    session = Session(PipelineConfig(verify=True))
+    run = Pipeline.standard().run(
+        session, PipelineInput(mgr=mgr, specs={"y": spec},
+                               label="quickstart"))
+    result = run.result
 
-    stats = result.netlist_stats()
+    stats = run.netlist_stats()
     print("\ndecomposed netlist:")
     print("  gates    :", stats.gates)
     print("  exors    :", stats.exors)
@@ -39,13 +47,21 @@ def main():
     print("  delay    :", stats.delay)
     print("  decomposition steps:", result.stats.as_dict())
 
-    # The produced function is one concrete completely specified member
-    # of the interval: every required 1 and 0 is honoured.
-    verify_against_isfs(result.netlist, {"y": spec})
+    # Every stage published stage_started/stage_finished events on the
+    # session bus; the run keeps the finished payloads in order.
+    print("\nper-stage breakdown:")
+    for payload in run.stages:
+        flag = " (skipped)" if payload.get("skipped") else ""
+        print("  %-10s %.6fs  bdd_nodes=%d%s"
+              % (payload["stage"], payload["elapsed"],
+                 payload["bdd_nodes"], flag))
+
+    # The verify stage already checked the produced function is one
+    # concrete completely specified member of the interval.
     print("\nverification: OK (output compatible with the interval)")
 
     print("\nBLIF output:")
-    print(write_blif(result.netlist, model="quickstart"))
+    print(run.blif)
 
 
 if __name__ == "__main__":

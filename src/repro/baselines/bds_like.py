@@ -31,21 +31,32 @@ from repro.bdd.node import FALSE, TRUE
 from repro.network.netlist import Netlist
 
 
-def bds_like_synthesize(specs, use_xor=True):
+def bds_like_synthesize(specs, use_xor=True, session=None):
     """Structurally decompose ``{name: ISF-or-Function}`` BDDs.
 
     ``use_xor=False`` disables the complemented-cofactor XOR cut (an
     ablation showing where the EXOR gates come from).
+
+    *session* optionally runs the flow inside a
+    :class:`repro.pipeline.Session` (growth hooks, time budget, one
+    ``flow_progress`` event per output).
     """
     specs = {name: _as_isf(spec) for name, spec in specs.items()}
     mgr = next(iter(specs.values())).mgr
+    if session is not None:
+        session.adopt_manager(mgr)
     netlist = Netlist(mgr.var_names)
     memo = {}
     started = time.perf_counter()
     for name, isf in specs.items():
+        if session is not None:
+            session.check_limits()
         cover = isf.cover()
         node = _decompose_node(mgr, cover.node, netlist, memo, use_xor)
         netlist.set_output(name, node)
+        if session is not None:
+            session.events.publish("flow_progress", flow="bds",
+                                   output=name)
     elapsed = time.perf_counter() - started
     return BaselineResult(netlist, elapsed)
 

@@ -43,7 +43,7 @@ class BaselineResult:
                 % (self.netlist_stats(), self.elapsed))
 
 
-def sis_like_synthesize(specs, factor=True, minimizer="isop"):
+def sis_like_synthesize(specs, factor=True, minimizer="isop", session=None):
     """Run the SIS-like pipeline on ``{output_name: ISF-or-Function}``.
 
     With ``factor=False`` the flat two-level SOP is mapped directly
@@ -52,9 +52,16 @@ def sis_like_synthesize(specs, factor=True, minimizer="isop"):
     ``minimizer`` selects the two-level engine: ``"isop"`` (fast
     Minato-Morreale irredundant cover) or ``"espresso"`` (the
     EXPAND/IRREDUNDANT/REDUCE loop, closer to SIS's ``simplify -m``).
+
+    *session* optionally runs the flow inside a
+    :class:`repro.pipeline.Session`: the session's BDD-growth hook and
+    wall-clock budget apply, and one ``flow_progress`` event is
+    published per synthesised output.
     """
     specs = {name: _as_isf(spec) for name, spec in specs.items()}
     mgr = next(iter(specs.values())).mgr
+    if session is not None:
+        session.adopt_manager(mgr)
     netlist = Netlist(mgr.var_names)
     var_nodes = {var: netlist.input_node(mgr.var_name(var))
                  for var in range(mgr.num_vars)}
@@ -62,6 +69,8 @@ def sis_like_synthesize(specs, factor=True, minimizer="isop"):
     total_cubes = 0
     total_literals = 0
     for name, isf in specs.items():
+        if session is not None:
+            session.check_limits()
         if minimizer == "espresso":
             from repro.baselines.espresso import espresso
             cubes, _cover = espresso(mgr, isf.on.node, isf.upper.node)
@@ -80,6 +89,9 @@ def sis_like_synthesize(specs, factor=True, minimizer="isop"):
                 tree = FactorTree.constant(1)
         node = tree_to_netlist(tree, netlist, var_nodes)
         netlist.set_output(name, node)
+        if session is not None:
+            session.events.publish("flow_progress", flow="sis",
+                                   output=name, cubes=len(cubes))
     elapsed = time.perf_counter() - started
     return BaselineResult(netlist, elapsed,
                           extra={"cubes": total_cubes,

@@ -59,6 +59,12 @@ class BDD:
         # freelist of recycled node slots.
         self._refs = {}
         self._free = []
+        # Growth hook: called every `_growth_interval` fresh node
+        # allocations (resource-budget enforcement by the pipeline
+        # session; None keeps the hot path branch-predictable).
+        self._growth_hook = None
+        self._growth_interval = 1024
+        self._growth_countdown = 1024
         for name in var_names:
             self.add_var(name)
 
@@ -137,7 +143,26 @@ class BDD:
                 self._lo.append(lo)
                 self._hi.append(hi)
             self._unique[key] = node
+            if self._growth_hook is not None:
+                self._growth_countdown -= 1
+                if self._growth_countdown <= 0:
+                    self._growth_countdown = self._growth_interval
+                    self._growth_hook(self)
         return node
+
+    def set_growth_hook(self, hook, interval=1024):
+        """Install ``hook(manager)`` fired every *interval* fresh nodes.
+
+        The pipeline session uses this to enforce node and wall-clock
+        budgets: the hook may raise to abort the in-flight operation
+        (the node under construction stays allocated and is reclaimed
+        by the next :meth:`collect`).  Pass ``hook=None`` to uninstall.
+        """
+        if hook is not None and interval <= 0:
+            raise BDDError("growth-hook interval must be positive")
+        self._growth_hook = hook
+        self._growth_interval = interval
+        self._growth_countdown = interval
 
     def var(self, var):
         """Return the node for the positive literal of *var*."""

@@ -12,32 +12,22 @@ adds the surrounding tooling:
     python -m repro.cli map input.pla                  # cell mapping
     python -m repro.cli baseline input.pla --flow sis|bds
 
-Every command accepts ``-`` for stdin.
+Every command accepts ``-`` for stdin.  Synthesis commands run through
+:class:`repro.pipeline.Session`, which is what provides the resource
+flags (``--time-limit``, ``--max-nodes``) and the per-stage
+``--stats-json`` report.
 """
 
 import argparse
+import json
 import sys
-import time
 
-from repro.baselines import bds_like_synthesize, sis_like_synthesize
-from repro.decomp import DecompositionConfig, bi_decompose
-from repro.io import parse_blif, parse_pla, write_blif
-from repro.network import compute_stats, verify_against_isfs
+from repro.io import load_pla, parse_blif, read_text
+from repro.decomp import DecompositionConfig
 from repro.network.mapper import map_netlist, verify_mapping
+from repro.pipeline import (Pipeline, PipelineConfig, PipelineError,
+                            PipelineInput, Session)
 from repro.testability import analyze_testability, care_sets
-
-
-def _read_text(path):
-    if path == "-":
-        return sys.stdin.read()
-    with open(path) as handle:
-        return handle.read()
-
-
-def _load_pla(path):
-    data = parse_pla(_read_text(path))
-    mgr, specs = data.to_isfs()
-    return data, mgr, specs
 
 
 def _config_from_args(args):
@@ -49,6 +39,19 @@ def _config_from_args(args):
         use_cache=not args.no_cache,
         exhaustive_grouping=args.exhaustive_grouping,
         weak_xa_size=args.weak_xa_size,
+    )
+
+
+def _pipeline_config(args, flow="bidecomp", verify=True):
+    has_engine_flags = hasattr(args, "no_or")
+    return PipelineConfig(
+        decomposition=(_config_from_args(args) if has_engine_flags
+                       else DecompositionConfig()),
+        flow=flow,
+        verify=verify,
+        time_limit=getattr(args, "time_limit", None),
+        max_nodes=getattr(args, "max_nodes", None),
+        model=getattr(args, "model", "bidecomp"),
     )
 
 
@@ -69,6 +72,39 @@ def _add_config_flags(parser):
                         help="variables in the weak step's XA (paper: 1)")
 
 
+def _add_resource_flags(parser):
+    parser.add_argument("--time-limit", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget; exceeded -> exit 3")
+    parser.add_argument("--max-nodes", type=int, default=None,
+                        metavar="N",
+                        help="live BDD node budget; exceeded -> exit 3")
+    parser.add_argument("--stats-json", default=None, metavar="PATH",
+                        help="write the per-stage run report as JSON "
+                             "('-' for stdout)")
+
+
+def _emit_stats_json(args, session, run, stdout):
+    if getattr(args, "stats_json", None) is None:
+        return
+    doc = run.stats_json(config=session.config)
+    text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    if args.stats_json == "-":
+        stdout.write(text)
+    else:
+        with open(args.stats_json, "w") as handle:
+            handle.write(text)
+
+
+def _run_pipeline(args, session, pipeline, source, stdout):
+    """Run one pipeline, mapping limit trips to a clean exit code."""
+    try:
+        return pipeline.run(session, source)
+    except PipelineError as exc:
+        sys.stderr.write("aborted: %s\n" % exc)
+        return None
+
+
 def _print_stats(stats, stream, prefix=""):
     stream.write("%sgates=%d exors=%d inverters=%d area=%.1f "
                  "cascades=%d delay=%.1f\n"
@@ -78,37 +114,39 @@ def _print_stats(stats, stream, prefix=""):
 
 def cmd_decompose(args, stdout):
     """Decompose a PLA and write BLIF (the BI-DECOMP program)."""
-    _data, mgr, specs = _load_pla(args.input)
-    started = time.perf_counter()
-    result = bi_decompose(specs, config=_config_from_args(args))
-    elapsed = time.perf_counter() - started
-    if not args.no_verify:
-        verify_against_isfs(result.netlist, specs)
-    blif = write_blif(result.netlist, model=args.model,
-                      path=None if args.output in (None, "-")
-                      else args.output)
-    if args.output in (None, "-"):
-        stdout.write(blif)
-    _print_stats(result.netlist_stats(), sys.stderr)
+    session = Session(_pipeline_config(args, verify=not args.no_verify))
+    emit_path = None if args.output in (None, "-") else args.output
+    source = PipelineInput(path=args.input, emit_path=emit_path)
+    run = _run_pipeline(args, session, Pipeline.standard(), source, stdout)
+    if run is None:
+        return 3
+    if emit_path is None:
+        stdout.write(run.blif)
+    result = run.result
+    _print_stats(run.netlist_stats(), sys.stderr)
     sys.stderr.write("decomposition: %s\n" % result.stats.as_dict())
     sys.stderr.write("cache: %s\n" % result.cache_stats)
-    sys.stderr.write("time: %.3fs\n" % elapsed)
+    sys.stderr.write("time: %.3fs\n" % run.elapsed)
+    _emit_stats_json(args, session, run, stdout)
     return 0
 
 
 def cmd_stats(args, stdout):
     """Decompose and print the Table 2 cost columns."""
-    _data, mgr, specs = _load_pla(args.input)
-    result = bi_decompose(specs, config=_config_from_args(args))
-    verify_against_isfs(result.netlist, specs)
-    _print_stats(result.netlist_stats(), stdout)
+    session = Session(_pipeline_config(args))
+    run = _run_pipeline(args, session, Pipeline.standard(emit=False),
+                        PipelineInput(path=args.input), stdout)
+    if run is None:
+        return 3
+    _print_stats(run.netlist_stats(), stdout)
+    _emit_stats_json(args, session, run, stdout)
     return 0
 
 
 def cmd_verify(args, stdout):
     """Verify a BLIF netlist against a PLA specification."""
-    _data, mgr, specs = _load_pla(args.spec)
-    _mgr, outputs = parse_blif(_read_text(args.netlist), mgr=mgr)
+    _data, mgr, specs = load_pla(args.spec)
+    _mgr, outputs = parse_blif(read_text(args.netlist), mgr=mgr)
     failures = []
     for name, isf in specs.items():
         if name not in outputs:
@@ -125,9 +163,13 @@ def cmd_verify(args, stdout):
 
 def cmd_testability(args, stdout):
     """Decompose and run the Theorem 5 fault analysis."""
-    _data, mgr, specs = _load_pla(args.input)
-    result = bi_decompose(specs, config=_config_from_args(args))
-    report = analyze_testability(result.netlist, mgr, care_sets(specs))
+    session = Session(_pipeline_config(args))
+    run = _run_pipeline(args, session, Pipeline.standard(emit=False),
+                        PipelineInput(path=args.input), stdout)
+    if run is None:
+        return 3
+    report = analyze_testability(run.netlist, run.mgr,
+                                 care_sets(run.spec_items()))
     stdout.write("faults=%d testable=%d coverage=%.1f%%\n"
                  % (report.total, report.testable,
                     100.0 * report.coverage))
@@ -138,10 +180,13 @@ def cmd_testability(args, stdout):
 
 def cmd_map(args, stdout):
     """Decompose and map onto the standard-cell library."""
-    _data, mgr, specs = _load_pla(args.input)
-    result = bi_decompose(specs, config=_config_from_args(args))
-    mapping = map_netlist(result.netlist)
-    verify_mapping(mapping, mgr)
+    session = Session(_pipeline_config(args))
+    run = _run_pipeline(args, session,
+                        Pipeline.standard(emit=False, map_cells=True),
+                        PipelineInput(path=args.input), stdout)
+    if run is None:
+        return 3
+    mapping = run.mapping
     stdout.write("cells=%d area=%.1f delay=%.1f\n"
                  % (sum(mapping.cell_counts.values()), mapping.area,
                     mapping.delay))
@@ -153,7 +198,8 @@ def cmd_map(args, stdout):
 def cmd_fsm(args, stdout):
     """Synthesise a KISS2 state machine's next-state/output logic."""
     from repro.fsm import check_against_fsm, parse_kiss, synthesize_fsm
-    fsm = parse_kiss(_read_text(args.input))
+    from repro.io import write_blif
+    fsm = parse_kiss(read_text(args.input))
     synth = synthesize_fsm(fsm, encoding=args.encoding,
                            use_dont_cares=not args.no_dont_cares,
                            config=_config_from_args(args))
@@ -171,14 +217,17 @@ def cmd_fsm(args, stdout):
 
 def cmd_baseline(args, stdout):
     """Run a comparison baseline on the PLA."""
-    _data, mgr, specs = _load_pla(args.input)
+    config = _pipeline_config(args, flow=args.flow)
     if args.flow == "sis":
-        result = sis_like_synthesize(specs, factor=args.factor,
-                                     minimizer=args.minimizer)
-    else:
-        result = bds_like_synthesize(specs)
-    verify_against_isfs(result.netlist, specs)
-    _print_stats(result.netlist_stats(), stdout)
+        config.flow_options.update(factor=args.factor,
+                                   minimizer=args.minimizer)
+    session = Session(config)
+    run = _run_pipeline(args, session, Pipeline.standard(emit=False),
+                        PipelineInput(path=args.input), stdout)
+    if run is None:
+        return 3
+    _print_stats(run.netlist_stats(), stdout)
+    _emit_stats_json(args, session, run, stdout)
     return 0
 
 
@@ -194,11 +243,13 @@ def build_parser():
     p.add_argument("--model", default="bidecomp")
     p.add_argument("--no-verify", action="store_true")
     _add_config_flags(p)
+    _add_resource_flags(p)
     p.set_defaults(func=cmd_decompose)
 
     p = sub.add_parser("stats", help="print netlist cost columns")
     p.add_argument("input")
     _add_config_flags(p)
+    _add_resource_flags(p)
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("verify", help="check a BLIF against a PLA spec")
@@ -235,6 +286,7 @@ def build_parser():
                    help="SIS flow: enable algebraic factoring")
     p.add_argument("--minimizer", choices=("isop", "espresso"),
                    default="isop")
+    _add_resource_flags(p)
     p.set_defaults(func=cmd_baseline)
     return parser
 
@@ -244,7 +296,12 @@ def main(argv=None, stdout=None):
     stdout = stdout or sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args, stdout)
+    try:
+        return args.func(args, stdout)
+    except ValueError as exc:
+        # Config validation (e.g. --time-limit 0) and spec errors.
+        sys.stderr.write("error: %s\n" % exc)
+        return 2
 
 
 if __name__ == "__main__":

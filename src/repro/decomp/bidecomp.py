@@ -115,6 +115,23 @@ class DecompositionStats:
         """Total weak bi-decomposition steps."""
         return sum(self.weak.values())
 
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild counters from an :meth:`as_dict` dump (or a delta of
+        two dumps — how a shared batch session reports per-run stats)."""
+        stats = cls()
+        stats.calls = data.get("calls", 0)
+        stats.cache_hits = data.get("cache_hits", 0)
+        stats.terminal_gates = data.get("terminal_gates", 0)
+        stats.strong[OR_GATE] = data.get("strong_or", 0)
+        stats.strong[AND_GATE] = data.get("strong_and", 0)
+        stats.strong[EXOR_GATE] = data.get("strong_exor", 0)
+        stats.weak[OR_GATE] = data.get("weak_or", 0)
+        stats.weak[AND_GATE] = data.get("weak_and", 0)
+        stats.shannon = data.get("shannon", 0)
+        stats.inessential_removed = data.get("inessential_removed", 0)
+        return stats
+
     def as_dict(self):
         """Counters as a flat dict for reporting."""
         return {
@@ -151,7 +168,8 @@ class DecompositionEngine:
         Mapping from manager variable index to netlist input node.
     """
 
-    def __init__(self, mgr, netlist, var_nodes, config=None, cache=None):
+    def __init__(self, mgr, netlist, var_nodes, config=None, cache=None,
+                 observer=None):
         self.mgr = mgr
         self.netlist = netlist
         self.var_nodes = dict(var_nodes)
@@ -161,6 +179,11 @@ class DecompositionEngine:
                      else NullCache())
         self.cache = cache
         self.stats = DecompositionStats()
+        #: Optional progress sink ``observer(kind, stats)`` — the
+        #: pipeline session subscribes here so the engine reports its
+        #: steps through structured events instead of bare counters
+        #: (kinds: call, cache_hit, terminal, strong, weak, shannon).
+        self.observer = observer
         #: Per-netlist-node provenance: the ISF interval the node was
         #: synthesised for (first synthesis wins).  Consumed by the
         #: decomposition-integrated ATPG
@@ -177,6 +200,7 @@ class DecompositionEngine:
         the interval and is implemented by *netlist_node*.
         """
         self.stats.calls += 1
+        self._report("call")
         if self.config.use_inessential:
             isf, removed = remove_inessential(isf)
             self.stats.inessential_removed += len(removed)
@@ -186,6 +210,7 @@ class DecompositionEngine:
         if cached is not None:
             csf, node, complemented = cached
             self.stats.cache_hits += 1
+            self._report("cache_hit")
             if complemented:
                 # The inverter's output (not the stored node) is what
                 # satisfies the queried interval.
@@ -198,6 +223,7 @@ class DecompositionEngine:
                                   self.var_nodes,
                                   allow_exor=self.config.use_exor)
             self.stats.terminal_gates += 1
+            self._report("terminal")
             self.cache.insert(csf, node)
             self.provenance.setdefault(node, isf)
             return csf, node
@@ -229,6 +255,7 @@ class DecompositionEngine:
             return None
         gate, xa, xb = best
         self.stats.strong[gate] += 1
+        self._report("strong")
         if gate == OR_GATE:
             isf_a = derive_or_component_a(isf, xa, xb)
         elif gate == AND_GATE:
@@ -248,6 +275,7 @@ class DecompositionEngine:
             return None
         gate, xa = weak
         self.stats.weak[gate] += 1
+        self._report("weak")
         if gate == OR_GATE:
             isf_a = derive_weak_or_component_a(isf, xa)
         else:
@@ -278,6 +306,7 @@ class DecompositionEngine:
     def _shannon_step(self, isf, support):
         """Guaranteed-progress fallback: F = (x & F1) | (~x & F0)."""
         self.stats.shannon += 1
+        self._report("shannon")
         var = support[0]
         f1, node1 = self.decompose(isf.cofactor(var, 1))
         f0, node0 = self.decompose(isf.cofactor(var, 0))
@@ -288,6 +317,10 @@ class DecompositionEngine:
         self._check(isf, csf, "SHANNON")
         self.cache.insert(csf, node)
         return csf, node
+
+    def _report(self, kind):
+        if self.observer is not None:
+            self.observer(kind, self.stats)
 
     def _check(self, isf, csf, gate):
         if self.config.check_invariants and not isf.is_compatible(csf):

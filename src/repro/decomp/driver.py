@@ -4,20 +4,17 @@ Wraps the single-output engine with what the paper's outer program
 does: one shared netlist, one shared component cache across all outputs
 ("the decomposed blocks are shared between outputs and internal
 subfunctions"), timing, and verification hooks.
+
+Since the session/pipeline refactor the real work lives in
+:meth:`repro.pipeline.Session.decompose_specs`; :func:`bi_decompose`
+validates the specification and runs it inside an ephemeral session, so
+every decomposition — hand-called or pipelined — flows through the same
+instrumented context (events, recursion guard, resource budgets).
 """
 
-import sys
-import time
-
 from repro.boolfn.isf import ISF
-from repro.decomp.bidecomp import DecompositionConfig, DecompositionEngine
-from repro.network.netlist import Netlist
 from repro.network.stats import compute_stats
 from repro.network.verify import verify_against_isfs
-
-#: Recursion headroom: decomposition recursion depth tracks netlist
-#: depth, which can exceed Python's default limit on weak-heavy runs.
-_RECURSION_LIMIT = 100000
 
 
 class DecompositionResult:
@@ -31,15 +28,19 @@ class DecompositionResult:
         ``{output_name: Function}`` — the completely specified function
         implemented for each output (compatible with its ISF).
     stats:
-        :class:`DecompositionStats` counters.
+        :class:`DecompositionStats` counters for this call (a batch
+        session reports per-run deltas of its shared engine).
     cache_stats:
         Component-cache counters (Theorem 6 reuse).
     elapsed:
         Wall-clock seconds spent decomposing.
+    output_names:
+        ``{spec_name: netlist_output_name}`` — identical unless a batch
+        session had to uniquify colliding output names.
     """
 
     def __init__(self, netlist, functions, stats, cache_stats, elapsed,
-                 provenance=None):
+                 provenance=None, output_names=None):
         self.netlist = netlist
         self.functions = functions
         self.stats = stats
@@ -48,17 +49,48 @@ class DecompositionResult:
         #: Per-node ISF provenance recorded by the engine; feeds the
         #: decomposition-integrated ATPG.
         self.provenance = provenance or {}
+        self.output_names = output_names or {name: name
+                                             for name in functions}
 
     def netlist_stats(self):
         """Cost metrics of the produced netlist (Table 2 columns)."""
-        return compute_stats(self.netlist)
+        outputs = list(self.output_names.values()) or None
+        if outputs is not None and len(outputs) == len(self.netlist.outputs):
+            outputs = None
+        return compute_stats(self.netlist, outputs=outputs)
 
     def __repr__(self):
         return ("DecompositionResult(outputs=%d, %r, elapsed=%.3fs)"
                 % (len(self.functions), self.netlist_stats(), self.elapsed))
 
 
-def bi_decompose(specs, config=None, verify=False):
+def validate_specs(specs):
+    """Normalise and validate a multi-output specification dict.
+
+    Returns ``(mgr, {name: ISF})``.  Raises :class:`ValueError` naming
+    the offending outputs on an empty dict or mixed-manager specs.
+    """
+    specs = {name: _as_isf(spec) for name, spec in specs.items()}
+    if not specs:
+        raise ValueError(
+            "bi_decompose: empty specification dict — pass at least one "
+            "output name mapped to an ISF or Function")
+    by_manager = {}
+    for name, isf in specs.items():
+        by_manager.setdefault(id(isf.mgr), (isf.mgr, []))[1].append(name)
+    if len(by_manager) != 1:
+        groups = "; ".join(
+            "[%s]" % ", ".join(names)
+            for _mgr, names in by_manager.values())
+        raise ValueError(
+            "bi_decompose: all specifications must share one BDD manager, "
+            "but the outputs split across %d managers: %s"
+            % (len(by_manager), groups))
+    (mgr, _names), = by_manager.values()
+    return mgr, specs
+
+
+def bi_decompose(specs, config=None, verify=False, session=None):
     """Decompose a multi-output specification into one netlist.
 
     Parameters
@@ -68,44 +100,28 @@ def bi_decompose(specs, config=None, verify=False):
         :class:`~repro.bdd.Function`, treated as completely specified).
         All specifications must share one BDD manager.
     config:
-        Optional :class:`DecompositionConfig`.
+        Optional :class:`DecompositionConfig` (ignored when *session*
+        is given — the session's config wins).
     verify:
         When True, run the BDD-based verifier on the result before
         returning (raises on any violation).
+    session:
+        Optional :class:`repro.pipeline.Session` to decompose in;
+        batch callers share one session so components are reused across
+        calls.  When omitted an ephemeral session is created.
 
     Returns a :class:`DecompositionResult`.
     """
-    specs = {name: _as_isf(spec) for name, spec in specs.items()}
-    if not specs:
-        raise ValueError("no outputs to decompose")
-    managers = {isf.mgr for isf in specs.values()}
-    if len({id(m) for m in managers}) != 1:
-        raise ValueError("all specifications must share one BDD manager")
-    mgr = next(iter(managers))
-
-    netlist = Netlist(mgr.var_names)
-    var_nodes = {var: netlist.input_node(mgr.var_name(var))
-                 for var in range(mgr.num_vars)}
-    engine = DecompositionEngine(mgr, netlist, var_nodes, config=config)
-
-    old_limit = sys.getrecursionlimit()
-    sys.setrecursionlimit(max(old_limit, _RECURSION_LIMIT))
-    started = time.perf_counter()
-    functions = {}
-    try:
-        for name, isf in specs.items():
-            csf, node = engine.decompose(isf)
-            netlist.set_output(name, node)
-            functions[name] = csf
-    finally:
-        sys.setrecursionlimit(old_limit)
-    elapsed = time.perf_counter() - started
-
-    result = DecompositionResult(netlist, functions, engine.stats,
-                                 engine.cache.stats(), elapsed,
-                                 provenance=engine.provenance)
+    mgr, specs = validate_specs(specs)
+    if session is None:
+        # Imported here: repro.pipeline depends on repro.decomp.
+        from repro.pipeline.session import Session
+        session = Session(config=config, mgr=mgr)
+    result, _name_map = session.decompose_specs(specs)
     if verify:
-        verify_against_isfs(netlist, specs)
+        verify_against_isfs(result.netlist,
+                            {result.output_names[name]: isf
+                             for name, isf in specs.items()})
     return result
 
 

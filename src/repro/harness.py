@@ -17,10 +17,9 @@ benchmarks reuse the same code paths.
 import argparse
 import sys
 
-from repro.baselines import bds_like_synthesize, sis_like_synthesize
 from repro.bench import TABLE2, TABLE3, get
-from repro.decomp import DecompositionConfig, bi_decompose
-from repro.network.verify import verify_against_isfs
+from repro.decomp import DecompositionConfig
+from repro.pipeline import Pipeline, PipelineConfig, PipelineInput, Session
 from repro.testability import analyze_testability, care_sets
 
 #: Reduced benchmark sets for --quick runs (small functions only).
@@ -39,6 +38,27 @@ def _stats_row(stats, elapsed):
     }
 
 
+def _synthesize(name, flow="bidecomp", config=None, verify=True,
+                mgr_specs=None, flow_options=None):
+    """Run one benchmark through the session/pipeline layer.
+
+    Returns the finished :class:`~repro.pipeline.PipelineRun`; its
+    ``result`` attribute carries the flow-specific result object
+    (:class:`~repro.decomp.DecompositionResult` or
+    :class:`~repro.baselines.BaselineResult`).
+    """
+    if mgr_specs is None:
+        mgr, specs = get(name).build()
+    else:
+        mgr, specs = mgr_specs
+    session = Session(PipelineConfig(decomposition=config, flow=flow,
+                                     verify=verify,
+                                     flow_options=flow_options))
+    pipeline = Pipeline.standard(emit=False)
+    return pipeline.run(session, PipelineInput(mgr=mgr, specs=specs,
+                                               label=name))
+
+
 def run_table2(names=TABLE2, verify=True, sis_factor=False, config=None):
     """Reproduce Table 2: BI-DECOMP vs the SIS-like baseline.
 
@@ -53,11 +73,12 @@ def run_table2(names=TABLE2, verify=True, sis_factor=False, config=None):
     for name in names:
         bench = get(name)
         mgr, specs = bench.build()
-        sis = sis_like_synthesize(specs, factor=sis_factor)
-        result = bi_decompose(specs, config=config)
-        if verify:
-            verify_against_isfs(sis.netlist, specs)
-            verify_against_isfs(result.netlist, specs)
+        sis = _synthesize(name, flow="sis", verify=verify,
+                          mgr_specs=(mgr, specs),
+                          flow_options={"factor": sis_factor}).result
+        run = _synthesize(name, flow="bidecomp", config=config,
+                          verify=verify, mgr_specs=(mgr, specs))
+        result = run.result
         rows.append({
             "name": name,
             "ins": bench.inputs,
@@ -74,13 +95,11 @@ def run_table3(names=TABLE3, verify=True, config=None):
     """Reproduce Table 3: BI-DECOMP vs the BDS-like baseline."""
     rows = []
     for name in names:
-        bench = get(name)
-        mgr, specs = bench.build()
-        bds = bds_like_synthesize(specs)
-        result = bi_decompose(specs, config=config)
-        if verify:
-            verify_against_isfs(bds.netlist, specs)
-            verify_against_isfs(result.netlist, specs)
+        mgr, specs = get(name).build()
+        bds = _synthesize(name, flow="bds", verify=verify,
+                          mgr_specs=(mgr, specs)).result
+        result = _synthesize(name, flow="bidecomp", config=config,
+                             verify=verify, mgr_specs=(mgr, specs)).result
         rows.append({
             "name": name,
             "bds": _stats_row(bds.netlist_stats(), bds.elapsed),
@@ -98,8 +117,9 @@ def run_testability(names=("9sym", "rd84", "t481", "misex1", "5xp1"),
     """
     rows = []
     for name in names:
-        mgr, specs = get(name).build()
-        result = bi_decompose(specs)
+        run = _synthesize(name)
+        mgr, specs = run.mgr, run.specs
+        result = run.result
         cares = care_sets(specs)
         if internal_only:
             from repro.testability import internal_faults
@@ -118,11 +138,9 @@ def run_cache_ablation(names=("9sym", "rd84", "5xp1", "alu2", "misex1")):
     """Section 6's claim: the component cache yields substantial reuse."""
     rows = []
     for name in names:
-        mgr, specs = get(name).build()
-        with_cache = bi_decompose(specs)
-        mgr2, specs2 = get(name).build()
-        without = bi_decompose(specs2,
-                               config=DecompositionConfig(use_cache=False))
+        with_cache = _synthesize(name).result
+        without = _synthesize(
+            name, config=DecompositionConfig(use_cache=False)).result
         st_with = with_cache.netlist_stats()
         st_without = without.netlist_stats()
         hits = with_cache.cache_stats["hits"]
@@ -146,12 +164,9 @@ def run_strong_weak_ablation(names=("9sym", "rd84", "t481", "5xp1",
     no_exor = DecompositionConfig(use_exor=False)
     rows = []
     for name in names:
-        mgr, specs = get(name).build()
-        full = bi_decompose(specs)
-        mgr2, specs2 = get(name).build()
-        weak = bi_decompose(specs2, config=weak_only)
-        mgr3, specs3 = get(name).build()
-        noex = bi_decompose(specs3, config=no_exor)
+        full = _synthesize(name).result
+        weak = _synthesize(name, config=weak_only).result
+        noex = _synthesize(name, config=no_exor).result
         rows.append({
             "name": name,
             "full": _stats_row(full.netlist_stats(), full.elapsed),
@@ -165,14 +180,11 @@ def run_tuning_ablation(names=("9sym", "rd84", "misex1", "alu2")):
     """Sections 5/7: grouping refinement and weak-XA-size sweeps."""
     rows = []
     for name in names:
-        mgr, specs = get(name).build()
-        base = bi_decompose(specs)
-        mgr2, specs2 = get(name).build()
-        refined = bi_decompose(
-            specs2, config=DecompositionConfig(exhaustive_grouping=True))
-        mgr3, specs3 = get(name).build()
-        wide_weak = bi_decompose(
-            specs3, config=DecompositionConfig(weak_xa_size=3))
+        base = _synthesize(name).result
+        refined = _synthesize(
+            name, config=DecompositionConfig(exhaustive_grouping=True)).result
+        wide_weak = _synthesize(
+            name, config=DecompositionConfig(weak_xa_size=3)).result
         rows.append({
             "name": name,
             "base": _stats_row(base.netlist_stats(), base.elapsed),
@@ -193,8 +205,8 @@ def run_integrated_atpg(names=("rd84", "9sym", "t481", "misex1")):
     from repro.testability import generate_tests_integrated
     rows = []
     for name in names:
-        mgr, specs = get(name).build()
-        result = bi_decompose(specs)
+        run = _synthesize(name)
+        mgr, specs, result = run.mgr, run.specs, run.result
         atpg = generate_tests_integrated(result, mgr, care_sets(specs))
         rows.append({
             "name": name,

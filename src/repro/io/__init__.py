@@ -1,10 +1,12 @@
 """File formats: espresso PLA and BLIF."""
 
-from repro.io.pla import PLAData, PLAError, parse_pla, read_pla, write_pla
+from repro.io.pla import (PLAData, PLAError, load_pla, parse_pla,
+                          read_pla, read_text, write_pla)
 from repro.io.blif import (BLIFError, write_blif, parse_blif,
                            netlist_from_functions)
 
 __all__ = [
-    "PLAData", "PLAError", "parse_pla", "read_pla", "write_pla",
+    "PLAData", "PLAError", "load_pla", "parse_pla", "read_pla",
+    "read_text", "write_pla",
     "BLIFError", "write_blif", "parse_blif", "netlist_from_functions",
 ]

@@ -121,6 +121,26 @@ class PLAData:
         return mgr, specs
 
 
+def read_text(path):
+    """Read a whole text file; ``"-"`` reads stdin (CLI convention)."""
+    if path == "-":
+        import sys
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def load_pla(path, mgr=None):
+    """Read + parse a PLA file and build its ISFs in one call.
+
+    Returns ``(data, mgr, specs)`` — the helper previously duplicated
+    between ``repro.cli`` and ``repro.harness``.
+    """
+    data = parse_pla(read_text(path))
+    mgr, specs = data.to_isfs(mgr=mgr)
+    return data, mgr, specs
+
+
 def parse_pla(text):
     """Parse espresso PLA *text* into :class:`PLAData`."""
     num_inputs = num_outputs = None

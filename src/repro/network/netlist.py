@@ -208,10 +208,18 @@ class Netlist:
                 counts[fanin] += 1
         return counts
 
-    def reachable_from_outputs(self):
-        """Set of node ids in some output's transitive fan-in cone."""
+    def reachable_from_outputs(self, outputs=None):
+        """Set of node ids in some output's transitive fan-in cone.
+
+        *outputs* optionally restricts the roots to a subset of output
+        names (a batch pipeline's per-run view of a shared netlist).
+        """
         seen = set()
-        stack = [node for _name, node in self.outputs]
+        if outputs is None:
+            stack = [node for _name, node in self.outputs]
+        else:
+            wanted = set(outputs)
+            stack = [node for name, node in self.outputs if name in wanted]
         while stack:
             node = stack.pop()
             if node in seen:

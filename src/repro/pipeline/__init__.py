@@ -1,0 +1,35 @@
+"""Session/pipeline layer: one instrumented context from BDD manager to
+BLIF out.
+
+Public surface:
+
+* :class:`Session` — owns the BDD manager, config, event bus, shared
+  netlist + component cache, and enforces resource budgets;
+* :class:`Pipeline` / :class:`PipelineInput` / :class:`PipelineRun` —
+  the named-stage pipeline (parse -> build_isfs -> preprocess ->
+  decompose -> verify -> map -> emit) with batch execution;
+* :class:`PipelineConfig` — validated run-level configuration;
+* :class:`EventBus` / :class:`Event` — structured observability;
+* the limit primitives (:class:`Deadline`, :func:`recursion_guard`) and
+  clean failures (:class:`PipelineTimeout`, :class:`NodeLimitExceeded`).
+"""
+
+from repro.pipeline.limits import (DEFAULT_RECURSION_LIMIT, Deadline,
+                                   NodeLimitExceeded, PipelineError,
+                                   PipelineTimeout, recursion_guard)
+from repro.pipeline.events import Event, EventBus
+from repro.pipeline.config import FLOWS, PipelineConfig
+from repro.pipeline.session import Session
+from repro.pipeline.pipeline import (Pipeline, PipelineInput, PipelineRun,
+                                     stage_build_isfs, stage_decompose,
+                                     stage_emit, stage_map, stage_parse,
+                                     stage_preprocess, stage_verify)
+
+__all__ = [
+    "DEFAULT_RECURSION_LIMIT", "Deadline", "NodeLimitExceeded",
+    "PipelineError", "PipelineTimeout", "recursion_guard",
+    "Event", "EventBus", "FLOWS", "PipelineConfig", "Session",
+    "Pipeline", "PipelineInput", "PipelineRun",
+    "stage_parse", "stage_build_isfs", "stage_preprocess",
+    "stage_decompose", "stage_verify", "stage_map", "stage_emit",
+]

@@ -1,0 +1,117 @@
+"""Validated configuration for a pipeline session.
+
+:class:`PipelineConfig` merges the engine's
+:class:`~repro.decomp.DecompositionConfig` with the run-level knobs the
+driver used to hard-code: which synthesis flow to run, whether to
+verify, the recursion-limit headroom, and the two resource budgets
+(wall-clock seconds and live BDD nodes) enforced by the session.
+"""
+
+from repro.decomp.bidecomp import DecompositionConfig
+from repro.pipeline.limits import DEFAULT_RECURSION_LIMIT
+
+#: Synthesis flows the decompose stage can dispatch to.
+FLOWS = ("bidecomp", "sis", "bds")
+
+
+class PipelineConfig:
+    """Validated run-level configuration.
+
+    Parameters
+    ----------
+    decomposition:
+        :class:`DecompositionConfig` for the engine (default-constructed
+        when omitted).
+    flow:
+        ``"bidecomp"`` (the paper's program), ``"sis"`` or ``"bds"``
+        (the comparison baselines).
+    verify:
+        Run the BDD verifier on every synthesised netlist.
+    time_limit:
+        Wall-clock budget in seconds for one pipeline run, or None.
+        Exceeding it raises :class:`~repro.pipeline.PipelineTimeout`.
+    max_nodes:
+        Budget of live BDD nodes in the session manager, or None.
+        Exceeding it raises
+        :class:`~repro.pipeline.NodeLimitExceeded`.
+    recursion_limit:
+        Interpreter recursion headroom installed around the engine
+        (moved here from ``repro.decomp.driver``).
+    model:
+        BLIF ``.model`` name used by the emit stage.
+    progress_interval:
+        Engine calls between ``decompose_progress`` events.
+    flow_options:
+        Extra keyword arguments forwarded to the baseline synthesiser
+        (e.g. ``{"factor": True, "minimizer": "espresso"}`` for the sis
+        flow, ``{"use_xor": False}`` for bds).  Ignored by bidecomp.
+    """
+
+    def __init__(self, decomposition=None, flow="bidecomp", verify=True,
+                 time_limit=None, max_nodes=None,
+                 recursion_limit=DEFAULT_RECURSION_LIMIT,
+                 model="bidecomp", progress_interval=1024,
+                 flow_options=None):
+        if decomposition is None:
+            decomposition = DecompositionConfig()
+        if not isinstance(decomposition, DecompositionConfig):
+            raise ValueError("decomposition must be a DecompositionConfig, "
+                             "got %r" % (decomposition,))
+        if flow not in FLOWS:
+            raise ValueError("flow must be one of %s, got %r"
+                             % ("/".join(FLOWS), flow))
+        if time_limit is not None:
+            time_limit = float(time_limit)
+            if time_limit <= 0:
+                raise ValueError("time_limit must be positive, got %r"
+                                 % time_limit)
+        if max_nodes is not None:
+            max_nodes = int(max_nodes)
+            if max_nodes <= 0:
+                raise ValueError("max_nodes must be positive, got %r"
+                                 % max_nodes)
+        recursion_limit = int(recursion_limit)
+        if recursion_limit < 1000:
+            raise ValueError("recursion_limit must be >= 1000, got %r"
+                             % recursion_limit)
+        progress_interval = int(progress_interval)
+        if progress_interval <= 0:
+            raise ValueError("progress_interval must be positive, got %r"
+                             % progress_interval)
+        self.decomposition = decomposition
+        self.flow = flow
+        self.verify = bool(verify)
+        self.time_limit = time_limit
+        self.max_nodes = max_nodes
+        self.recursion_limit = recursion_limit
+        self.model = model
+        self.progress_interval = progress_interval
+        if flow_options is not None and not isinstance(flow_options, dict):
+            raise ValueError("flow_options must be a dict, got %r"
+                             % (flow_options,))
+        self.flow_options = dict(flow_options or {})
+
+    @classmethod
+    def coerce(cls, value):
+        """Accept None, a PipelineConfig, or a DecompositionConfig."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, DecompositionConfig):
+            return cls(decomposition=value)
+        raise ValueError("cannot build a PipelineConfig from %r" % (value,))
+
+    def as_dict(self):
+        """Flat dict view (for ``--stats-json`` dumps)."""
+        return {
+            "flow": self.flow,
+            "verify": self.verify,
+            "time_limit": self.time_limit,
+            "max_nodes": self.max_nodes,
+            "recursion_limit": self.recursion_limit,
+            "model": self.model,
+        }
+
+    def __repr__(self):
+        return "PipelineConfig(%s)" % self.as_dict()

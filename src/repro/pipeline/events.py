@@ -1,0 +1,74 @@
+"""Structured event bus: the pipeline's observability spine.
+
+Every stage boundary, limit trip and progress tick is published as an
+:class:`Event` (a name plus a flat payload dict).  Subscribers get each
+event synchronously in publication order; the bus also records history
+so that ``--stats-json`` and the tests can replay a run after the fact.
+"""
+
+
+class Event:
+    """One published event: a name and a payload dict."""
+
+    __slots__ = ("name", "payload")
+
+    def __init__(self, name, payload):
+        self.name = name
+        self.payload = payload
+
+    def __getitem__(self, key):
+        return self.payload[key]
+
+    def get(self, key, default=None):
+        """Payload field lookup with a default."""
+        return self.payload.get(key, default)
+
+    def __repr__(self):
+        return "Event(%r, %r)" % (self.name, self.payload)
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub with recorded history.
+
+    Parameters
+    ----------
+    record:
+        When True (default) every published event is appended to
+        :attr:`history`.  High-frequency producers (the decomposition
+        engine's progress ticks) are throttled at the source, so the
+        history stays proportional to pipeline structure, not work.
+    """
+
+    def __init__(self, record=True):
+        self._handlers = []
+        self._record = record
+        self.history = []
+
+    def subscribe(self, handler):
+        """Register ``handler(event)``; returns it for chaining."""
+        self._handlers.append(handler)
+        return handler
+
+    def unsubscribe(self, handler):
+        """Remove a previously registered handler (no-op if absent)."""
+        try:
+            self._handlers.remove(handler)
+        except ValueError:
+            pass
+
+    def publish(self, name, **payload):
+        """Publish an event to all handlers; returns the :class:`Event`."""
+        event = Event(name, payload)
+        if self._record:
+            self.history.append(event)
+        for handler in self._handlers:
+            handler(event)
+        return event
+
+    def named(self, name):
+        """All recorded events with the given name, in order."""
+        return [event for event in self.history if event.name == name]
+
+    def clear(self):
+        """Drop the recorded history (handlers stay subscribed)."""
+        del self.history[:]

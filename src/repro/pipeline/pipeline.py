@@ -1,0 +1,278 @@
+"""Composable pipeline of named stages over a :class:`Session`.
+
+The paper's program is one fixed pipeline — read PLA, build ISF BDDs,
+bi-decompose, write BLIF — and its reported CPU time spans exactly that.
+:class:`Pipeline` reifies it as named stages
+
+    parse -> build_isfs -> preprocess -> decompose -> verify -> map -> emit
+
+each of which runs inside :meth:`Session.stage`, so every run gets
+per-stage ``stage_started`` / ``stage_finished`` events (elapsed time,
+BDD node counts, cache hit rates, gate counts) and obeys the session's
+time / node budgets.  A stage whose inputs are already present (e.g.
+``parse`` when the caller supplies ISFs directly) is skipped but still
+emits its events with ``skipped=True``, keeping the event stream's
+shape deterministic.
+
+Batch execution (:meth:`Pipeline.run_batch`) feeds many inputs through
+one session: all of them share the session's BDD manager, netlist and
+component cache, so blocks decomposed for one file are reused by the
+next (Section 6 scaled up from outputs to whole files).
+"""
+
+import time
+
+from repro.io import parse_pla, read_text, write_blif
+from repro.network.stats import compute_stats
+
+
+class PipelineInput:
+    """One unit of work for a pipeline run.
+
+    Exactly one source must be given: a *path* (``"-"`` for stdin), raw
+    PLA *text*, a parsed *pla*, or prebuilt ``mgr`` + *specs*.
+    """
+
+    def __init__(self, path=None, text=None, pla=None, mgr=None,
+                 specs=None, label=None, emit_path=None):
+        if specs is None and pla is None and text is None and path is None:
+            raise ValueError("PipelineInput needs path, text, pla or specs")
+        self.path = path
+        self.text = text
+        self.pla = pla
+        self.mgr = mgr
+        self.specs = specs
+        if label is None:
+            if path not in (None, "-"):
+                label = _stem(path)
+            else:
+                label = "input"
+        self.label = label
+        self.emit_path = emit_path
+
+
+class PipelineRun:
+    """Mutable context threaded through the stages, and the run result."""
+
+    def __init__(self, source):
+        self.source = source
+        self.label = source.label
+        self.pla = source.pla
+        self.mgr = source.mgr
+        self.specs = source.specs
+        self.result = None          # DecompositionResult / BaselineResult
+        self.netlist = None
+        self.output_names = {}      # spec name -> netlist output name
+        self.mapping = None
+        self.blif = None
+        self.stages = []            # stage_finished payloads, in order
+        self.elapsed = 0.0
+
+    # -- derived views --------------------------------------------------
+    def spec_items(self):
+        """Spec items keyed by their *netlist* output names."""
+        return {self.output_names.get(name, name): isf
+                for name, isf in self.specs.items()}
+
+    def netlist_stats(self):
+        """Cost metrics restricted to this run's own output cones."""
+        outputs = list(self.output_names.values()) or None
+        return compute_stats(self.netlist, outputs=outputs)
+
+    def stage_record(self, stage):
+        """The ``stage_finished`` payload of *stage* (or None)."""
+        for payload in self.stages:
+            if payload.get("stage") == stage:
+                return payload
+        return None
+
+    def stats_json(self, config=None):
+        """Structured run report (the ``--stats-json`` document)."""
+        doc = {
+            "input": self.source.path or self.label,
+            "label": self.label,
+            "elapsed": self.elapsed,
+            "stages": list(self.stages),
+        }
+        if config is not None:
+            doc["config"] = config.as_dict()
+        if self.netlist is not None:
+            doc["netlist"] = self.netlist_stats().as_dict()
+        decomp = self.stage_record("decompose") or {}
+        if "decomposition" in decomp:
+            doc["decomposition"] = decomp["decomposition"]
+        if "cache" in decomp:
+            doc["cache"] = decomp["cache"]
+            doc["cache_hit_rate"] = decomp.get("cache_hit_rate", 0.0)
+        return doc
+
+
+# ---------------------------------------------------------------------
+# Stage bodies.  Each takes (session, run, record) and mutates the run;
+# returning without touching the run marks nothing — stages decide
+# themselves whether their work is already done (skip semantics).
+# ---------------------------------------------------------------------
+def stage_parse(session, run, record):
+    """PLA text -> :class:`~repro.io.PLAData`."""
+    if run.specs is not None or run.pla is not None:
+        record["skipped"] = True
+        return
+    text = run.source.text
+    if text is None:
+        text = read_text(run.source.path)
+    run.pla = parse_pla(text)
+    record["inputs"] = run.pla.num_inputs
+    record["outputs"] = run.pla.num_outputs
+    record["cubes"] = len(run.pla.cubes)
+
+
+def stage_build_isfs(session, run, record):
+    """PLAData -> per-output ISFs on the session's shared manager."""
+    if run.specs is not None:
+        session.adopt_manager(run.mgr)
+        record["skipped"] = True
+        return
+    mgr = session.mgr
+    if mgr is None:
+        mgr = session.adopt_manager(run.pla.make_manager())
+    else:
+        known = set(mgr.var_names)
+        for name in run.pla.input_names:
+            if name not in known:
+                mgr.add_var(name)
+    _mgr, run.specs = run.pla.to_isfs(mgr=mgr)
+    run.mgr = mgr
+    record["isf_nodes"] = sum(
+        mgr.node_count(isf.on.node) + mgr.node_count(isf.off.node)
+        for isf in run.specs.values())
+
+
+def stage_preprocess(session, run, record):
+    """Record per-output support sizes (hook point for reordering)."""
+    mgr = run.mgr
+    supports = {name: len(isf.structural_support())
+                for name, isf in run.specs.items()}
+    record["max_support"] = max(supports.values(), default=0)
+    record["total_outputs"] = len(supports)
+    record["bdd_vars"] = mgr.num_vars
+
+
+def stage_decompose(session, run, record):
+    """Dispatch to the configured synthesis flow."""
+    flow = session.config.flow
+    if flow == "bidecomp":
+        run.result, run.output_names = session.decompose_specs(
+            run.specs, label=run.label, record=record)
+        run.netlist = run.result.netlist
+    else:
+        from repro.baselines import (bds_like_synthesize,
+                                     sis_like_synthesize)
+        options = session.config.flow_options
+        if flow == "sis":
+            run.result = sis_like_synthesize(run.specs, session=session,
+                                             **options)
+        else:
+            run.result = bds_like_synthesize(run.specs, session=session,
+                                             **options)
+        run.netlist = run.result.netlist
+        run.output_names = {name: name for name in run.specs}
+    stats = run.netlist_stats()
+    record["flow"] = flow
+    record["gates"] = stats.gates
+    record["exors"] = stats.exors
+    record["area"] = stats.area
+
+
+def stage_verify(session, run, record):
+    """BDD-verify every output against its specification interval."""
+    if not session.config.verify:
+        record["skipped"] = True
+        return
+    from repro.network.verify import verify_against_isfs
+    verify_against_isfs(run.netlist, run.spec_items())
+    record["verified_outputs"] = len(run.specs)
+
+
+def stage_map(session, run, record):
+    """Standard-cell mapping (only when the pipeline enables it)."""
+    from repro.network.mapper import map_netlist, verify_mapping
+    run.mapping = map_netlist(run.netlist)
+    verify_mapping(run.mapping, run.mgr)
+    record["cells"] = sum(run.mapping.cell_counts.values())
+    record["mapped_area"] = run.mapping.area
+    record["mapped_delay"] = run.mapping.delay
+
+
+def stage_emit(session, run, record):
+    """Serialise this run's output cones as BLIF."""
+    outputs = None
+    if len(run.output_names) != len(run.netlist.outputs):
+        # Shared batch netlist: restrict to this run's outputs.
+        outputs = list(run.output_names.values())
+    run.blif = write_blif(run.netlist, model=session.config.model,
+                          path=run.source.emit_path, outputs=outputs)
+    record["bytes"] = len(run.blif)
+
+
+class Pipeline:
+    """An ordered list of named stages run inside a session."""
+
+    def __init__(self, stages):
+        self.stages = list(stages)
+
+    @classmethod
+    def standard(cls, emit=True, map_cells=False):
+        """The paper's pipeline: parse -> ... -> verify [-> map] [-> emit]."""
+        stages = [("parse", stage_parse),
+                  ("build_isfs", stage_build_isfs),
+                  ("preprocess", stage_preprocess),
+                  ("decompose", stage_decompose),
+                  ("verify", stage_verify)]
+        if map_cells:
+            stages.append(("map", stage_map))
+        if emit:
+            stages.append(("emit", stage_emit))
+        return cls(stages)
+
+    def stage_names(self):
+        """Names of the composed stages, in execution order."""
+        return [name for name, _fn in self.stages]
+
+    def run(self, session, source):
+        """Run one input through every stage; returns a PipelineRun.
+
+        The session's wall-clock budget applies to this run: the clock
+        restarts here and every stage (and BDD growth inside it) is
+        checked against it.
+        """
+        if not isinstance(source, PipelineInput):
+            source = PipelineInput(**source) if isinstance(source, dict) \
+                else PipelineInput(path=source)
+        run = PipelineRun(source)
+        session.start_clock()
+        collect = session.events.subscribe(
+            lambda event: run.stages.append(dict(event.payload))
+            if event.name == "stage_finished" else None)
+        started = time.perf_counter()
+        try:
+            for name, fn in self.stages:
+                with session.stage(name, label=run.label) as record:
+                    fn(session, run, record)
+        finally:
+            run.elapsed = time.perf_counter() - started
+            session.events.unsubscribe(collect)
+        return run
+
+    def run_batch(self, session, sources):
+        """Run many inputs through one shared session, in order.
+
+        Returns the list of :class:`PipelineRun` results.  All runs
+        share the session's manager, netlist and component cache, so
+        later inputs reuse blocks decomposed for earlier ones.
+        """
+        return [self.run(session, source) for source in sources]
+
+
+def _stem(path):
+    name = str(path).replace("\\", "/").rsplit("/", 1)[-1]
+    return name.rsplit(".", 1)[0] if "." in name else name

@@ -1,0 +1,289 @@
+"""The pipeline session: one instrumented context from BDD manager to
+BLIF out.
+
+A :class:`Session` owns everything the hand-wired flows used to juggle
+separately:
+
+* the BDD manager (adopted or created lazily), with the node-budget /
+  wall-clock growth hook installed on it;
+* the validated :class:`~repro.pipeline.PipelineConfig`;
+* the :class:`~repro.pipeline.EventBus` carrying structured
+  ``stage_started`` / ``stage_finished`` / ``decompose_progress``
+  events;
+* one shared netlist, component cache and
+  :class:`~repro.decomp.DecompositionEngine`, so batch runs over many
+  inputs reuse decomposed blocks exactly the way the paper shares them
+  between outputs (Section 6).
+
+The multi-output driver (``repro.decomp.bi_decompose``) is now a thin
+wrapper over :meth:`Session.decompose_specs`.
+"""
+
+import time
+from contextlib import contextmanager
+
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.events import EventBus
+from repro.pipeline.limits import (Deadline, NodeLimitExceeded,
+                                   recursion_guard)
+
+#: Fresh-node allocations between growth-hook invocations on the
+#: manager; small enough to catch runaway growth promptly, large enough
+#: to keep the hot path unaffected.
+GROWTH_CHECK_INTERVAL = 512
+
+
+class Session:
+    """Instrumented execution context for synthesis pipelines.
+
+    Parameters
+    ----------
+    config:
+        :class:`PipelineConfig`, :class:`~repro.decomp.DecompositionConfig`
+        or None (coerced).
+    mgr:
+        Optional BDD manager to adopt immediately; otherwise the first
+        ``build_isfs`` stage (or :meth:`adopt_manager`) supplies one.
+    events:
+        Optional :class:`EventBus`; a recording bus is created when
+        omitted.
+    """
+
+    def __init__(self, config=None, mgr=None, events=None):
+        self.config = PipelineConfig.coerce(config)
+        self.events = events if events is not None else EventBus()
+        self.mgr = None
+        self.netlist = None
+        self.engine = None
+        self._var_nodes = None
+        self._deadline = None
+        self._stage = None
+        self._used_output_names = set()
+        self._cache_resets = 0
+        self._progress_countdown = self.config.progress_interval
+        if mgr is not None:
+            self.adopt_manager(mgr)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def close(self):
+        """Uninstall manager hooks and emit ``session_closed``."""
+        if self.mgr is not None:
+            self.mgr.set_growth_hook(None)
+        self.events.publish("session_closed",
+                            cache_resets=self._cache_resets)
+
+    def adopt_manager(self, mgr):
+        """Attach *mgr* to the session and install the limit hook.
+
+        Adopting a different manager than the current one resets the
+        shared netlist / engine / component cache (cached netlist nodes
+        are meaningless across managers); a ``component_cache_reset``
+        event records the discontinuity.
+        """
+        if mgr is self.mgr:
+            return mgr
+        if self.mgr is not None:
+            self.mgr.set_growth_hook(None)
+            if self.engine is not None:
+                self._cache_resets += 1
+                self.events.publish("component_cache_reset",
+                                    dropped=self.engine.cache.size())
+        self.mgr = mgr
+        self.netlist = None
+        self.engine = None
+        self._var_nodes = None
+        self._used_output_names = set()
+        mgr.set_growth_hook(self._on_manager_growth,
+                            interval=GROWTH_CHECK_INTERVAL)
+        return mgr
+
+    # ------------------------------------------------------------------
+    # Limits
+    # ------------------------------------------------------------------
+    def start_clock(self):
+        """(Re)start the wall-clock budget for one pipeline run."""
+        if self.config.time_limit is not None:
+            self._deadline = Deadline(self.config.time_limit)
+        else:
+            self._deadline = None
+
+    def check_limits(self):
+        """Raise PipelineTimeout / NodeLimitExceeded when over budget."""
+        if self._deadline is not None:
+            self._deadline.check(stage=self._stage)
+        limit = self.config.max_nodes
+        if limit is not None and self.mgr is not None:
+            live = self.mgr.live_count()
+            if live > limit:
+                raise NodeLimitExceeded(limit, live, stage=self._stage)
+
+    def _on_manager_growth(self, mgr):
+        """Growth hook installed on the BDD manager (hot path)."""
+        self.check_limits()
+
+    def _on_engine_call(self, kind, stats):
+        """Engine observer: limit check + throttled progress events."""
+        if self._deadline is not None and self._deadline.expired():
+            self._deadline.check(stage=self._stage)
+        self._progress_countdown -= 1
+        if self._progress_countdown <= 0:
+            self._progress_countdown = self.config.progress_interval
+            self.events.publish("decompose_progress",
+                               stage=self._stage,
+                               calls=stats.calls,
+                               bdd_nodes=self.mgr.live_count(),
+                               last_step=kind)
+
+    # ------------------------------------------------------------------
+    # Stage instrumentation
+    # ------------------------------------------------------------------
+    @contextmanager
+    def stage(self, name, **info):
+        """Run one named stage under timing, limits and events.
+
+        Yields a mutable ``record`` dict; whatever the stage body puts
+        there is merged into the ``stage_finished`` payload (cache hit
+        rates, gate counts, ...).
+        """
+        self._stage = name
+        self.check_limits()
+        self.events.publish("stage_started", stage=name, **info)
+        record = {}
+        started = time.perf_counter()
+        try:
+            yield record
+        except Exception as exc:
+            self.events.publish("stage_failed", stage=name,
+                                elapsed=time.perf_counter() - started,
+                                error=type(exc).__name__)
+            raise
+        finally:
+            self._stage = None
+        payload = {"stage": name,
+                   "elapsed": time.perf_counter() - started,
+                   "bdd_nodes": (self.mgr.live_count()
+                                 if self.mgr is not None else 0)}
+        payload.update(record)
+        self.events.publish("stage_finished", **payload)
+
+    # ------------------------------------------------------------------
+    # Decomposition (the engine runs in here)
+    # ------------------------------------------------------------------
+    def _ensure_engine(self):
+        """Build or extend the shared netlist/engine for self.mgr."""
+        from repro.decomp.bidecomp import DecompositionEngine
+        from repro.network.netlist import Netlist
+        if self.mgr is None:
+            raise ValueError("session has no BDD manager; adopt one first")
+        if self.engine is None:
+            self.netlist = Netlist(self.mgr.var_names)
+            self._var_nodes = {
+                var: self.netlist.input_node(self.mgr.var_name(var))
+                for var in range(self.mgr.num_vars)}
+            self.engine = DecompositionEngine(
+                self.mgr, self.netlist, self._var_nodes,
+                config=self.config.decomposition,
+                observer=self._on_engine_call)
+        else:
+            # The manager may have gained variables since the engine
+            # was built (batch inputs with new input names).
+            for var in range(self.mgr.num_vars):
+                if var not in self.engine.var_nodes:
+                    node = self.netlist.add_input(self.mgr.var_name(var))
+                    self.engine.var_nodes[var] = node
+        return self.engine
+
+    def claim_output_name(self, name, label=None):
+        """Reserve a unique netlist output name for *name*.
+
+        Within one shared netlist, a second input file declaring the
+        same output name gets it prefixed with its run label.
+        """
+        candidate = name
+        if candidate in self._used_output_names and label:
+            candidate = "%s.%s" % (label, name)
+        suffix = 0
+        while candidate in self._used_output_names:
+            suffix += 1
+            candidate = "%s_%d" % (name, suffix)
+        self._used_output_names.add(candidate)
+        return candidate
+
+    def decompose_specs(self, specs, label=None, record=None):
+        """Bi-decompose ``{output_name: ISF}`` in the shared netlist.
+
+        Returns ``(DecompositionResult, {spec_name: netlist_output_name})``.
+        The result's counters are the *delta* contributed by this call,
+        so batch runs report per-input stats even though the engine (and
+        its component cache) is shared across the whole session.
+        """
+        from repro.decomp.bidecomp import DecompositionStats
+        from repro.decomp.driver import DecompositionResult, validate_specs
+        mgr, specs = validate_specs(specs)
+        if self.mgr is None:
+            self.adopt_manager(mgr)
+        elif mgr is not self.mgr:
+            self.adopt_manager(mgr)
+        engine = self._ensure_engine()
+
+        stats_before = engine.stats.as_dict()
+        cache_before = engine.cache.stats()
+        functions = {}
+        name_map = {}
+        started = time.perf_counter()
+        with recursion_guard(self.config.recursion_limit):
+            for name, isf in specs.items():
+                csf, node = engine.decompose(isf)
+                out_name = self.claim_output_name(name, label=label)
+                self.netlist.set_output(out_name, node)
+                functions[name] = csf
+                name_map[name] = out_name
+        elapsed = time.perf_counter() - started
+
+        stats = DecompositionStats.from_dict(
+            _diff_counters(stats_before, engine.stats.as_dict()))
+        cache_stats = _diff_counters(cache_before, engine.cache.stats(),
+                                     absolute=("size",))
+        result = DecompositionResult(self.netlist, functions, stats,
+                                     cache_stats, elapsed,
+                                     provenance=engine.provenance,
+                                     output_names=name_map)
+        if record is not None:
+            record["decomposition"] = stats.as_dict()
+            record["cache"] = dict(cache_stats)
+            lookups = max(1, cache_stats.get("lookups", 0))
+            record["cache_hit_rate"] = cache_stats.get("hits", 0) / lookups
+        return result, name_map
+
+    def stats_snapshot(self):
+        """Session-level counters for reports."""
+        snap = {"bdd_nodes": self.mgr.live_count() if self.mgr else 0,
+                "cache_resets": self._cache_resets}
+        if self.engine is not None:
+            snap["engine_totals"] = self.engine.stats.as_dict()
+            snap["cache_totals"] = self.engine.cache.stats()
+        return snap
+
+
+def _diff_counters(before, after, absolute=()):
+    """Per-key difference of two counter dicts.
+
+    Keys listed in *absolute* are taken from *after* unchanged (e.g. a
+    cache's current size, which is not a monotone counter).
+    """
+    out = {}
+    for key, value in after.items():
+        if key in absolute or not isinstance(value, (int, float)):
+            out[key] = value
+        else:
+            out[key] = value - before.get(key, 0)
+    return out

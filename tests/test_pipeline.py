@@ -1,0 +1,380 @@
+"""Tests for the session/pipeline layer.
+
+Covers the event stream (ordering, timing fields), resource budgets
+(wall-clock and BDD-node limits trip cleanly), batch execution over a
+shared session (component cache reuse, output-name collisions, per-run
+BLIF subsets), configuration validation, and driver ergonomics
+(error messages, recursion-limit restoration).
+"""
+
+import io
+import json
+import sys
+
+import pytest
+
+from repro.bdd import BDD
+from repro.bench import get
+from repro.boolfn import ISF, parse
+from repro.decomp import bi_decompose
+from repro.decomp.bidecomp import DecompositionEngine
+from repro.io import parse_blif, write_blif
+from repro.pipeline import (DEFAULT_RECURSION_LIMIT, Deadline, EventBus,
+                            NodeLimitExceeded, Pipeline, PipelineConfig,
+                            PipelineError, PipelineInput, PipelineTimeout,
+                            Session, recursion_guard)
+
+PLA = """\
+.i 4
+.o 2
+.ilb a b c d
+.ob f g
+.type fd
+.p 5
+11-- 10
+--11 11
+00-- 01
+1--1 -0
+0-0- 01
+.e
+"""
+
+PLA2 = """\
+.i 4
+.o 1
+.ilb a b x y
+.ob f
+.type fd
+.p 3
+11-- 1
+--11 1
+0-0- 0
+.e
+"""
+
+
+def run_standard(text=PLA, config=None, **kwargs):
+    session = Session(config or PipelineConfig())
+    run = Pipeline.standard(**kwargs).run(
+        session, PipelineInput(text=text, label="t"))
+    return session, run
+
+
+# ---------------------------------------------------------------------
+# Event stream
+# ---------------------------------------------------------------------
+class TestEvents:
+    def test_stage_events_alternate_in_declared_order(self):
+        session, run = run_standard()
+        names = [(e.name, e.payload.get("stage"))
+                 for e in session.events.history
+                 if e.name in ("stage_started", "stage_finished")]
+        stages = Pipeline.standard().stage_names()
+        expected = []
+        for stage in stages:
+            expected.append(("stage_started", stage))
+            expected.append(("stage_finished", stage))
+        assert names == expected
+
+    def test_stage_finished_carries_timing_and_node_count(self):
+        session, run = run_standard()
+        assert len(run.stages) == len(Pipeline.standard().stages)
+        for payload in run.stages:
+            assert payload["elapsed"] >= 0.0
+            assert payload["bdd_nodes"] >= 0
+        decomp = run.stage_record("decompose")
+        assert decomp["gates"] > 0
+        assert "decomposition" in decomp
+        assert "cache_hit_rate" in decomp
+        assert 0.0 <= decomp["cache_hit_rate"] <= 1.0
+
+    def test_skipped_stages_still_emit_events(self):
+        mgr = BDD(["a", "b"])
+        spec = ISF.from_csf(parse(mgr, "a & b"))
+        session = Session()
+        run = Pipeline.standard().run(
+            session, PipelineInput(mgr=mgr, specs={"y": spec}))
+        assert run.stage_record("parse")["skipped"] is True
+        assert run.stage_record("build_isfs")["skipped"] is True
+        assert run.stage_record("decompose").get("skipped") is None
+
+    def test_verify_skipped_when_disabled(self):
+        _session, run = run_standard(config=PipelineConfig(verify=False))
+        assert run.stage_record("verify")["skipped"] is True
+
+    def test_stage_failed_event_on_error(self):
+        session = Session()
+        with pytest.raises(ValueError):
+            with session.stage("boom"):
+                raise ValueError("no")
+        failed = [e for e in session.events.history
+                  if e.name == "stage_failed"]
+        assert len(failed) == 1
+        assert failed[0]["stage"] == "boom"
+        assert failed[0]["error"] == "ValueError"
+
+    def test_event_bus_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        handle = bus.subscribe(lambda e: seen.append(e.name))
+        bus.publish("one")
+        bus.unsubscribe(handle)
+        bus.publish("two")
+        assert seen == ["one"]
+        assert [e.name for e in bus.history] == ["one", "two"]
+
+
+# ---------------------------------------------------------------------
+# Resource budgets
+# ---------------------------------------------------------------------
+class TestLimits:
+    def test_time_limit_raises_pipeline_timeout(self):
+        session = Session(PipelineConfig(time_limit=1e-9))
+        with pytest.raises(PipelineTimeout) as info:
+            Pipeline.standard().run(session, PipelineInput(text=PLA))
+        assert info.value.budget == 1e-9
+        assert isinstance(info.value, PipelineError)
+
+    def test_node_limit_raises_clean_error(self):
+        mgr, specs = get("9sym").build()
+        session = Session(PipelineConfig(max_nodes=10), mgr=mgr)
+        with pytest.raises(NodeLimitExceeded) as info:
+            Pipeline.standard().run(
+                session, PipelineInput(mgr=mgr, specs=specs))
+        assert info.value.limit == 10
+        assert info.value.nodes > 10
+
+    def test_generous_limits_do_not_interfere(self):
+        _session, run = run_standard(
+            config=PipelineConfig(time_limit=600.0, max_nodes=10**7))
+        assert run.blif.startswith(".model")
+
+    def test_deadline_reports_elapsed(self):
+        deadline = Deadline(1e-9)
+        with pytest.raises(PipelineTimeout) as info:
+            deadline.check(stage="decompose")
+        assert info.value.elapsed >= 0.0
+        assert "decompose" in str(info.value)
+
+
+# ---------------------------------------------------------------------
+# Batch execution over one shared session
+# ---------------------------------------------------------------------
+class TestBatch:
+    def test_batch_shares_cache_and_prefixes_collisions(self):
+        session = Session()
+        runs = Pipeline.standard().run_batch(
+            session, [PipelineInput(text=PLA, label="first"),
+                      PipelineInput(text=PLA2, label="second")])
+        assert len(runs) == 2
+        # Same manager and netlist throughout.
+        assert runs[0].mgr is runs[1].mgr
+        assert runs[0].netlist is runs[1].netlist
+        # Both files declare an output "f": the second gets prefixed.
+        assert runs[0].output_names["f"] == "f"
+        assert runs[1].output_names["f"] == "second.f"
+        # New input variables were added to the shared manager.
+        assert {"x", "y"} <= set(runs[1].mgr.var_names)
+
+    def test_batch_blifs_are_per_run_and_verify(self):
+        session = Session()
+        runs = Pipeline.standard().run_batch(
+            session, [PipelineInput(text=PLA, label="first"),
+                      PipelineInput(text=PLA2, label="second")])
+        for run in runs:
+            mgr, outputs = parse_blif(run.blif, mgr=run.mgr)
+            for spec_name, out_name in run.output_names.items():
+                assert out_name in outputs
+                assert run.specs[spec_name].is_compatible(outputs[out_name])
+        # The second BLIF contains only its own cones.
+        assert "second.f" in runs[1].blif
+        assert " g" not in runs[1].blif.splitlines()[2]
+
+    def test_batch_stats_are_per_run_deltas(self):
+        mgr, specs = get("rd53").build()
+        session = Session(mgr=mgr)
+        pipeline = Pipeline.standard(emit=False)
+        first = pipeline.run(session,
+                             PipelineInput(mgr=mgr, specs=specs, label="a"))
+        second = pipeline.run(session,
+                              PipelineInput(mgr=mgr, specs=specs, label="b"))
+        # The repeat run hits the shared component cache: every output
+        # function was already decomposed, so it does no new work.
+        assert first.result.stats.calls > 0
+        assert second.result.stats.cache_hits >= len(specs)
+        assert sum(second.result.stats.strong.values()) == 0
+        assert second.result.netlist_stats().gates == \
+            first.result.netlist_stats().gates
+
+    def test_adopting_new_manager_resets_cache(self):
+        mgr1, specs1 = get("rd53").build()
+        mgr2, specs2 = get("rd53").build()
+        session = Session(mgr=mgr1)
+        pipeline = Pipeline.standard(emit=False)
+        pipeline.run(session, PipelineInput(mgr=mgr1, specs=specs1))
+        pipeline.run(session, PipelineInput(mgr=mgr2, specs=specs2))
+        resets = [e for e in session.events.history
+                  if e.name == "component_cache_reset"]
+        assert len(resets) == 1
+        assert resets[0]["dropped"] > 0
+
+
+# ---------------------------------------------------------------------
+# Configuration validation
+# ---------------------------------------------------------------------
+class TestConfig:
+    def test_rejects_unknown_flow(self):
+        with pytest.raises(ValueError, match="flow"):
+            PipelineConfig(flow="abc")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"time_limit": 0}, {"time_limit": -1.0},
+        {"max_nodes": 0}, {"max_nodes": -5},
+        {"recursion_limit": 10}, {"progress_interval": 0},
+    ])
+    def test_rejects_non_positive_budgets(self, kwargs):
+        with pytest.raises(ValueError):
+            PipelineConfig(**kwargs)
+
+    def test_coerce_passthrough_and_wrapping(self):
+        config = PipelineConfig()
+        assert PipelineConfig.coerce(config) is config
+        assert PipelineConfig.coerce(None).flow == "bidecomp"
+        from repro.decomp import DecompositionConfig
+        decomp = DecompositionConfig(use_exor=False)
+        coerced = PipelineConfig.coerce(decomp)
+        assert coerced.decomposition is decomp
+
+    def test_as_dict_round_trips_fields(self):
+        config = PipelineConfig(time_limit=2.5, max_nodes=1000)
+        doc = config.as_dict()
+        assert doc["time_limit"] == 2.5
+        assert doc["max_nodes"] == 1000
+        assert doc["flow"] == "bidecomp"
+        assert doc["verify"] is True
+
+
+# ---------------------------------------------------------------------
+# Driver ergonomics (satellite: bi_decompose error messages + recursion)
+# ---------------------------------------------------------------------
+class TestDriverErgonomics:
+    def test_empty_spec_dict_is_rejected_with_message(self):
+        with pytest.raises(ValueError, match="empty specification dict"):
+            bi_decompose({})
+
+    def test_mixed_managers_rejected_naming_outputs(self):
+        mgr1 = BDD(["a", "b"])
+        mgr2 = BDD(["a", "b"])
+        specs = {
+            "p": ISF.from_csf(parse(mgr1, "a & b")),
+            "q": ISF.from_csf(parse(mgr1, "a | b")),
+            "r": ISF.from_csf(parse(mgr2, "a ^ b")),
+        }
+        with pytest.raises(ValueError) as info:
+            bi_decompose(specs)
+        message = str(info.value)
+        assert "p" in message and "q" in message and "r" in message
+        assert "manager" in message
+
+    def test_recursion_limit_restored_after_success(self):
+        before = sys.getrecursionlimit()
+        mgr, specs = get("rd53").build()
+        bi_decompose(specs)
+        assert sys.getrecursionlimit() == before
+
+    def test_recursion_limit_restored_when_decompose_raises(self,
+                                                            monkeypatch):
+        before = sys.getrecursionlimit()
+
+        def explode(self, isf):
+            assert sys.getrecursionlimit() == DEFAULT_RECURSION_LIMIT
+            raise RuntimeError("engine blew up")
+
+        monkeypatch.setattr(DecompositionEngine, "decompose", explode)
+        mgr, specs = get("rd53").build()
+        with pytest.raises(RuntimeError, match="engine blew up"):
+            bi_decompose(specs)
+        assert sys.getrecursionlimit() == before
+
+    def test_recursion_guard_restores_on_raise(self):
+        before = sys.getrecursionlimit()
+        with pytest.raises(KeyError):
+            with recursion_guard(before + 1234):
+                assert sys.getrecursionlimit() == before + 1234
+                raise KeyError("boom")
+        assert sys.getrecursionlimit() == before
+
+
+# ---------------------------------------------------------------------
+# Stats report (the --stats-json document)
+# ---------------------------------------------------------------------
+class TestStatsJson:
+    def test_report_structure(self):
+        session, run = run_standard()
+        doc = run.stats_json(config=session.config)
+        assert doc["label"] == "t"
+        assert doc["elapsed"] > 0.0
+        assert [s["stage"] for s in doc["stages"]] == \
+            Pipeline.standard().stage_names()
+        for stage in doc["stages"]:
+            assert "elapsed" in stage and "bdd_nodes" in stage
+        assert doc["netlist"]["gates"] > 0
+        assert doc["decomposition"]["calls"] > 0
+        assert "cache_hit_rate" in doc
+        assert doc["config"]["flow"] == "bidecomp"
+        # The report must be JSON-serialisable as-is.
+        json.dumps(doc)
+
+    def test_cli_stats_json_to_file(self, tmp_path):
+        from repro.cli import main
+        pla_path = tmp_path / "in.pla"
+        pla_path.write_text(PLA)
+        stats_path = tmp_path / "stats.json"
+        out = io.StringIO()
+        assert main(["decompose", str(pla_path), "-o",
+                     str(tmp_path / "out.blif"),
+                     "--stats-json", str(stats_path),
+                     "--time-limit", "600", "--max-nodes", "10000000"],
+                    stdout=out) == 0
+        doc = json.loads(stats_path.read_text())
+        assert doc["config"]["time_limit"] == 600.0
+        assert doc["config"]["max_nodes"] == 10000000
+        assert doc["netlist"]["gates"] > 0
+        assert {s["stage"] for s in doc["stages"]} >= \
+            {"parse", "build_isfs", "decompose", "verify", "emit"}
+
+    def test_cli_time_limit_trips_with_exit_code_3(self, tmp_path):
+        from repro.cli import main
+        pla_path = tmp_path / "in.pla"
+        pla_path.write_text(PLA)
+        out = io.StringIO()
+        assert main(["decompose", str(pla_path),
+                     "--time-limit", "1e-9"], stdout=out) == 3
+
+
+# ---------------------------------------------------------------------
+# Golden equivalence: pipeline output is byte-identical to the direct
+# driver path (the pre-refactor program).
+# ---------------------------------------------------------------------
+GOLDEN_NAMES = ("rd53", "xor5", "maj", "squar5", "misex1", "z4ml")
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("name", GOLDEN_NAMES)
+    def test_pipeline_blif_matches_driver_blif(self, name):
+        # Two independent builds: the driver path and the pipeline path
+        # must agree byte-for-byte on the emitted BLIF.
+        mgr1, specs1 = get(name).build()
+        direct = bi_decompose(specs1, verify=True)
+        direct_blif = write_blif(direct.netlist, model="bidecomp")
+
+        mgr2, specs2 = get(name).build()
+        session = Session()
+        run = Pipeline.standard().run(
+            session, PipelineInput(mgr=mgr2, specs=specs2, label=name))
+        assert run.blif == direct_blif
+
+        d_stats = direct.netlist_stats()
+        p_stats = run.netlist_stats()
+        assert d_stats.as_dict() == p_stats.as_dict()
+        assert direct.stats.as_dict() == run.result.stats.as_dict()
