@@ -1,0 +1,27 @@
+"""Static-analysis layer: netlist linter and theorem-contract checker.
+
+* :func:`lint_netlist` — rule engine over :class:`repro.network.Netlist`
+  producing typed :class:`Finding`\\ s with severities and a
+  machine-readable report (``repro lint`` on the CLI);
+* :class:`CheckedDecompositionEngine` — sanitizer asserting the paper's
+  Theorem 1/2/3/4/6 certificates at every recursion step (CLI
+  ``--check``, ``PipelineConfig(check_contracts=True)``);
+* the repo-discipline AST lint lives outside the package, in
+  ``tools/astlint.py``.
+
+See docs/ANALYSIS.md for the rule and contract catalogue with paper
+references.
+"""
+
+from repro.analysis.rules import (RULES, Finding, LintReport, LintRule,
+                                  Severity, rule)
+from repro.analysis.netlist_lint import LintContext, lint_netlist
+from repro.analysis.contracts import (CONTRACTS, CheckedDecompositionEngine,
+                                      ContractStats, ContractViolation)
+
+__all__ = [
+    "RULES", "Finding", "LintReport", "LintRule", "Severity", "rule",
+    "LintContext", "lint_netlist",
+    "CONTRACTS", "CheckedDecompositionEngine", "ContractStats",
+    "ContractViolation",
+]

@@ -4,14 +4,15 @@ structural BDD decomposition (the two comparators in Tables 2 and 3)."""
 from repro.baselines.factor import FactorTree, factor_cubes, tree_to_netlist
 from repro.baselines.sis_like import BaselineResult, sis_like_synthesize
 from repro.baselines.bds_like import bds_like_synthesize
-from repro.baselines.espresso import (espresso, expand, irredundant,
-                                      reduce_cover, cover_cost)
+from repro.baselines.espresso import (MinimizationError, espresso, expand,
+                                      irredundant, reduce_cover, cover_cost)
 from repro.baselines.espresso_multi import (MOCube, espresso_multi,
                                             multi_cost, pla_area, pla_rows)
 
 __all__ = [
     "FactorTree", "factor_cubes", "tree_to_netlist",
     "BaselineResult", "sis_like_synthesize", "bds_like_synthesize",
+    "MinimizationError",
     "espresso", "expand", "irredundant", "reduce_cover", "cover_cost",
     "MOCube", "espresso_multi", "multi_cost", "pla_area", "pla_rows",
 ]

@@ -24,6 +24,11 @@ from repro.bdd.isop import Cube, cover_to_bdd, isop
 from repro.bdd.node import FALSE
 
 
+class MinimizationError(RuntimeError):
+    """Raised when a minimised cover escapes its ``(on, on|dc)``
+    interval — an internal invariant of the espresso loop."""
+
+
 def _cube_inside(mgr, cube, region):
     """Is the cube's BDD contained in *region*?"""
     return mgr.diff(cube.to_bdd(mgr), region) == FALSE
@@ -141,6 +146,8 @@ def espresso(mgr, lower, upper, initial=None, max_iterations=10):
             break
         best = cost
     cover = cover_to_bdd(mgr, cubes)
-    assert mgr.diff(lower, cover) == FALSE
-    assert mgr.diff(cover, upper) == FALSE
+    if mgr.diff(lower, cover) != FALSE:
+        raise MinimizationError("minimised cover drops on-set minterms")
+    if mgr.diff(cover, upper) != FALSE:
+        raise MinimizationError("minimised cover leaves the interval")
     return cubes, cover

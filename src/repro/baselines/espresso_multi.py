@@ -21,6 +21,7 @@ single-output EXPAND/IRREDUNDANT/REDUCE loop of
 
 from repro.bdd.isop import Cube, isop
 from repro.bdd.node import FALSE
+from repro.baselines.espresso import MinimizationError
 
 
 class MOCube:
@@ -209,7 +210,11 @@ def espresso_multi(mgr, lowers, uppers, max_iterations=10):
     covers = {}
     for output in lowers:
         cover = _covers(mgr, cubes, output)
-        assert mgr.diff(lowers[output], cover) == FALSE
-        assert mgr.diff(cover, uppers[output]) == FALSE
+        if mgr.diff(lowers[output], cover) != FALSE:
+            raise MinimizationError(
+                "output %r: minimised cover drops on-set minterms" % output)
+        if mgr.diff(cover, uppers[output]) != FALSE:
+            raise MinimizationError(
+                "output %r: minimised cover leaves the interval" % output)
         covers[output] = cover
     return cubes, covers

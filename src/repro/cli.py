@@ -8,6 +8,7 @@ adds the surrounding tooling:
     python -m repro.cli decompose input.pla -o out.blif [--no-exor] ...
     python -m repro.cli stats input.pla                # netlist costs
     python -m repro.cli verify input.pla out.blif      # BDD verifier
+    python -m repro.cli lint out.blif [--spec input.pla]  # netlist lint
     python -m repro.cli testability input.pla          # Theorem 5
     python -m repro.cli map input.pla                  # cell mapping
     python -m repro.cli baseline input.pla --flow sis|bds
@@ -52,6 +53,7 @@ def _pipeline_config(args, flow="bidecomp", verify=True):
         time_limit=getattr(args, "time_limit", None),
         max_nodes=getattr(args, "max_nodes", None),
         model=getattr(args, "model", "bidecomp"),
+        check_contracts=getattr(args, "check", False),
     )
 
 
@@ -82,12 +84,20 @@ def _add_resource_flags(parser):
     parser.add_argument("--stats-json", default=None, metavar="PATH",
                         help="write the per-stage run report as JSON "
                              "('-' for stdout)")
+    parser.add_argument("--check", action="store_true",
+                        help="re-verify the paper's theorem certificates "
+                             "at every recursion step (sanitizer mode; "
+                             "a violation aborts with exit 4)")
 
 
 def _emit_stats_json(args, session, run, stdout):
     if getattr(args, "stats_json", None) is None:
         return
     doc = run.stats_json(config=session.config)
+    if run.netlist is not None:
+        from repro.analysis import lint_netlist
+        report = lint_netlist(run.netlist, specs=run.spec_items())
+        doc["lint"] = report.summary()
     text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
     if args.stats_json == "-":
         stdout.write(text)
@@ -159,6 +169,30 @@ def cmd_verify(args, stdout):
         return 1
     stdout.write("OK: %d outputs verified\n" % len(specs))
     return 0
+
+
+def cmd_lint(args, stdout):
+    """Static-analysis lint of a BLIF netlist (see docs/ANALYSIS.md)."""
+    from repro.analysis import lint_netlist
+    from repro.io import parse_blif_netlist
+    netlist = parse_blif_netlist(read_text(args.netlist))
+    specs = None
+    if args.spec is not None:
+        _data, _mgr, specs = load_pla(args.spec)
+        specs = {name: isf for name, isf in specs.items()
+                 if any(name == out for out, _n in netlist.outputs)}
+    report = lint_netlist(netlist, specs=specs)
+    stdout.write(report.format_text())
+    if getattr(args, "json", None) is not None:
+        text = json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            stdout.write(text)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(text)
+    if args.fail_on == "never":
+        return 0
+    return 1 if report.worst(args.fail_on) else 0
 
 
 def cmd_testability(args, stdout):
@@ -257,6 +291,20 @@ def build_parser():
     p.add_argument("netlist")
     p.set_defaults(func=cmd_verify)
 
+    p = sub.add_parser("lint", help="static-analysis lint of a BLIF file")
+    p.add_argument("netlist", help="BLIF file to lint ('-' for stdin)")
+    p.add_argument("--spec", default=None, metavar="PLA",
+                   help="PLA specification for support-mismatch checks")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the full findings report as JSON "
+                        "('-' for stdout)")
+    p.add_argument("--fail-on", choices=("error", "warning", "info",
+                                         "never"),
+                   default="error",
+                   help="lowest severity that makes the exit code 1 "
+                        "(default: error)")
+    p.set_defaults(func=cmd_lint)
+
     p = sub.add_parser("testability", help="Theorem 5 fault analysis")
     p.add_argument("input")
     _add_config_flags(p)
@@ -296,8 +344,13 @@ def main(argv=None, stdout=None):
     stdout = stdout or sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.analysis import ContractViolation
     try:
         return args.func(args, stdout)
+    except ContractViolation as exc:
+        # --check sanitizer tripped: a theorem certificate failed.
+        sys.stderr.write("contract violated: %s\n" % exc)
+        return 4
     except ValueError as exc:
         # Config validation (e.g. --time-limit 0) and spec errors.
         sys.stderr.write("error: %s\n" % exc)

@@ -21,6 +21,7 @@ with overlap allowed; the tests compare both on the same functions.
 
 from repro.bdd.node import FALSE, TRUE
 from repro.bdd.reorder import move_var_to_level
+from repro.decomp.bidecomp import DecompositionError
 
 
 class AshenhurstDecomposition:
@@ -107,7 +108,9 @@ def ashenhurst_decompose(mgr, f, bound):
         # (a top region whose leaves are all identical collapses), so
         # f does not depend on the bound set: constant-G decomposition.
         only = cut[0]
-        assert f == only, "single cut class must equal f"
+        if f != only:
+            raise DecompositionError(
+                "single cut class must equal f (BDD reduction broke)")
         return AshenhurstDecomposition(bound, FALSE, only, only)
     class0, class1 = cut
     g = _retarget_top(mgr, f, boundary,

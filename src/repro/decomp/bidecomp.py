@@ -201,6 +201,7 @@ class DecompositionEngine:
         """
         self.stats.calls += 1
         self._report("call")
+        self._pre_decompose(isf)
         if self.config.use_inessential:
             isf, removed = remove_inessential(isf)
             self.stats.inessential_removed += len(removed)
@@ -265,6 +266,7 @@ class DecompositionEngine:
             if intervals is None:  # cannot happen if grouping succeeded
                 raise DecompositionError("EXOR grouping vanished on rerun")
             isf_a = intervals[0]
+        self._on_step(isf, support, gate, xa, xb, isf_a)
         return gate, xa, isf_a
 
     def _find_weak_step(self, isf, support):
@@ -280,6 +282,7 @@ class DecompositionEngine:
             isf_a = derive_weak_or_component_a(isf, xa)
         else:
             isf_a = derive_weak_and_component_a(isf, xa)
+        self._on_step(isf, support, gate, xa, None, isf_a)
         return gate, xa, isf_a
 
     # -- emission -------------------------------------------------------
@@ -291,6 +294,7 @@ class DecompositionEngine:
             raise DecompositionError(
                 "component B inconsistent after choosing f_A (gate %s)"
                 % gate)
+        self._on_derived_b(isf, gate, xa, f_a, isf_b)
         f_b, node_b = self.decompose(isf_b)
         node = self.netlist.add_gate(_GATE_TO_NETLIST[gate], node_a, node_b)
         if gate == OR_GATE:
@@ -326,3 +330,16 @@ class DecompositionEngine:
         if self.config.check_invariants and not isf.is_compatible(csf):
             raise DecompositionError(
                 "synthesised %s component leaves the interval" % gate)
+
+    # -- sanitizer hooks --------------------------------------------------
+    # No-ops here; repro.analysis.CheckedDecompositionEngine overrides
+    # them to assert the paper's certificates at each recursion step.
+    def _pre_decompose(self, isf):
+        """Called on every engine entry, before any BDD work."""
+
+    def _on_step(self, isf, support, gate, xa, xb, isf_a):
+        """Called once a strong (*xb* set) or weak (*xb* None) step is
+        chosen and component A's interval is derived."""
+
+    def _on_derived_b(self, isf, gate, xa, f_a, isf_b):
+        """Called once component B's interval is derived from f_A."""

@@ -90,7 +90,8 @@ def validate_specs(specs):
     return mgr, specs
 
 
-def bi_decompose(specs, config=None, verify=False, session=None):
+def bi_decompose(specs, config=None, verify=False, session=None,
+                 check=False):
     """Decompose a multi-output specification into one netlist.
 
     Parameters
@@ -109,14 +110,23 @@ def bi_decompose(specs, config=None, verify=False, session=None):
         Optional :class:`repro.pipeline.Session` to decompose in;
         batch callers share one session so components are reused across
         calls.  When omitted an ephemeral session is created.
+    check:
+        When True (and *session* is omitted), run under the
+        theorem-contract sanitizer: every Theorem 1/2/3/4/6 certificate
+        is re-verified at each recursion step, raising
+        :class:`repro.analysis.ContractViolation` on the first break.
 
     Returns a :class:`DecompositionResult`.
     """
     mgr, specs = validate_specs(specs)
     if session is None:
         # Imported here: repro.pipeline depends on repro.decomp.
+        from repro.pipeline.config import PipelineConfig
         from repro.pipeline.session import Session
-        session = Session(config=config, mgr=mgr)
+        pipeline_config = PipelineConfig.coerce(config)
+        if check:
+            pipeline_config.check_contracts = True
+        session = Session(config=pipeline_config, mgr=mgr)
     result, _name_map = session.decompose_specs(specs)
     if verify:
         verify_against_isfs(result.netlist,
@@ -125,10 +135,12 @@ def bi_decompose(specs, config=None, verify=False, session=None):
     return result
 
 
-def bi_decompose_function(fn, name="f", config=None, verify=False):
+def bi_decompose_function(fn, name="f", config=None, verify=False,
+                          check=False):
     """Convenience wrapper: decompose a single completely specified
     function (or ISF)."""
-    return bi_decompose({name: fn}, config=config, verify=verify)
+    return bi_decompose({name: fn}, config=config, verify=verify,
+                        check=check)
 
 
 def _as_isf(spec):

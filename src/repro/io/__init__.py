@@ -3,10 +3,11 @@
 from repro.io.pla import (PLAData, PLAError, load_pla, parse_pla,
                           read_pla, read_text, write_pla)
 from repro.io.blif import (BLIFError, write_blif, parse_blif,
-                           netlist_from_functions)
+                           parse_blif_netlist, netlist_from_functions)
 
 __all__ = [
     "PLAData", "PLAError", "load_pla", "parse_pla", "read_pla",
     "read_text", "write_pla",
-    "BLIFError", "write_blif", "parse_blif", "netlist_from_functions",
+    "BLIFError", "write_blif", "parse_blif", "parse_blif_netlist",
+    "netlist_from_functions",
 ]

@@ -106,10 +106,28 @@ def parse_blif(text, mgr=None):
     in 1 and off-set covers ending in 0).  Returns ``(mgr, outputs)``
     where *outputs* maps output name to :class:`Function`.
     """
-    lines = _logical_lines(text)
+    inputs, outputs, tables = _parse_structure(_logical_lines(text))
+    if mgr is None:
+        mgr = BDD(inputs)
+    values = {name: mgr.var(name) for name in inputs}
+    for signals, rows in tables:
+        *fanins, target = signals
+        values[target] = _table_to_bdd(mgr, fanins, rows, values)
+    missing = [name for name in outputs if name not in values]
+    if missing:
+        raise BLIFError("undriven outputs: %s" % missing)
+    return mgr, {name: Function(mgr, values[name]) for name in outputs}
+
+
+def _parse_structure(lines):
+    """Split logical BLIF lines into ``(inputs, outputs, tables)``.
+
+    *tables* is a list of ``(signal_names, cover_rows)`` where the last
+    signal name is the table's target.
+    """
     inputs = []
     outputs = []
-    tables = []  # (signal_names..., target), cover rows
+    tables = []
     index = 0
     while index < len(lines):
         line = lines[index]
@@ -131,17 +149,112 @@ def parse_blif(text, mgr=None):
             tables.append((signals, rows))
             continue
         raise BLIFError("unsupported BLIF construct: %r" % line)
+    return inputs, outputs, tables
 
-    if mgr is None:
-        mgr = BDD(inputs)
-    values = {name: mgr.var(name) for name in inputs}
+
+#: Two-input truth tables (bit ``a | b << 1``) to gate types.
+_TT2_TO_GATE = {
+    0b1000: G.AND, 0b1110: G.OR, 0b0110: G.XOR,
+    0b0111: G.NAND, 0b0001: G.NOR, 0b1001: G.XNOR,
+}
+
+
+def _cover_truth_table(fanin_count, rows):
+    """Evaluate a ≤2-input cover into a truth-table int (bit per row)."""
+    on_bits = 0
+    polarity = None
+    for row in rows:
+        parts = row.split()
+        if len(parts) == 1:
+            plane, out_symbol = "", parts[0]
+        elif len(parts) == 2:
+            plane, out_symbol = parts
+        else:
+            raise BLIFError("bad cover row %r" % row)
+        if len(plane) != fanin_count:
+            raise BLIFError("cover row %r width mismatch" % row)
+        if out_symbol not in "01":
+            raise BLIFError("bad cover output %r" % row)
+        if polarity is None:
+            polarity = out_symbol
+        elif polarity != out_symbol:
+            raise BLIFError("mixed-polarity cover is not valid BLIF")
+        for point in range(1 << fanin_count):
+            matches = all(symbol == "-"
+                          or int(symbol) == ((point >> k) & 1)
+                          for k, symbol in enumerate(plane))
+            if matches:
+                on_bits |= 1 << point
+    mask = (1 << (1 << fanin_count)) - 1
+    if polarity == "0":
+        on_bits = ~on_bits & mask
+    return on_bits, mask
+
+
+def _cover_gate_type(fanin_count, rows):
+    """Map a ≤2-input cover to the gate type it computes.
+
+    Returns one of the :mod:`repro.network.gates` identifiers, or
+    raises :class:`BLIFError` when the table is not one of the
+    two-input library gates (the lint reader only supports netlists in
+    the shape this package writes).
+    """
+    if not rows:
+        return G.CONST0
+    if fanin_count == 0:
+        table, _mask = _cover_truth_table(0, rows)
+        return G.CONST1 if table else G.CONST0
+    if fanin_count > 2:
+        raise BLIFError("table with %d fan-ins is not a two-input "
+                        "library gate" % fanin_count)
+    table, mask = _cover_truth_table(fanin_count, rows)
+    if table == 0:
+        return G.CONST0
+    if table == mask:
+        return G.CONST1
+    if fanin_count == 1:
+        return G.BUF if table == 0b10 else G.NOT
+    gate_type = _TT2_TO_GATE.get(table)
+    if gate_type is None:
+        raise BLIFError("cover %r is not a two-input library gate"
+                        % (rows,))
+    return gate_type
+
+
+def parse_blif_netlist(text):
+    """Parse BLIF *text* into a raw :class:`Netlist` (the lint reader).
+
+    Every ``.names`` table becomes one gate node **verbatim** — no
+    structural hashing, constant folding or double-negation
+    cancellation — so structural defects present in the file survive
+    into the netlist for ``repro lint`` to detect.  Tables must be the
+    two-input library gates this package's writer emits (constants,
+    BUF/NOT aliases, AND/OR/XOR/NAND/NOR/XNOR); anything wider raises
+    :class:`BLIFError`.
+    """
+    inputs, outputs, tables = _parse_structure(_logical_lines(text))
+    netlist = Netlist(inputs)
+    values = {name: node for name, node in
+              zip(inputs, netlist.inputs)}
     for signals, rows in tables:
         *fanins, target = signals
-        values[target] = _table_to_bdd(mgr, fanins, rows, values)
-    missing = [name for name in outputs if name not in values]
-    if missing:
-        raise BLIFError("undriven outputs: %s" % missing)
-    return mgr, {name: Function(mgr, values[name]) for name in outputs}
+        missing = [name for name in fanins if name not in values]
+        if missing:
+            raise BLIFError("table uses undefined signals %s "
+                            "(non-topological BLIF is not supported)"
+                            % missing)
+        gate_type = _cover_gate_type(len(fanins), rows)
+        if gate_type in (G.CONST0, G.CONST1):
+            values[target] = netlist.add_raw_gate(gate_type, ())
+        else:
+            values[target] = netlist.add_raw_gate(
+                gate_type, [values[name] for name in fanins])
+    undriven = [name for name in outputs if name not in values]
+    if undriven:
+        raise BLIFError("undriven outputs: %s" % undriven)
+    for name in outputs:
+        netlist.set_output(name, values[name])
+    return netlist
 
 
 def _logical_lines(text):

@@ -166,6 +166,31 @@ class Netlist:
         return ((self.types[a] == G.NOT and self.fanins[a][0] == b)
                 or (self.types[b] == G.NOT and self.fanins[b][0] == a))
 
+    def add_raw_gate(self, gate_type, fanins):
+        """Create a gate node verbatim: no folding, canonicalisation or
+        hashing.
+
+        This is the structural round-trip entry point — the BLIF lint
+        reader uses it so that defects in a file (double negations,
+        duplicate gates, constant-fed gates) survive into the netlist
+        for ``repro lint`` to find, and tests use it to plant such
+        defects.  Normal construction must go through
+        :meth:`add_gate` / :meth:`add_not`, which keep the builder's
+        invariants.
+        """
+        known = {G.NOT: 1, G.BUF: 1, G.CONST0: 0, G.CONST1: 0}
+        fanins = tuple(fanins)
+        if gate_type in G.TWO_INPUT_TYPES:
+            expected = 2
+        elif gate_type in known:
+            expected = known[gate_type]
+        else:
+            raise ValueError("not a gate type: %r" % gate_type)
+        if len(fanins) != expected:
+            raise ValueError("%s takes %d fan-in(s), got %d"
+                             % (gate_type, expected, len(fanins)))
+        return self._new_node(gate_type, fanins)
+
     # -- convenience builders ---------------------------------------------
     def add_and(self, a, b):
         """``a & b``."""

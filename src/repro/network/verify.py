@@ -15,12 +15,23 @@ from repro.boolfn.isf import ISF
 from repro.network.extract import output_functions
 
 
-class VerificationError(AssertionError):
-    """Raised when a netlist fails verification; carries a counterexample."""
+class VerificationError(RuntimeError):
+    """Raised when a netlist fails verification; carries a counterexample.
+
+    Subclasses :class:`RuntimeError` — not :class:`AssertionError`, as
+    it briefly did: ``except AssertionError`` blocks (and pytest's
+    rewriting) would swallow real verification failures, and the class
+    has nothing to do with ``assert`` anyway.
+    """
 
     def __init__(self, message, counterexample=None):
         super().__init__(message)
         self.counterexample = counterexample
+
+
+#: Deprecated alias kept for callers that imported the old name while
+#: the class still derived from AssertionError.
+NetlistAssertionError = VerificationError
 
 
 def verify_against_isfs(netlist, specs, input_map=None, raise_on_fail=True):

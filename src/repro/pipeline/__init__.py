@@ -18,7 +18,7 @@ from repro.pipeline.limits import (DEFAULT_RECURSION_LIMIT, Deadline,
                                    NodeLimitExceeded, PipelineError,
                                    PipelineTimeout, recursion_guard)
 from repro.pipeline.events import Event, EventBus
-from repro.pipeline.config import FLOWS, PipelineConfig
+from repro.pipeline.config import FLOWS, STAGE_NAMES, PipelineConfig
 from repro.pipeline.session import Session
 from repro.pipeline.pipeline import (Pipeline, PipelineInput, PipelineRun,
                                      stage_build_isfs, stage_decompose,
@@ -28,7 +28,8 @@ from repro.pipeline.pipeline import (Pipeline, PipelineInput, PipelineRun,
 __all__ = [
     "DEFAULT_RECURSION_LIMIT", "Deadline", "NodeLimitExceeded",
     "PipelineError", "PipelineTimeout", "recursion_guard",
-    "Event", "EventBus", "FLOWS", "PipelineConfig", "Session",
+    "Event", "EventBus", "FLOWS", "STAGE_NAMES", "PipelineConfig",
+    "Session",
     "Pipeline", "PipelineInput", "PipelineRun",
     "stage_parse", "stage_build_isfs", "stage_preprocess",
     "stage_decompose", "stage_verify", "stage_map", "stage_emit",

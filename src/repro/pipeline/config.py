@@ -13,6 +13,20 @@ from repro.pipeline.limits import DEFAULT_RECURSION_LIMIT
 #: Synthesis flows the decompose stage can dispatch to.
 FLOWS = ("bidecomp", "sis", "bds")
 
+#: Registry of pipeline stage names.  Every stage composed into a
+#: :class:`repro.pipeline.Pipeline` must use one of these names —
+#: ``tools/astlint.py`` enforces it statically (rule ``stage-registry``)
+#: so event consumers can rely on a closed vocabulary.
+STAGE_NAMES = (
+    "parse",
+    "build_isfs",
+    "preprocess",
+    "decompose",
+    "verify",
+    "map",
+    "emit",
+)
+
 
 class PipelineConfig:
     """Validated run-level configuration.
@@ -27,6 +41,13 @@ class PipelineConfig:
         (the comparison baselines).
     verify:
         Run the BDD verifier on every synthesised netlist.
+    check_contracts:
+        Opt-in checked mode: run the decomposition under the
+        theorem-contract sanitizer
+        (:class:`repro.analysis.CheckedDecompositionEngine`), which
+        re-verifies the paper's Theorem 1/2/3/4/6 certificates at every
+        recursion step and publishes ``contract_violated`` events.
+        Slower; off by default (the CLI flag is ``--check``).
     time_limit:
         Wall-clock budget in seconds for one pipeline run, or None.
         Exceeding it raises :class:`~repro.pipeline.PipelineTimeout`.
@@ -48,7 +69,7 @@ class PipelineConfig:
     """
 
     def __init__(self, decomposition=None, flow="bidecomp", verify=True,
-                 time_limit=None, max_nodes=None,
+                 check_contracts=False, time_limit=None, max_nodes=None,
                  recursion_limit=DEFAULT_RECURSION_LIMIT,
                  model="bidecomp", progress_interval=1024,
                  flow_options=None):
@@ -81,6 +102,7 @@ class PipelineConfig:
         self.decomposition = decomposition
         self.flow = flow
         self.verify = bool(verify)
+        self.check_contracts = bool(check_contracts)
         self.time_limit = time_limit
         self.max_nodes = max_nodes
         self.recursion_limit = recursion_limit
@@ -107,6 +129,7 @@ class PipelineConfig:
         return {
             "flow": self.flow,
             "verify": self.verify,
+            "check_contracts": self.check_contracts,
             "time_limit": self.time_limit,
             "max_nodes": self.max_nodes,
             "recursion_limit": self.recursion_limit,

@@ -130,6 +130,16 @@ class Session:
         """Growth hook installed on the BDD manager (hot path)."""
         self.check_limits()
 
+    def _on_contract_violation(self, contract, message, detail=None):
+        """Sanitizer callback: carry the violation on the event bus.
+
+        The checked engine raises :class:`ContractViolation` right
+        after this returns, so the event always precedes the failure.
+        """
+        self.events.publish("contract_violated", contract=contract,
+                            message=message, detail=detail,
+                            stage=self._stage)
+
     def _on_engine_call(self, kind, stats):
         """Engine observer: limit check + throttled progress events."""
         if self._deadline is not None and self._deadline.expired():
@@ -189,10 +199,19 @@ class Session:
             self._var_nodes = {
                 var: self.netlist.input_node(self.mgr.var_name(var))
                 for var in range(self.mgr.num_vars)}
-            self.engine = DecompositionEngine(
-                self.mgr, self.netlist, self._var_nodes,
-                config=self.config.decomposition,
-                observer=self._on_engine_call)
+            if self.config.check_contracts:
+                from repro.analysis.contracts import \
+                    CheckedDecompositionEngine
+                self.engine = CheckedDecompositionEngine(
+                    self.mgr, self.netlist, self._var_nodes,
+                    config=self.config.decomposition,
+                    observer=self._on_engine_call,
+                    on_violation=self._on_contract_violation)
+            else:
+                self.engine = DecompositionEngine(
+                    self.mgr, self.netlist, self._var_nodes,
+                    config=self.config.decomposition,
+                    observer=self._on_engine_call)
         else:
             # The manager may have gained variables since the engine
             # was built (batch inputs with new input names).
@@ -262,6 +281,9 @@ class Session:
             record["cache"] = dict(cache_stats)
             lookups = max(1, cache_stats.get("lookups", 0))
             record["cache_hit_rate"] = cache_stats.get("hits", 0) / lookups
+            contract_stats = getattr(engine, "contract_stats", None)
+            if contract_stats is not None:
+                record["contracts"] = contract_stats.as_dict()
         return result, name_map
 
     def stats_snapshot(self):
@@ -271,6 +293,9 @@ class Session:
         if self.engine is not None:
             snap["engine_totals"] = self.engine.stats.as_dict()
             snap["cache_totals"] = self.engine.cache.stats()
+            contract_stats = getattr(self.engine, "contract_stats", None)
+            if contract_stats is not None:
+                snap["contract_totals"] = contract_stats.as_dict()
         return snap
 
 

@@ -1,0 +1,156 @@
+"""Tests for the theorem-contract checker (repro.analysis.contracts)."""
+
+import io
+
+import pytest
+
+from repro.analysis import (CheckedDecompositionEngine, ContractStats,
+                            ContractViolation)
+from repro.bdd import BDD
+from repro.boolfn import ISF, parse
+from repro.decomp import DecompositionError, bi_decompose
+from repro.pipeline import PipelineConfig, Session
+
+
+def _session(mgr):
+    return Session(config=PipelineConfig(check_contracts=True), mgr=mgr)
+
+
+def _specs(mgr):
+    return {
+        "f": ISF.from_csf(parse(mgr, "a & b | c & d")),
+        "g": ISF.from_csf(parse(mgr, "(a ^ b) & (c | d)")),
+    }
+
+
+class TestCheckedCleanRuns:
+    def test_session_records_contract_stats(self):
+        mgr = BDD(["a", "b", "c", "d"])
+        session = _session(mgr)
+        assert isinstance(session._ensure_engine(),
+                          CheckedDecompositionEngine)
+        record = {}
+        result, _names = session.decompose_specs(_specs(mgr),
+                                                 record=record)
+        assert result.netlist.outputs
+        contracts = record["contracts"]
+        assert contracts["total_checks"] > 0
+        assert contracts["total_violations"] == 0
+        assert session.stats_snapshot()["contract_totals"][
+            "total_checks"] == contracts["total_checks"]
+
+    def test_benchmark_under_check(self):
+        from repro.bench.registry import get
+        mgr, specs = get("9sym").build()
+        result = bi_decompose(specs, verify=True, check=True)
+        assert result.functions
+
+    def test_check_flag_off_uses_plain_engine(self):
+        mgr = BDD(["a", "b"])
+        session = Session(mgr=mgr)
+        engine = session._ensure_engine()
+        assert not isinstance(engine, CheckedDecompositionEngine)
+
+    def test_events_stay_silent_on_clean_run(self):
+        mgr = BDD(["a", "b", "c", "d"])
+        session = _session(mgr)
+        session.decompose_specs(_specs(mgr))
+        assert not session.events.named("contract_violated")
+
+
+class TestViolations:
+    def test_same_manager_contract(self):
+        mgr = BDD(["a", "b"])
+        session = _session(mgr)
+        engine = session._ensure_engine()
+        foreign = BDD(["a", "b"])
+        isf = ISF.from_csf(parse(foreign, "a & b"))
+        with pytest.raises(ContractViolation) as excinfo:
+            engine.decompose(isf)
+        assert excinfo.value.contract == "same-manager"
+        events = session.events.named("contract_violated")
+        assert events and events[0]["contract"] == "same-manager"
+
+    def test_poisoned_cache_node_detected(self):
+        mgr = BDD(["a", "b", "c"])
+        session = _session(mgr)
+        spec = ISF.from_csf(parse(mgr, "a & b | c"))
+        session.decompose_specs({"f": spec})
+        engine = session.engine
+        assert engine.cache.size() > 0
+        # Corrupt every cached entry: point it at netlist node 0 (the
+        # input 'a'), which implements none of the cached functions.
+        for bucket in engine.cache._by_support.values():
+            bucket[:] = [(csf, 0) for csf, _node in bucket]
+        again = ISF.from_csf(parse(mgr, "a & b | c"))
+        with pytest.raises(ContractViolation) as excinfo:
+            session.decompose_specs({"f2": again})
+        assert excinfo.value.contract == "cache-node-function"
+        assert excinfo.value.detail["node"] == 0
+        events = session.events.named("contract_violated")
+        assert events
+        assert events[-1]["contract"] == "cache-node-function"
+
+    def test_incompatible_cache_hit_detected_directly(self):
+        mgr = BDD(["a", "b"])
+        session = _session(mgr)
+        engine = session._ensure_engine()
+        isf = ISF.from_csf(parse(mgr, "a & b"))
+        wrong = parse(mgr, "a | b")  # outside the (Q, ~R) interval
+        with pytest.raises(ContractViolation) as excinfo:
+            engine._validate_cache_hit(isf, wrong, 0, False)
+        assert excinfo.value.contract == "cache-compatible"
+
+    def test_result_interval_contract_directly(self):
+        mgr = BDD(["a", "b"])
+        session = _session(mgr)
+        engine = session._ensure_engine()
+        isf = ISF.from_csf(parse(mgr, "a & b"))
+        with pytest.raises(ContractViolation) as excinfo:
+            engine._check(isf, parse(mgr, "a | b"), "OR")
+        assert excinfo.value.contract == "result-interval"
+
+    def test_violation_is_typed_decomposition_error(self):
+        violation = ContractViolation("or-residue", "boom",
+                                      detail={"k": 1})
+        assert isinstance(violation, DecompositionError)
+        assert violation.contract == "or-residue"
+        assert violation.detail == {"k": 1}
+        assert "or-residue" in str(violation)
+
+
+class TestContractStats:
+    def test_counting_and_serialisation(self):
+        stats = ContractStats()
+        stats.checked("same-manager")
+        stats.checked("same-manager")
+        stats.checked("or-residue")
+        stats.violated("or-residue")
+        doc = stats.as_dict()
+        assert doc["checks"] == {"same-manager": 2, "or-residue": 1}
+        assert doc["violations"] == {"or-residue": 1}
+        assert doc["total_checks"] == 3
+        assert doc["total_violations"] == 1
+
+
+PLA = """\
+.i 3
+.o 1
+.ilb a b c
+.ob f
+.p 2
+11- 1
+--1 1
+.e
+"""
+
+
+class TestCheckCLI:
+    def test_decompose_check_flag(self, tmp_path):
+        from repro.cli import main
+        pla = tmp_path / "in.pla"
+        pla.write_text(PLA)
+        out = io.StringIO()
+        assert main(["decompose", str(pla), "-o",
+                     str(tmp_path / "out.blif"), "--check"],
+                    stdout=out) == 0

@@ -1,0 +1,169 @@
+"""Tests for the repo AST lint (tools/astlint.py)."""
+
+import ast
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "astlint", REPO_ROOT / "tools" / "astlint.py")
+astlint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(astlint)
+
+
+def _manager_seam(rel, source):
+    return list(astlint.check_manager_seam(rel, ast.parse(source)))
+
+
+def _bare_assert(rel, source):
+    return list(astlint.check_bare_assert(rel, ast.parse(source)))
+
+
+def _stage_registry(rel, source, registered=("parse", "decompose")):
+    return list(astlint.check_stage_registry(
+        rel, ast.parse(source), registered=set(registered)))
+
+
+class TestRepoIsClean:
+    def test_default_paths_pass(self, capsys):
+        assert astlint.main([]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_registry_matches_runtime_constant(self):
+        from repro.pipeline import STAGE_NAMES
+        assert astlint._registered_stage_names() == set(STAGE_NAMES)
+
+
+class TestManagerSeam:
+    def test_direct_construction_flagged(self):
+        findings = _manager_seam(
+            "src/repro/decomp/foo.py",
+            "from repro.bdd.manager import BDD\nmgr = BDD(['a'])\n")
+        assert len(findings) == 1
+        assert findings[0].rule == "manager-seam"
+
+    def test_package_import_flagged(self):
+        findings = _manager_seam(
+            "src/repro/pipeline/foo.py",
+            "from repro.bdd import BDD\nmgr = BDD(['a'])\n")
+        assert findings
+
+    def test_aliased_import_flagged(self):
+        findings = _manager_seam(
+            "src/repro/decomp/foo.py",
+            "from repro.bdd import BDD as Manager\nmgr = Manager([])\n")
+        assert findings
+
+    def test_attribute_chain_flagged(self):
+        findings = _manager_seam(
+            "src/repro/decomp/foo.py",
+            "import repro.bdd.manager\n"
+            "mgr = repro.bdd.manager.BDD(['a'])\n")
+        assert findings
+
+    def test_allowed_layers_pass(self):
+        source = "from repro.bdd.manager import BDD\nmgr = BDD(['a'])\n"
+        for rel in ("src/repro/bdd/foo.py", "src/repro/io/foo.py",
+                    "src/repro/bench/foo.py", "src/repro/fsm/foo.py"):
+            assert not _manager_seam(rel, source)
+
+    def test_import_without_call_passes(self):
+        # Type references / isinstance checks are fine; only
+        # construction is the violation.
+        findings = _manager_seam(
+            "src/repro/decomp/foo.py",
+            "from repro.bdd.manager import BDD\n"
+            "def f(mgr):\n    return isinstance(mgr, BDD)\n")
+        assert not findings
+
+    def test_outside_src_repro_ignored(self):
+        findings = _manager_seam(
+            "tools/foo.py",
+            "from repro.bdd.manager import BDD\nmgr = BDD(['a'])\n")
+        assert not findings
+
+
+class TestBareAssert:
+    def test_assert_flagged(self):
+        findings = _bare_assert("src/repro/decomp/foo.py",
+                                "def f(x):\n    assert x > 0\n")
+        assert len(findings) == 1
+        assert findings[0].rule == "bare-assert"
+        assert findings[0].line == 2
+
+    def test_raise_passes(self):
+        findings = _bare_assert(
+            "src/repro/decomp/foo.py",
+            "def f(x):\n"
+            "    if x <= 0:\n        raise ValueError('x')\n")
+        assert not findings
+
+    def test_test_files_skipped_by_lint_file(self, tmp_path):
+        path = tmp_path / "test_foo.py"
+        path.write_text("assert True\n")
+        assert astlint.lint_file(path, registered=set()) == []
+
+    def test_outside_src_repro_ignored(self):
+        assert not _bare_assert("tools/foo.py", "assert True\n")
+
+
+class TestStageRegistry:
+    def test_unregistered_tuple_flagged(self):
+        findings = _stage_registry(
+            "src/repro/pipeline/foo.py",
+            "stages = [('parse', stage_parse), ('bogus', stage_bogus)]\n")
+        assert len(findings) == 1
+        assert "bogus" in findings[0].message
+
+    def test_unregistered_stage_call_flagged(self):
+        findings = _stage_registry(
+            "src/repro/pipeline/foo.py",
+            "def run(session):\n"
+            "    with session.stage('bogus'):\n        pass\n")
+        assert findings
+
+    def test_registered_names_pass(self):
+        findings = _stage_registry(
+            "src/repro/pipeline/foo.py",
+            "stages = [('parse', stage_parse)]\n"
+            "def run(session):\n"
+            "    with session.stage('decompose'):\n        pass\n")
+        assert not findings
+
+    def test_unrelated_tuples_ignored(self):
+        # A ("name", identifier) tuple only counts when the identifier
+        # looks like a stage function.
+        findings = _stage_registry(
+            "src/repro/pipeline/foo.py",
+            "pairs = [('bogus', handler), ('x', y)]\n")
+        assert not findings
+
+
+class TestDriver:
+    def test_violating_file_fails_main(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "rogue.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("from repro.bdd.manager import BDD\n"
+                       "mgr = BDD(['a'])\nassert mgr\n")
+        # Outside the repo root the path-prefix rules don't apply, so
+        # exercise the checks through a repo-relative spelling instead.
+        tree = ast.parse(bad.read_text())
+        rel = "src/repro/rogue.py"
+        findings = (list(astlint.check_manager_seam(rel, tree))
+                    + list(astlint.check_bare_assert(rel, tree)))
+        assert {f.rule for f in findings} == {"manager-seam",
+                                              "bare-assert"}
+
+    def test_main_reports_findings_for_repo_file(self, capsys):
+        # Run main over a single known-clean repo file: exit 0.
+        target = str(REPO_ROOT / "src" / "repro" / "cli.py")
+        assert astlint.main([target]) == 0
+
+    def test_finding_str_is_clickable(self):
+        finding = astlint.AstFinding("src/repro/x.py", 3, "bare-assert",
+                                     "msg")
+        assert str(finding) == "src/repro/x.py:3: [bare-assert] msg"

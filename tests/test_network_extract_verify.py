@@ -113,6 +113,57 @@ class TestVerifier:
             verify_against_isfs(nl, {"nope": spec})
 
 
+class TestVerificationErrorType:
+    def test_is_runtime_error_not_assertion_error(self):
+        # AssertionError ancestry would let `except AssertionError`
+        # blocks (and python -O semantics) swallow real failures.
+        assert issubclass(VerificationError, RuntimeError)
+        assert not issubclass(VerificationError, AssertionError)
+
+    def test_deprecated_alias_still_importable(self):
+        from repro.network.verify import NetlistAssertionError
+        assert NetlistAssertionError is VerificationError
+
+    def test_soft_mode_returns_false_without_raising(self):
+        nl, mgr = _netlist_and_mgr()
+        # Both failure polarities: required 1 produced as 0 (spec "a|b|~c"
+        # adds on-set the netlist misses) and required 0 produced as 1.
+        for expr in ("a | b | ~c", "a & b & ~c"):
+            spec = ISF.from_csf(parse(mgr, expr))
+            assert verify_against_isfs(nl, {"f": spec},
+                                       raise_on_fail=False) is False
+
+    def test_soft_mode_passes_compatible(self):
+        nl, mgr = _netlist_and_mgr()
+        spec = ISF.from_csf(parse(mgr, "a & b | ~c"))
+        assert verify_against_isfs(nl, {"f": spec},
+                                   raise_on_fail=False) is True
+
+    def test_counterexample_names_every_assigned_input(self):
+        nl, mgr = _netlist_and_mgr()
+        spec = ISF.from_csf(parse(mgr, "a ^ b ^ c"))
+        with pytest.raises(VerificationError) as excinfo:
+            verify_against_isfs(nl, {"f": spec})
+        witness = excinfo.value.counterexample
+        assert witness is not None
+        assert set(witness) <= {"a", "b", "c"}
+        assert all(value in (0, 1) for value in witness.values())
+
+    def test_counterexample_falsifies_the_interval(self):
+        nl, mgr = _netlist_and_mgr()
+        on = parse(mgr, "a & b & c")
+        dc = parse(mgr, "~a & ~b")
+        spec = ISF.from_on_dc(on, dc)
+        with pytest.raises(VerificationError) as excinfo:
+            verify_against_isfs(nl, {"f": spec})
+        witness = excinfo.value.counterexample
+        produced = simulate_single(nl, witness)["f"]
+        in_on = int(mgr.eval(spec.on.node, witness))
+        in_off = int(mgr.eval(spec.off.node, witness))
+        # The witness must land where the netlist leaves (Q, ~R).
+        assert (in_on and not produced) or (in_off and produced)
+
+
 class TestEquivalence:
     def test_equivalent_netlists(self):
         nl1, mgr = _netlist_and_mgr()

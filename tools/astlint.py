@@ -1,0 +1,254 @@
+#!/usr/bin/env python
+"""Repo AST lint: architectural rules the test suite can't see.
+
+Three rules, each guarding a seam the session/pipeline refactor and the
+static-analysis layer rely on (docs/ANALYSIS.md has the rationale):
+
+``manager-seam``
+    BDD managers must enter the system through
+    ``Session.adopt_manager`` (or be built by the designated factory
+    layers: ``repro.bdd`` itself, the file readers in ``repro.io``, the
+    benchmark builders in ``repro.bench`` and the FSM encoder in
+    ``repro.fsm``).  Any other ``BDD(...)`` construction in ``src/repro``
+    creates an unmanaged manager that dodges the session's growth hook
+    and resource budgets — and risks the cross-manager BDD operations
+    the contract checker exists to catch.
+
+``bare-assert``
+    No bare ``assert`` statements in ``src/repro`` (outside doctests):
+    ``python -O`` strips them silently, so invariants guarded that way
+    vanish in optimised runs.  Use the typed exceptions
+    (``DecompositionError`` and friends) instead.
+
+``stage-registry``
+    Every pipeline stage name spelled as a literal — in a
+    ``("name", stage_fn)`` composition tuple or a
+    ``session.stage("name")`` call — must be registered in
+    ``repro.pipeline.config.STAGE_NAMES``, so reports and event
+    consumers can rely on a closed vocabulary.
+
+Run as ``python tools/astlint.py [paths...]`` (defaults to ``src/repro``
+and ``tools``); exits 1 when any finding is reported.  Stdlib only.
+"""
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Path prefixes (relative to the repo root, ``/``-separated) where
+#: constructing a BDD manager is legitimate: the BDD package itself,
+#: the file readers, the benchmark builders and the FSM encoder.  All
+#: other ``src/repro`` code must receive managers through the
+#: ``Session.adopt_manager`` seam.
+MANAGER_SEAM_ALLOWED = (
+    "src/repro/bdd/",
+    "src/repro/io/",
+    "src/repro/bench/",
+    "src/repro/fsm/",
+)
+
+#: Module paths whose ``BDD`` attribute is the manager class.
+_BDD_MODULES = ("repro.bdd", "repro.bdd.manager")
+
+
+class AstFinding:
+    """One astlint finding: file, line, rule id and message."""
+
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+def _relpath(path):
+    """Repo-root-relative ``/``-separated form of *path*."""
+    path = Path(path).resolve()
+    try:
+        return path.relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _is_test_path(rel):
+    name = rel.rsplit("/", 1)[-1]
+    return "tests/" in rel or name.startswith("test_")
+
+
+def _bdd_aliases(tree):
+    """Names that *tree* binds to the BDD manager class or its module.
+
+    Returns ``(class_names, module_names)`` — identifiers that refer to
+    the ``BDD`` class directly, and identifiers that refer to a module
+    exposing it as an attribute.
+    """
+    class_names = set()
+    module_names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module in _BDD_MODULES:
+                for alias in node.names:
+                    if alias.name == "BDD":
+                        class_names.add(alias.asname or alias.name)
+            elif node.module == "repro" and any(
+                    alias.name == "bdd" for alias in node.names):
+                for alias in node.names:
+                    if alias.name == "bdd":
+                        module_names.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in _BDD_MODULES:
+                    module_names.add((alias.asname or alias.name)
+                                     .split(".", 1)[0])
+    return class_names, module_names
+
+
+def _constructs_manager(call, class_names, module_names):
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id in class_names
+    if isinstance(func, ast.Attribute) and func.attr == "BDD":
+        # repro.bdd.manager.BDD(...) / bdd.BDD(...) attribute chains.
+        root = func.value
+        while isinstance(root, ast.Attribute):
+            root = root.value
+        return isinstance(root, ast.Name) and root.id in module_names
+    return False
+
+
+def check_manager_seam(rel, tree):
+    """``BDD(...)`` construction outside the allowed factory layers."""
+    if not rel.startswith("src/repro/"):
+        return
+    if any(rel.startswith(prefix) for prefix in MANAGER_SEAM_ALLOWED):
+        return
+    class_names, module_names = _bdd_aliases(tree)
+    if not class_names and not module_names:
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and _constructs_manager(
+                node, class_names, module_names):
+            yield AstFinding(
+                rel, node.lineno, "manager-seam",
+                "BDD manager constructed outside the adopt_manager "
+                "seam; pass a manager in (or move the construction "
+                "into repro.bdd/io/bench/fsm)")
+
+
+def check_bare_assert(rel, tree):
+    """``assert`` statements in library code (stripped by ``-O``)."""
+    if not rel.startswith("src/repro/"):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assert):
+            yield AstFinding(
+                rel, node.lineno, "bare-assert",
+                "bare assert is stripped under python -O; raise a "
+                "typed exception instead")
+
+
+def _registered_stage_names():
+    """The ``STAGE_NAMES`` literal from ``repro.pipeline.config``.
+
+    Parsed from source (not imported), so astlint stays runnable
+    without ``src`` on ``sys.path``.
+    """
+    config_path = REPO_ROOT / "src" / "repro" / "pipeline" / "config.py"
+    tree = ast.parse(config_path.read_text(), filename=str(config_path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets
+                       if isinstance(t, ast.Name)]
+            if "STAGE_NAMES" in targets:
+                return set(ast.literal_eval(node.value))
+    raise RuntimeError("STAGE_NAMES literal not found in %s" % config_path)
+
+
+def _literal_stage_names(tree):
+    """(line, name) of every stage-name literal in *tree*.
+
+    Covers the two spellings the pipeline layer uses: composition
+    tuples ``("name", stage_fn)`` and instrumentation calls
+    ``<obj>.stage("name", ...)``.
+    """
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Tuple) and len(node.elts) == 2
+                and isinstance(node.elts[0], ast.Constant)
+                and isinstance(node.elts[0].value, str)
+                and isinstance(node.elts[1], ast.Name)
+                and node.elts[1].id.startswith("stage_")):
+            yield node.lineno, node.elts[0].value
+        elif (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "stage"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            yield node.lineno, node.args[0].value
+
+
+def check_stage_registry(rel, tree, registered=None):
+    """Stage-name literals missing from ``PipelineConfig``'s registry."""
+    if not rel.startswith("src/repro/"):
+        return
+    if registered is None:
+        registered = _registered_stage_names()
+    for line, name in _literal_stage_names(tree):
+        if name not in registered:
+            yield AstFinding(
+                rel, line, "stage-registry",
+                "pipeline stage %r is not registered in "
+                "repro.pipeline.config.STAGE_NAMES" % name)
+
+
+CHECKS = (check_manager_seam, check_bare_assert, check_stage_registry)
+
+
+def lint_file(path, registered=None):
+    """All findings for one Python file."""
+    rel = _relpath(path)
+    if _is_test_path(rel):
+        return []
+    text = Path(path).read_text()
+    tree = ast.parse(text, filename=str(path))
+    findings = []
+    findings.extend(check_manager_seam(rel, tree))
+    findings.extend(check_bare_assert(rel, tree))
+    findings.extend(check_stage_registry(rel, tree, registered=registered))
+    return findings
+
+
+def iter_python_files(paths):
+    """Python files under *paths* (files kept as-is, dirs walked)."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            yield from sorted(entry.rglob("*.py"))
+        else:
+            yield entry
+
+
+def main(argv=None):
+    """Entry point; returns 0 when clean, 1 when findings exist."""
+    paths = list(argv) if argv else ["src/repro", "tools"]
+    registered = _registered_stage_names()
+    findings = []
+    checked = 0
+    for path in iter_python_files(paths):
+        checked += 1
+        findings.extend(lint_file(path, registered=registered))
+    for finding in findings:
+        print(finding)
+    print("astlint: %d finding(s) over %d file(s)"
+          % (len(findings), checked))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
