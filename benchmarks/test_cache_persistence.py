@@ -1,0 +1,83 @@
+"""Benchmark: warm-starting from a persistent Theorem 6 component cache.
+
+Two consecutive runs of the same benchmark through a ``--cache-dir``
+store: the cold run pays the full recursive decomposition and flushes
+its component cache to disk; the warm run rehydrates the stored covers
+into a fresh manager and reuses them.  The bench records both wall
+clocks and both hit rates, so the dump shows exactly how much of the
+paper's Table 2 CPU time the persistent cache buys back.
+
+Run:  pytest benchmarks/test_cache_persistence.py --benchmark-only
+"""
+
+import os
+
+import pytest
+
+from repro.bench import get
+from repro.pipeline import Pipeline, PipelineConfig, PipelineInput, Session
+
+from conftest import record_stats, run_once
+
+NAMES = ("9sym", "rd84", "misex1")
+
+
+def timed_run(name, cache_path, readonly=False):
+    """One pipeline run of benchmark *name* against *cache_path*."""
+    mgr, specs = get(name).build()
+    session = Session(PipelineConfig(cache_path=cache_path,
+                                     cache_readonly=readonly))
+    run = Pipeline.standard(emit=False).run(
+        session, PipelineInput(mgr=mgr, specs=specs, label=name))
+    session.flush_component_cache()
+    return session, run
+
+
+def hit_rate(run):
+    cache = run.stage_record("decompose")["cache"]
+    return cache["hits"] / max(1, cache["lookups"])
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_cold_vs_warm(benchmark, name, tmp_path):
+    cache_path = os.path.join(str(tmp_path), name + ".cache.json")
+
+    def cold_then_warm():
+        _s, cold = timed_run(name, cache_path)
+        _s, warm = timed_run(name, cache_path, readonly=True)
+        return cold, warm
+
+    cold, warm = run_once(benchmark, cold_then_warm)
+    cold_cache = cold.stage_record("decompose")["cache"]
+    warm_cache = warm.stage_record("decompose")["cache"]
+    benchmark.extra_info["cold_s"] = round(cold.elapsed, 6)
+    benchmark.extra_info["warm_s"] = round(warm.elapsed, 6)
+    benchmark.extra_info["cold_hit_rate"] = hit_rate(cold)
+    benchmark.extra_info["warm_hit_rate"] = hit_rate(warm)
+    benchmark.extra_info["rehydrated_hits"] = warm_cache["rehydrated_hits"]
+    benchmark.extra_info["store_entries"] = warm_cache["dormant"] \
+        + warm_cache["rehydrated_entries"]
+    record_stats(benchmark, "cold", cold.netlist_stats())
+    record_stats(benchmark, "warm", warm.netlist_stats())
+    # The warm start genuinely reuses stored components and never
+    # lowers the total hit rate.
+    assert cold_cache["rehydrated_hits"] == 0
+    assert warm_cache["rehydrated_hits"] > 0
+    assert hit_rate(warm) > hit_rate(cold)
+
+
+@pytest.mark.parametrize("name", ("9sym",))
+def test_warm_runs_are_deterministic(benchmark, name, tmp_path):
+    """Two readonly warm runs produce byte-identical BLIF."""
+    from repro.io import write_blif
+    cache_path = os.path.join(str(tmp_path), name + ".cache.json")
+    timed_run(name, cache_path)
+
+    def two_warm():
+        _s, one = timed_run(name, cache_path, readonly=True)
+        _s, two = timed_run(name, cache_path, readonly=True)
+        return one, two
+
+    one, two = run_once(benchmark, two_warm)
+    assert one.stage_record("decompose")["cache"]["rehydrated_hits"] > 0
+    assert write_blif(one.netlist) == write_blif(two.netlist)

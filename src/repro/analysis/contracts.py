@@ -21,7 +21,9 @@ certificates.  This module does, in an opt-in checked mode (CLI
   ``(Q, ~R)`` it was derived for (Theorems 3/4 recombination);
 * **cache-compatible / cache-node-function** — a Theorem 6 cache hit
   is genuinely interval-compatible *and* the stored netlist node
-  really implements the stored CSF (catches cache corruption).
+  really implements the stored CSF (catches cache corruption; applies
+  equally to hits rehydrated from a persistent store, see
+  :mod:`repro.decomp.cache_store`).
 
 Violations raise :class:`ContractViolation` (a
 :class:`~repro.decomp.DecompositionError`) and are reported through the
@@ -207,6 +209,16 @@ class CheckedDecompositionEngine(DecompositionEngine):
 
     # -- Theorem 6 cache sanitation ---------------------------------------
     def _validate_cache_hit(self, isf, csf, node, complemented):
+        """Re-verify every cache hit before the engine reuses it.
+
+        Installed as the cache's ``on_hit`` seam, so it covers in-run
+        hits *and* rehydrated hits from a persistent store
+        (:mod:`repro.decomp.cache_store`): a rehydrated component's
+        cover is rebuilt from disk, its cone re-emitted, and both are
+        re-checked here against Theorem 6 exactly like a live hit —
+        a corrupt store entry trips ``cache-compatible`` or
+        ``cache-node-function`` instead of reaching the netlist.
+        """
         self._contract(
             "cache-compatible",
             csf.mgr is isf.mgr and isf.is_compatible(csf),

@@ -21,6 +21,7 @@ flags (``--time-limit``, ``--max-nodes``) and the per-stage
 
 import argparse
 import json
+import os
 import sys
 
 from repro.io import load_pla, parse_blif, read_text
@@ -43,6 +44,24 @@ def _config_from_args(args):
     )
 
 
+def _cache_path_from_args(args):
+    """``--cache-dir`` -> per-benchmark store path (or None).
+
+    The store file is keyed by the input's stem, so every benchmark
+    label in a cache directory gets its own versioned JSON file.
+    """
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None:
+        return None
+    source = getattr(args, "input", None)
+    if source in (None, "-"):
+        stem = "input"
+    else:
+        name = os.path.basename(str(source))
+        stem = name.rsplit(".", 1)[0] if "." in name else name
+    return os.path.join(cache_dir, stem + ".cache.json")
+
+
 def _pipeline_config(args, flow="bidecomp", verify=True):
     has_engine_flags = hasattr(args, "no_or")
     return PipelineConfig(
@@ -54,6 +73,8 @@ def _pipeline_config(args, flow="bidecomp", verify=True):
         max_nodes=getattr(args, "max_nodes", None),
         model=getattr(args, "model", "bidecomp"),
         check_contracts=getattr(args, "check", False),
+        cache_path=_cache_path_from_args(args),
+        cache_readonly=getattr(args, "cache_readonly", False),
     )
 
 
@@ -88,6 +109,13 @@ def _add_resource_flags(parser):
                         help="re-verify the paper's theorem certificates "
                              "at every recursion step (sanitizer mode; "
                              "a violation aborts with exit 4)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist the Theorem 6 component cache under "
+                             "DIR (one versioned JSON store per input "
+                             "stem); later runs warm-start from it")
+    parser.add_argument("--cache-readonly", action="store_true",
+                        help="load the component-cache store but never "
+                             "write it back")
 
 
 def _emit_stats_json(args, session, run, stdout):
@@ -107,12 +135,20 @@ def _emit_stats_json(args, session, run, stdout):
 
 
 def _run_pipeline(args, session, pipeline, source, stdout):
-    """Run one pipeline, mapping limit trips to a clean exit code."""
+    """Run one pipeline, mapping limit trips to a clean exit code.
+
+    The component-cache store (``--cache-dir``) is flushed on both
+    paths: a run that tripped its budget still banked every component
+    it finished, warming the retry.
+    """
     try:
-        return pipeline.run(session, source)
+        run = pipeline.run(session, source)
     except PipelineError as exc:
+        session.flush_component_cache()
         sys.stderr.write("aborted: %s\n" % exc)
         return None
+    session.flush_component_cache()
+    return run
 
 
 def _print_stats(stats, stream, prefix=""):

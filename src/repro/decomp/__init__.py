@@ -21,6 +21,12 @@ from repro.decomp.grouping import (find_initial_grouping, group_variables,
 from repro.decomp.weak import find_weak_grouping
 from repro.decomp.inessential import is_inessential, remove_inessential
 from repro.decomp.cache import ComponentCache, NullCache
+from repro.decomp.cache_store import (CACHE_FORMAT, CACHE_VERSION,
+                                      CacheStoreError, StoredComponent,
+                                      PersistentComponentCache,
+                                      cone_gate_count, store_component,
+                                      serialize_cache, save_store,
+                                      load_store)
 from repro.decomp.terminal import find_gate
 from repro.decomp.bidecomp import (DecompositionConfig, DecompositionEngine,
                                    DecompositionError, DecompositionStats)
@@ -43,6 +49,9 @@ __all__ = [
     "grouping_score", "improve_grouping", "find_weak_grouping",
     "is_inessential", "remove_inessential",
     "ComponentCache", "NullCache", "find_gate",
+    "CACHE_FORMAT", "CACHE_VERSION", "CacheStoreError", "StoredComponent",
+    "PersistentComponentCache", "cone_gate_count", "store_component",
+    "serialize_cache", "save_store", "load_store",
     "DecompositionConfig", "DecompositionEngine", "DecompositionError",
     "DecompositionStats", "DecompositionResult",
     "bi_decompose", "bi_decompose_function",

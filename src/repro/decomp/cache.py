@@ -76,6 +76,17 @@ class ComponentCache:
         """Number of cached components."""
         return sum(len(bucket) for bucket in self._by_support.values())
 
+    def entries(self):
+        """Iterate ``(csf, node)`` over every cached component.
+
+        Deterministic (insertion order per support bucket); used by the
+        persistence layer (``repro.decomp.cache_store``) to serialise
+        the cache at session flush.
+        """
+        for bucket in self._by_support.values():
+            for csf, node in bucket:
+                yield csf, node
+
     def stats(self):
         """Counters as a dict (used by the ablation benchmarks)."""
         return {

@@ -66,13 +66,22 @@ class PipelineConfig:
         Extra keyword arguments forwarded to the baseline synthesiser
         (e.g. ``{"factor": True, "minimizer": "espresso"}`` for the sis
         flow, ``{"use_xor": False}`` for bds).  Ignored by bidecomp.
+    cache_path:
+        Path of a component-cache store file
+        (:mod:`repro.decomp.cache_store`), or None.  When set, the
+        session seeds its Theorem 6 component cache from the file (if
+        it exists) and :meth:`Session.flush_component_cache` writes the
+        cache back (the CLI flag is ``--cache-dir``).
+    cache_readonly:
+        Load the store but never write it back (warm-start runs that
+        must not perturb the cache on disk).
     """
 
     def __init__(self, decomposition=None, flow="bidecomp", verify=True,
                  check_contracts=False, time_limit=None, max_nodes=None,
                  recursion_limit=DEFAULT_RECURSION_LIMIT,
                  model="bidecomp", progress_interval=1024,
-                 flow_options=None):
+                 flow_options=None, cache_path=None, cache_readonly=False):
         if decomposition is None:
             decomposition = DecompositionConfig()
         if not isinstance(decomposition, DecompositionConfig):
@@ -112,6 +121,11 @@ class PipelineConfig:
             raise ValueError("flow_options must be a dict, got %r"
                              % (flow_options,))
         self.flow_options = dict(flow_options or {})
+        if cache_path is not None and not isinstance(cache_path, str):
+            raise ValueError("cache_path must be a path string or None, "
+                             "got %r" % (cache_path,))
+        self.cache_path = cache_path
+        self.cache_readonly = bool(cache_readonly)
 
     @classmethod
     def coerce(cls, value):
@@ -134,6 +148,8 @@ class PipelineConfig:
             "max_nodes": self.max_nodes,
             "recursion_limit": self.recursion_limit,
             "model": self.model,
+            "cache_path": self.cache_path,
+            "cache_readonly": self.cache_readonly,
         }
 
     def __repr__(self):

@@ -104,6 +104,8 @@ class PipelineRun:
         if "cache" in decomp:
             doc["cache"] = decomp["cache"]
             doc["cache_hit_rate"] = decomp.get("cache_hit_rate", 0.0)
+            doc["rehydrated_hits"] = decomp["cache"].get(
+                "rehydrated_hits", 0)
         return doc
 
 

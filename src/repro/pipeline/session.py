@@ -19,6 +19,7 @@ The multi-output driver (``repro.decomp.bi_decompose``) is now a thin
 wrapper over :meth:`Session.decompose_specs`.
 """
 
+import os
 import time
 from contextlib import contextmanager
 
@@ -61,6 +62,8 @@ class Session:
         self._used_output_names = set()
         self._cache_resets = 0
         self._progress_countdown = self.config.progress_interval
+        self._stored_components = None
+        self._cache_store_skipped = 0
         if mgr is not None:
             self.adopt_manager(mgr)
 
@@ -75,11 +78,83 @@ class Session:
         return False
 
     def close(self):
-        """Uninstall manager hooks and emit ``session_closed``."""
+        """Flush the component cache, uninstall manager hooks and emit
+        ``session_closed``."""
+        self.flush_component_cache()
         if self.mgr is not None:
             self.mgr.set_growth_hook(None)
         self.events.publish("session_closed",
                             cache_resets=self._cache_resets)
+
+    # ------------------------------------------------------------------
+    # Component-cache persistence (Theorem 6, cross-run)
+    # ------------------------------------------------------------------
+    def adopt_cache_path(self, path, readonly=False):
+        """Point the session at a component-cache store file.
+
+        Must be called before the first decomposition for the store to
+        seed the engine's cache; either way, :meth:`flush_component_cache`
+        writes to the adopted path (unless *readonly*).
+        """
+        self.config.cache_path = path
+        self.config.cache_readonly = bool(readonly)
+        self._stored_components = None
+        return path
+
+    def _load_cache_store(self):
+        """Load the configured store once; never raises.
+
+        A missing file is a normal cold start (no event).  An unusable
+        file — corrupt JSON, wrong magic, unsupported version — is
+        skipped with a ``component_cache_load_failed`` warning event.
+        """
+        from repro.decomp.cache_store import CacheStoreError, load_store
+        if self._stored_components is not None:
+            return self._stored_components
+        path = self.config.cache_path
+        entries = []
+        self._cache_store_skipped = 0
+        if path is not None and os.path.exists(path):
+            try:
+                entries, skipped = load_store(path)
+            except CacheStoreError as exc:
+                self.events.publish("component_cache_load_failed",
+                                    path=path, error=str(exc))
+            else:
+                self._cache_store_skipped = skipped
+                self.events.publish("component_cache_loaded",
+                                    path=path, entries=len(entries),
+                                    skipped=skipped)
+        self._stored_components = entries
+        return entries
+
+    def _build_component_cache(self):
+        """Persistent cache seeded from the store, or None (engine
+        default) when no ``cache_path`` is configured."""
+        from repro.decomp.cache_store import PersistentComponentCache
+        if self.config.cache_path is None:
+            return None
+        if not self.config.decomposition.use_cache:
+            return None
+        return PersistentComponentCache(self._load_cache_store())
+
+    def flush_component_cache(self):
+        """Write the engine's component cache back to the store.
+
+        No-op without a ``cache_path``, under ``cache_readonly``, or
+        before any engine exists.  Returns the written path or None;
+        emits ``component_cache_flushed``.
+        """
+        from repro.decomp.cache_store import save_store, serialize_cache
+        if (self.config.cache_path is None or self.config.cache_readonly
+                or self.engine is None or self.mgr is None):
+            return None
+        doc = serialize_cache(self.engine.cache, self.mgr, self.netlist,
+                              label=self.config.model)
+        path = save_store(self.config.cache_path, doc)
+        self.events.publish("component_cache_flushed", path=path,
+                            entries=len(doc["entries"]))
+        return path
 
     def adopt_manager(self, mgr):
         """Attach *mgr* to the session and install the limit hook.
@@ -162,8 +237,16 @@ class Session:
 
         Yields a mutable ``record`` dict; whatever the stage body puts
         there is merged into the ``stage_finished`` payload (cache hit
-        rates, gate counts, ...).
+        rates, gate counts, ...).  ``stage_failed`` carries the same
+        record and node count, so partial counters from a timed-out
+        stage survive into the failure event.
+
+        Stages nest: the previous stage name is restored on exit, so an
+        outer stage keeps its attribution (limit violations,
+        ``contract_violated`` / ``decompose_progress`` events) after an
+        inner stage finishes.
         """
+        previous_stage = self._stage
         self._stage = name
         self.check_limits()
         self.events.publish("stage_started", stage=name, **info)
@@ -172,12 +255,16 @@ class Session:
         try:
             yield record
         except Exception as exc:
-            self.events.publish("stage_failed", stage=name,
-                                elapsed=time.perf_counter() - started,
-                                error=type(exc).__name__)
+            payload = {"stage": name,
+                       "elapsed": time.perf_counter() - started,
+                       "error": type(exc).__name__,
+                       "bdd_nodes": (self.mgr.live_count()
+                                     if self.mgr is not None else 0)}
+            payload.update(record)
+            self.events.publish("stage_failed", **payload)
             raise
         finally:
-            self._stage = None
+            self._stage = previous_stage
         payload = {"stage": name,
                    "elapsed": time.perf_counter() - started,
                    "bdd_nodes": (self.mgr.live_count()
@@ -199,19 +286,24 @@ class Session:
             self._var_nodes = {
                 var: self.netlist.input_node(self.mgr.var_name(var))
                 for var in range(self.mgr.num_vars)}
+            cache = self._build_component_cache()
             if self.config.check_contracts:
                 from repro.analysis.contracts import \
                     CheckedDecompositionEngine
                 self.engine = CheckedDecompositionEngine(
                     self.mgr, self.netlist, self._var_nodes,
-                    config=self.config.decomposition,
+                    config=self.config.decomposition, cache=cache,
                     observer=self._on_engine_call,
                     on_violation=self._on_contract_violation)
             else:
                 self.engine = DecompositionEngine(
                     self.mgr, self.netlist, self._var_nodes,
-                    config=self.config.decomposition,
+                    config=self.config.decomposition, cache=cache,
                     observer=self._on_engine_call)
+            if cache is not None:
+                # Bind to the engine's own var-node map (the engine
+                # copies ours and extends its copy on batch growth).
+                cache.bind(self.mgr, self.netlist, self.engine.var_nodes)
         else:
             # The manager may have gained variables since the engine
             # was built (batch inputs with new input names).
@@ -230,10 +322,11 @@ class Session:
         candidate = name
         if candidate in self._used_output_names and label:
             candidate = "%s.%s" % (label, name)
+        base = candidate
         suffix = 0
         while candidate in self._used_output_names:
             suffix += 1
-            candidate = "%s_%d" % (name, suffix)
+            candidate = "%s_%d" % (base, suffix)
         self._used_output_names.add(candidate)
         return candidate
 
@@ -248,10 +341,7 @@ class Session:
         from repro.decomp.bidecomp import DecompositionStats
         from repro.decomp.driver import DecompositionResult, validate_specs
         mgr, specs = validate_specs(specs)
-        if self.mgr is None:
-            self.adopt_manager(mgr)
-        elif mgr is not self.mgr:
-            self.adopt_manager(mgr)
+        self.adopt_manager(mgr)  # no-op when the session already owns it
         engine = self._ensure_engine()
 
         stats_before = engine.stats.as_dict()
@@ -271,7 +361,7 @@ class Session:
         stats = DecompositionStats.from_dict(
             _diff_counters(stats_before, engine.stats.as_dict()))
         cache_stats = _diff_counters(cache_before, engine.cache.stats(),
-                                     absolute=("size",))
+                                     absolute=("size", "dormant"))
         result = DecompositionResult(self.netlist, functions, stats,
                                      cache_stats, elapsed,
                                      provenance=engine.provenance,

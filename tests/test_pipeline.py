@@ -220,6 +220,72 @@ class TestBatch:
 
 
 # ---------------------------------------------------------------------
+# Session lifecycle regressions
+# ---------------------------------------------------------------------
+class TestSessionLifecycle:
+    def test_nested_stage_restores_outer_attribution(self):
+        # An inner stage must not clear the outer stage's name: events
+        # published after the inner stage exits (limit violations,
+        # contract_violated, decompose_progress) carry the outer stage.
+        session = Session()
+        with session.stage("decompose"):
+            with session.stage("verify"):
+                pass
+            session._on_contract_violation("cache-compatible", "test")
+        event = session.events.named("contract_violated")[-1]
+        assert event["stage"] == "decompose"
+
+    def test_stage_cleared_after_outermost_exit(self):
+        session = Session()
+        with session.stage("decompose"):
+            pass
+        session._on_contract_violation("cache-compatible", "test")
+        assert session.events.named("contract_violated")[-1]["stage"] \
+            is None
+
+    def test_claim_output_name_keeps_label_on_double_collision(self):
+        session = Session()
+        assert session.claim_output_name("f") == "f"
+        assert session.claim_output_name("f", label="runB") == "runB.f"
+        # A third claim extends the *label-prefixed* candidate instead
+        # of falling back to the bare name.
+        assert session.claim_output_name("f", label="runB") == "runB.f_1"
+        assert session.claim_output_name("f", label="runC") == "runC.f"
+
+    def test_claim_output_name_without_label_still_suffixes(self):
+        session = Session()
+        assert session.claim_output_name("f") == "f"
+        assert session.claim_output_name("f") == "f_1"
+        assert session.claim_output_name("f") == "f_2"
+
+    def test_same_manager_twice_keeps_cache(self):
+        # decompose_specs re-adopts the specs' manager every call;
+        # adopting the manager the session already owns must be a
+        # no-op, not a cache reset.
+        mgr, specs = get("rd53").build()
+        session = Session()
+        session.decompose_specs(specs, label="a")
+        size_before = session.engine.cache.size()
+        session.decompose_specs(specs, label="b")
+        assert not session.events.named("component_cache_reset")
+        assert session.engine.cache.size() >= size_before
+
+    def test_stage_failed_carries_record_and_nodes(self):
+        # Partial counters recorded before the failure must survive
+        # into the stage_failed payload, like stage_finished.
+        session = Session()
+        with pytest.raises(ValueError):
+            with session.stage("decompose") as record:
+                record["gates"] = 7
+                raise ValueError("boom")
+        failed = session.events.named("stage_failed")[-1]
+        assert failed["stage"] == "decompose"
+        assert failed["error"] == "ValueError"
+        assert failed["gates"] == 7
+        assert failed["bdd_nodes"] >= 0
+
+
+# ---------------------------------------------------------------------
 # Configuration validation
 # ---------------------------------------------------------------------
 class TestConfig:
@@ -235,6 +301,17 @@ class TestConfig:
     def test_rejects_non_positive_budgets(self, kwargs):
         with pytest.raises(ValueError):
             PipelineConfig(**kwargs)
+
+    def test_rejects_non_string_cache_path(self):
+        with pytest.raises(ValueError, match="cache_path"):
+            PipelineConfig(cache_path=123)
+
+    def test_cache_fields_in_as_dict(self):
+        config = PipelineConfig(cache_path="x.cache.json",
+                                cache_readonly=True)
+        doc = config.as_dict()
+        assert doc["cache_path"] == "x.cache.json"
+        assert doc["cache_readonly"] is True
 
     def test_coerce_passthrough_and_wrapping(self):
         config = PipelineConfig()
