@@ -1,0 +1,126 @@
+"""Benchmark: the parallel batch executor over an MCNC mini-sweep.
+
+One sweep of six MCNC benchmarks (written out as PLA text, the form
+the paper's program consumes) is decomposed three times — ``jobs=1``,
+``jobs=2`` and ``jobs=4`` — through
+:func:`repro.pipeline.parallel.run_batch_parallel`.  The bench asserts
+the determinism contract (every jobs count emits byte-identical BLIFs)
+and records the wall clocks plus the host ``cpu_count`` in
+``BENCH_parallel.json`` at the repo root, so the dump shows the
+speedup the process pool buys on the machine it actually ran on.  The
+1.5x speedup acceptance bar is only asserted on hosts with >= 4 cores
+— on a single-core container the sweep still runs (validating
+correctness and the store merge) but fork parallelism cannot beat
+serial, and the JSON records that honestly.
+
+A warm rerun against the merged component store closes the loop:
+``rehydrated_hits > 0`` proves the workers' Theorem 6 components were
+unioned back into the shared store.
+
+Run:  pytest benchmarks/test_parallel.py --benchmark-only
+"""
+
+import json
+import os
+
+from repro.bench import get
+from repro.io import write_pla
+from repro.pipeline import PipelineConfig, PipelineInput
+from repro.pipeline.parallel import run_batch_parallel
+
+from conftest import run_once
+
+NAMES = ("rd53", "xor5", "maj", "squar5", "misex1", "z4ml")
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_parallel.json")
+
+JOBS_GRID = (1, 2, 4)
+SPEEDUP_BAR = 1.5
+
+
+def write_benchmark_plas(directory):
+    """Materialise the sweep as PLA files; returns their paths."""
+    paths = []
+    for name in NAMES:
+        mgr, specs = get(name).build()
+        path = os.path.join(str(directory), name + ".pla")
+        write_pla(specs, list(mgr.var_names), path=path)
+        paths.append(path)
+    return paths
+
+
+def sweep(paths, jobs, cache_path=None):
+    """One batch over *paths*; returns the ParallelBatchResult."""
+    config = PipelineConfig(cache_path=cache_path)
+    sources = [PipelineInput(path=path) for path in paths]
+    return run_batch_parallel(sources, config=config, jobs=jobs)
+
+
+def test_parallel_sweep_speedup_and_determinism(benchmark, tmp_path):
+    paths = write_benchmark_plas(tmp_path)
+
+    def full_grid():
+        return {jobs: sweep(paths, jobs) for jobs in JOBS_GRID}
+
+    results = run_once(benchmark, full_grid)
+    serial = results[JOBS_GRID[0]]
+    blifs = [run.blif for run in serial]
+    assert all(blif for blif in blifs)
+    for jobs in JOBS_GRID[1:]:
+        assert [run.blif for run in results[jobs]] == blifs, \
+            "jobs=%d changed the emitted BLIFs" % jobs
+        assert not results[jobs].failures
+
+    cpu_count = os.cpu_count() or 1
+    elapsed = {jobs: results[jobs].elapsed for jobs in JOBS_GRID}
+    speedups = {jobs: elapsed[1] / max(elapsed[jobs], 1e-9)
+                for jobs in JOBS_GRID}
+    doc = {
+        "benchmarks": list(NAMES),
+        "cpu_count": cpu_count,
+        "jobs": {str(jobs): {"elapsed_s": round(elapsed[jobs], 6),
+                             "workers_used": results[jobs].jobs,
+                             "speedup_vs_serial":
+                                 round(speedups[jobs], 3)}
+                 for jobs in JOBS_GRID},
+        "byte_identical_across_jobs": True,
+        "speedup_bar": SPEEDUP_BAR,
+        "speedup_bar_asserted": cpu_count >= 4,
+    }
+    with open(BENCH_JSON, "w") as handle:
+        handle.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    for jobs in JOBS_GRID:
+        benchmark.extra_info["jobs%d_s" % jobs] = round(elapsed[jobs], 6)
+        benchmark.extra_info["jobs%d_speedup" % jobs] = \
+            round(speedups[jobs], 3)
+    benchmark.extra_info["cpu_count"] = cpu_count
+
+    if cpu_count >= 4:
+        assert speedups[4] >= SPEEDUP_BAR, (
+            "jobs=4 speedup %.2fx below the %.1fx bar on a %d-core host"
+            % (speedups[4], SPEEDUP_BAR, cpu_count))
+
+
+def test_parallel_store_merge_warm_rerun(benchmark, tmp_path):
+    paths = write_benchmark_plas(tmp_path)
+    cache_path = os.path.join(str(tmp_path), "sweep.cache.json")
+
+    def cold_then_warm():
+        cold = sweep(paths, jobs=2, cache_path=cache_path)
+        warm = sweep(paths, jobs=2, cache_path=cache_path)
+        return cold, warm
+
+    cold, warm = run_once(benchmark, cold_then_warm)
+    assert cold.merged_store == cache_path
+    assert cold.merged_entries > 0
+    warm_hits = warm.report()["rehydrated_hits"]
+    benchmark.extra_info["merged_entries"] = cold.merged_entries
+    benchmark.extra_info["warm_rehydrated_hits"] = warm_hits
+    benchmark.extra_info["cold_s"] = round(cold.elapsed, 6)
+    benchmark.extra_info["warm_s"] = round(warm.elapsed, 6)
+    assert warm_hits > 0
+    # Warm sweeps stay deterministic across partitionings.
+    warm3 = sweep(paths, jobs=3, cache_path=cache_path)
+    assert [run.blif for run in warm3] == [run.blif for run in warm]

@@ -6,6 +6,8 @@ time is exactly this pipeline).  This CLI reproduces that program and
 adds the surrounding tooling:
 
     python -m repro.cli decompose input.pla -o out.blif [--no-exor] ...
+    python -m repro.cli decompose *.pla --jobs 4 --output-dir out \
+        --cache-dir cache                              # parallel sweep
     python -m repro.cli stats input.pla                # netlist costs
     python -m repro.cli verify input.pla out.blif      # BDD verifier
     python -m repro.cli lint out.blif [--spec input.pla]  # netlist lint
@@ -44,22 +46,31 @@ def _config_from_args(args):
     )
 
 
-def _cache_path_from_args(args):
-    """``--cache-dir`` -> per-benchmark store path (or None).
+def _stem(source):
+    if source in (None, "-"):
+        return "input"
+    name = os.path.basename(str(source))
+    return name.rsplit(".", 1)[0] if "." in name else name
 
-    The store file is keyed by the input's stem, so every benchmark
-    label in a cache directory gets its own versioned JSON file.
+
+def _cache_path_from_args(args):
+    """``--cache-dir`` -> store path (or None).
+
+    Single-input commands key the store file by the input's stem, so
+    every benchmark label in a cache directory gets its own versioned
+    JSON file.  Batch ``decompose`` runs (multiple inputs) share one
+    sweep-wide ``batch.cache.json`` instead — that is the store the
+    parallel workers warm-start from and merge back into.
     """
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir is None:
         return None
     source = getattr(args, "input", None)
-    if source in (None, "-"):
-        stem = "input"
-    else:
-        name = os.path.basename(str(source))
-        stem = name.rsplit(".", 1)[0] if "." in name else name
-    return os.path.join(cache_dir, stem + ".cache.json")
+    if isinstance(source, list):
+        if len(source) > 1:
+            return os.path.join(cache_dir, "batch.cache.json")
+        source = source[0]
+    return os.path.join(cache_dir, _stem(source) + ".cache.json")
 
 
 def _pipeline_config(args, flow="bidecomp", verify=True):
@@ -75,6 +86,8 @@ def _pipeline_config(args, flow="bidecomp", verify=True):
         check_contracts=getattr(args, "check", False),
         cache_path=_cache_path_from_args(args),
         cache_readonly=getattr(args, "cache_readonly", False),
+        budget_scope=getattr(args, "budget_scope", "run"),
+        jobs=getattr(args, "jobs", 1),
     )
 
 
@@ -99,6 +112,11 @@ def _add_resource_flags(parser):
     parser.add_argument("--time-limit", type=float, default=None,
                         metavar="SECONDS",
                         help="wall-clock budget; exceeded -> exit 3")
+    parser.add_argument("--budget-scope", choices=("run", "batch"),
+                        default="run",
+                        help="what --time-limit spans: each input run "
+                             "(default) or the whole batch (per worker "
+                             "partition when --jobs > 1)")
     parser.add_argument("--max-nodes", type=int, default=None,
                         metavar="N",
                         help="live BDD node budget; exceeded -> exit 3")
@@ -159,10 +177,20 @@ def _print_stats(stats, stream, prefix=""):
 
 
 def cmd_decompose(args, stdout):
-    """Decompose a PLA and write BLIF (the BI-DECOMP program)."""
+    """Decompose PLAs and write BLIF (the BI-DECOMP program).
+
+    A single input follows the classic one-session path.  Several
+    inputs (or ``--jobs``/``--output-dir``) run as a batch through the
+    parallel executor: each input in its own fresh session, partitions
+    across ``--jobs`` worker processes, Theorem 6 components shared
+    via the ``--cache-dir`` store and merged afterwards.
+    """
+    if (len(args.input) > 1 or args.jobs != 1
+            or args.output_dir is not None):
+        return _decompose_batch(args, stdout)
     session = Session(_pipeline_config(args, verify=not args.no_verify))
     emit_path = None if args.output in (None, "-") else args.output
-    source = PipelineInput(path=args.input, emit_path=emit_path)
+    source = PipelineInput(path=args.input[0], emit_path=emit_path)
     run = _run_pipeline(args, session, Pipeline.standard(), source, stdout)
     if run is None:
         return 3
@@ -175,6 +203,54 @@ def cmd_decompose(args, stdout):
     sys.stderr.write("time: %.3fs\n" % run.elapsed)
     _emit_stats_json(args, session, run, stdout)
     return 0
+
+
+def _decompose_batch(args, stdout):
+    """Batch/parallel decompose: N PLAs over ``--jobs`` workers."""
+    from repro.pipeline import EventBus, run_batch_parallel
+    if args.output is not None and len(args.input) > 1:
+        sys.stderr.write("error: -o/--output takes a single input; "
+                         "use --output-dir for batches\n")
+        return 2
+    config = _pipeline_config(args, verify=not args.no_verify)
+    if args.output_dir is not None:
+        os.makedirs(args.output_dir, exist_ok=True)
+    sources = []
+    for path in args.input:
+        emit_path = None
+        if args.output_dir is not None:
+            emit_path = os.path.join(args.output_dir,
+                                     _stem(path) + ".blif")
+        elif args.output not in (None, "-"):
+            emit_path = args.output
+        sources.append(PipelineInput(path=path, emit_path=emit_path))
+    result = run_batch_parallel(sources, config=config, jobs=args.jobs,
+                                events=EventBus(record=False))
+    for run in result:
+        if run.error is not None:
+            sys.stderr.write("aborted %s: %s: %s\n"
+                             % (run.label, run.error["type"],
+                                run.error["message"]))
+            continue
+        if run.source.emit_path is None:
+            stdout.write(run.blif)
+        _print_stats(run.netlist_stats(), sys.stderr,
+                     prefix="%s: " % run.label)
+    sys.stderr.write("batch: %d inputs over %d worker(s), %d failed, "
+                     "%.3fs\n" % (len(result), result.jobs,
+                                  len(result.failures), result.elapsed))
+    if getattr(args, "stats_json", None) is not None:
+        text = json.dumps(result.report(config), indent=2,
+                          sort_keys=True) + "\n"
+        if args.stats_json == "-":
+            stdout.write(text)
+        else:
+            with open(args.stats_json, "w") as handle:
+                handle.write(text)
+    if any(run.error["type"] == "ContractViolation"
+           for run in result.failures):
+        return 4
+    return 3 if result.failures else 0
 
 
 def cmd_stats(args, stdout):
@@ -308,8 +384,17 @@ def build_parser():
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("decompose", help="PLA -> bi-decomposed BLIF")
-    p.add_argument("input")
-    p.add_argument("-o", "--output", help="BLIF path (default stdout)")
+    p.add_argument("input", nargs="+",
+                   help="PLA file(s); several inputs run as a batch")
+    p.add_argument("-o", "--output",
+                   help="BLIF path for a single input (default stdout)")
+    p.add_argument("--output-dir", default=None, metavar="DIR",
+                   help="write one <stem>.blif per input under DIR "
+                        "(batch mode)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for batch runs (0 = all "
+                        "cores); each input gets its own session, "
+                        "components are shared via --cache-dir")
     p.add_argument("--model", default="bidecomp")
     p.add_argument("--no-verify", action="store_true")
     _add_config_flags(p)

@@ -35,6 +35,7 @@ crashing), and malformed entries are skipped individually.
 
 import json
 import os
+import tempfile
 
 from repro.bdd.function import Function
 from repro.bdd.node import FALSE
@@ -242,40 +243,55 @@ def serialize_cache(cache, mgr, netlist, label=None):
 
 
 def save_store(path, doc):
-    """Write a store document as canonical JSON; returns *path*."""
+    """Write a store document as canonical JSON; returns *path*.
+
+    The write is atomic: the document goes to a temporary file in the
+    same directory and is moved over *path* with :func:`os.replace`, so
+    a reader (or a concurrent writer) can never observe a truncated or
+    half-written store.  Concurrent writers therefore race at whole-file
+    granularity: the last writer wins the file and the earlier flush is
+    lost — callers that need a union of concurrent flushes must write to
+    distinct paths and combine them with :func:`merge_stores` (this is
+    exactly what the parallel batch executor does with its per-worker
+    store files).
+    """
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
-    with open(path, "w") as handle:
-        handle.write(text)
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
     return path
 
 
-def load_store(path):
-    """Parse a store file; returns ``(entries, skipped)``.
+def parse_store(doc, origin="<store>"):
+    """Validate a store document; returns ``(entries, skipped)``.
 
-    Raises :class:`CacheStoreError` when the file as a whole is
-    unusable (unreadable, not JSON, wrong magic, newer version).
+    Raises :class:`CacheStoreError` when the document as a whole is
+    unusable (not a dict, wrong magic, newer version, no entry list).
     Individually malformed entries are skipped and counted instead of
-    failing the load — one bad entry must not discard the rest.
+    failing the parse — one bad entry must not discard the rest.
+    *origin* names the document in error messages (a path, usually).
     """
-    try:
-        with open(path) as handle:
-            doc = json.load(handle)
-    except OSError as exc:
-        raise CacheStoreError("unreadable cache file: %s" % exc)
-    except ValueError as exc:
-        raise CacheStoreError("corrupt cache file %s: %s" % (path, exc))
     if not isinstance(doc, dict) or doc.get("format") != CACHE_FORMAT:
-        raise CacheStoreError("not a component-cache file: %s" % path)
+        raise CacheStoreError("not a component-cache file: %s" % origin)
     version = doc.get("version")
     if not isinstance(version, int) or not 1 <= version <= CACHE_VERSION:
         raise CacheStoreError(
             "unsupported cache version %r in %s (this build reads 1..%d)"
-            % (version, path, CACHE_VERSION))
+            % (version, origin, CACHE_VERSION))
     raw = doc.get("entries")
     if not isinstance(raw, list):
-        raise CacheStoreError("cache file has no entry list: %s" % path)
+        raise CacheStoreError("cache file has no entry list: %s" % origin)
     entries = []
     skipped = 0
     for item in raw:
@@ -284,6 +300,72 @@ def load_store(path):
         except CacheStoreError:
             skipped += 1
     return entries, skipped
+
+
+def load_store(path):
+    """Parse a store file; returns ``(entries, skipped)``.
+
+    Raises :class:`CacheStoreError` when the file as a whole is
+    unusable (unreadable, not JSON, or :func:`parse_store` rejects it).
+    """
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except OSError as exc:
+        raise CacheStoreError("unreadable cache file: %s" % exc)
+    except ValueError as exc:
+        raise CacheStoreError("corrupt cache file %s: %s" % (path, exc))
+    return parse_store(doc, origin=path)
+
+
+def make_store(entries, label=None):
+    """Wrap :class:`StoredComponent` objects in a fresh store document."""
+    doc = {
+        "format": CACHE_FORMAT,
+        "version": CACHE_VERSION,
+        "entries": [entry.as_dict() for entry in entries],
+    }
+    if label is not None:
+        doc["label"] = label
+    return doc
+
+
+def merge_entries(a, b):
+    """Union two :class:`StoredComponent` lists, deduplicated by key.
+
+    Order is deterministic: *a*'s entries first, then *b*'s new ones.
+    When both lists carry the same ``(support, canonical cover)`` key,
+    the entry with the smaller recorded cone (fewest ``gates``) wins —
+    the gate count is the only field that can differ, and reports use
+    it to compare a rehydrated SOP cone against the original emission.
+    """
+    merged = {}
+    order = []
+    for entry in list(a) + list(b):
+        key = entry.key()
+        if key not in merged:
+            merged[key] = entry
+            order.append(key)
+        elif entry.gates < merged[key].gates:
+            merged[key] = entry
+    return [merged[key] for key in order]
+
+
+def merge_stores(a, b, label=None):
+    """Union two store *documents* into a new document.
+
+    Both documents must be valid stores (:func:`parse_store` rules;
+    malformed individual entries are dropped).  Duplicate entries are
+    resolved by :func:`merge_entries` — same key keeps the smaller
+    cone.  This is the complement of :func:`save_store`'s whole-file
+    last-writer-wins semantics: concurrent flushes that went to
+    distinct paths are combined here without losing either side.
+    """
+    entries_a, _skipped = parse_store(a, origin="merge lhs")
+    entries_b, _skipped = parse_store(b, origin="merge rhs")
+    if label is None:
+        label = a.get("label", b.get("label"))
+    return make_store(merge_entries(entries_a, entries_b), label=label)
 
 
 class _DormantEntry:

@@ -13,6 +13,9 @@ from repro.pipeline.limits import DEFAULT_RECURSION_LIMIT
 #: Synthesis flows the decompose stage can dispatch to.
 FLOWS = ("bidecomp", "sis", "bds")
 
+#: What the wall-clock budget (``time_limit``) spans.
+BUDGET_SCOPES = ("run", "batch")
+
 #: Registry of pipeline stage names.  Every stage composed into a
 #: :class:`repro.pipeline.Pipeline` must use one of these names —
 #: ``tools/astlint.py`` enforces it statically (rule ``stage-registry``)
@@ -49,8 +52,26 @@ class PipelineConfig:
         recursion step and publishes ``contract_violated`` events.
         Slower; off by default (the CLI flag is ``--check``).
     time_limit:
-        Wall-clock budget in seconds for one pipeline run, or None.
+        Wall-clock budget in seconds, or None.
         Exceeding it raises :class:`~repro.pipeline.PipelineTimeout`.
+    budget_scope:
+        What ``time_limit`` spans.  ``"run"`` (the default, and the
+        historical behaviour) restarts the clock for every pipeline
+        run, so a batch of N inputs may spend up to N x ``time_limit``.
+        ``"batch"`` starts the clock once and lets it span every
+        subsequent run of the session — the whole batch shares one
+        budget.  In the parallel executor (``jobs > 1``) each worker
+        process enforces the batch budget over its own partition, so
+        the sweep finishes within roughly one ``time_limit`` of wall
+        clock.
+    jobs:
+        Worker processes for batch execution
+        (:meth:`~repro.pipeline.Pipeline.run_batch` /
+        :func:`repro.pipeline.parallel.run_batch_parallel`).  ``1``
+        (default) keeps the serial in-process path; ``0`` means
+        auto-detect (``os.cpu_count()``).  Values above 1 partition
+        batch inputs across that many processes, each with its own
+        session and BDD manager.
     max_nodes:
         Budget of live BDD nodes in the session manager, or None.
         Exceeding it raises
@@ -81,7 +102,8 @@ class PipelineConfig:
                  check_contracts=False, time_limit=None, max_nodes=None,
                  recursion_limit=DEFAULT_RECURSION_LIMIT,
                  model="bidecomp", progress_interval=1024,
-                 flow_options=None, cache_path=None, cache_readonly=False):
+                 flow_options=None, cache_path=None, cache_readonly=False,
+                 budget_scope="run", jobs=1):
         if decomposition is None:
             decomposition = DecompositionConfig()
         if not isinstance(decomposition, DecompositionConfig):
@@ -126,6 +148,14 @@ class PipelineConfig:
                              "got %r" % (cache_path,))
         self.cache_path = cache_path
         self.cache_readonly = bool(cache_readonly)
+        if budget_scope not in BUDGET_SCOPES:
+            raise ValueError("budget_scope must be one of %s, got %r"
+                             % ("/".join(BUDGET_SCOPES), budget_scope))
+        self.budget_scope = budget_scope
+        jobs = int(jobs)
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 = auto), got %r" % jobs)
+        self.jobs = jobs
 
     @classmethod
     def coerce(cls, value):
@@ -150,6 +180,8 @@ class PipelineConfig:
             "model": self.model,
             "cache_path": self.cache_path,
             "cache_readonly": self.cache_readonly,
+            "budget_scope": self.budget_scope,
+            "jobs": self.jobs,
         }
 
     def __repr__(self):

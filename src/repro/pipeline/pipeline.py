@@ -17,7 +17,10 @@ shape deterministic.
 Batch execution (:meth:`Pipeline.run_batch`) feeds many inputs through
 one session: all of them share the session's BDD manager, netlist and
 component cache, so blocks decomposed for one file are reused by the
-next (Section 6 scaled up from outputs to whole files).
+next (Section 6 scaled up from outputs to whole files).  With
+``jobs > 1`` the batch is instead partitioned across worker processes
+(:mod:`repro.pipeline.parallel`), where sharing happens through the
+persistent component store rather than a live session.
 """
 
 import time
@@ -244,8 +247,9 @@ class Pipeline:
         """Run one input through every stage; returns a PipelineRun.
 
         The session's wall-clock budget applies to this run: the clock
-        restarts here and every stage (and BDD growth inside it) is
-        checked against it.
+        (re)starts here — fresh per run, or carried across runs under
+        ``budget_scope="batch"`` — and every stage (and BDD growth
+        inside it) is checked against it.
         """
         if not isinstance(source, PipelineInput):
             source = PipelineInput(**source) if isinstance(source, dict) \
@@ -265,13 +269,42 @@ class Pipeline:
             session.events.unsubscribe(collect)
         return run
 
-    def run_batch(self, session, sources):
-        """Run many inputs through one shared session, in order.
+    def run_batch(self, session, sources, jobs=None):
+        """Run many inputs through the pipeline, serially or in parallel.
 
-        Returns the list of :class:`PipelineRun` results.  All runs
-        share the session's manager, netlist and component cache, so
-        later inputs reuse blocks decomposed for earlier ones.
+        With ``jobs <= 1`` (the default unless the session's config
+        says otherwise) every input runs through *session* in order:
+        all runs share the session's manager, netlist and component
+        cache, so later inputs reuse blocks decomposed for earlier
+        ones.  Under ``budget_scope="batch"`` the first run starts the
+        shared wall clock and later runs inherit its remainder.
+
+        With ``jobs > 1`` (or ``jobs=0`` for auto) the batch is handed
+        to :func:`repro.pipeline.parallel.run_batch_parallel`: inputs
+        are partitioned across worker processes, each input gets its
+        own fresh session (snapshot-isolated — intra-batch sharing
+        happens only through the persistent component store configured
+        by ``cache_path``), worker events are forwarded to *session*'s
+        bus tagged with a ``worker`` field, and the per-worker store
+        flushes are merged back into ``cache_path``.  *session*'s own
+        manager/netlist are not used on this path; inputs must be
+        path- or text-based (live BDD objects cannot cross the process
+        boundary).
+
+        Returns the list of :class:`PipelineRun` results in input
+        order either way.
         """
+        if jobs is None:
+            jobs = session.config.jobs
+        jobs = int(jobs)
+        if jobs == 0:
+            import os
+            jobs = os.cpu_count() or 1
+        if jobs > 1:
+            from repro.pipeline.parallel import run_batch_parallel
+            return run_batch_parallel(sources, config=session.config,
+                                      jobs=jobs, events=session.events,
+                                      pipeline=self)
         return [self.run(session, source) for source in sources]
 
 

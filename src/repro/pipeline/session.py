@@ -184,12 +184,34 @@ class Session:
     # ------------------------------------------------------------------
     # Limits
     # ------------------------------------------------------------------
-    def start_clock(self):
-        """(Re)start the wall-clock budget for one pipeline run."""
-        if self.config.time_limit is not None:
-            self._deadline = Deadline(self.config.time_limit)
-        else:
+    def start_clock(self, restart=False):
+        """(Re)start the wall-clock budget for one pipeline run.
+
+        Under ``budget_scope="run"`` (the default) every call arms a
+        fresh :class:`Deadline`, so each pipeline run gets the full
+        ``time_limit``.  Under ``budget_scope="batch"`` an already
+        running clock is kept — the first run of a batch starts it and
+        every later run inherits the remaining budget; pass
+        ``restart=True`` to force a fresh clock anyway.
+        """
+        if self.config.time_limit is None:
             self._deadline = None
+            return
+        if (not restart and self.config.budget_scope == "batch"
+                and self._deadline is not None):
+            return
+        self._deadline = Deadline(self.config.time_limit)
+
+    def adopt_deadline(self, deadline):
+        """Share an externally owned :class:`Deadline` with this session.
+
+        The parallel batch executor uses this to stretch one
+        batch-scope clock across every session a worker creates for its
+        partition: with ``budget_scope="batch"``, :meth:`start_clock`
+        keeps the adopted deadline instead of arming a fresh one.
+        """
+        self._deadline = deadline
+        return deadline
 
     def check_limits(self):
         """Raise PipelineTimeout / NodeLimitExceeded when over budget."""

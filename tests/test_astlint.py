@@ -87,6 +87,47 @@ class TestManagerSeam:
         assert not findings
 
 
+class TestProcessBoundary:
+    BOUNDARY = "src/repro/pipeline/parallel.py"
+
+    def check(self, rel, source):
+        return list(astlint.check_process_boundary(rel, ast.parse(source)))
+
+    def test_live_bdd_imports_flagged(self):
+        for source in ("from repro.bdd import BDD\n",
+                       "from repro.bdd.manager import BDD\n",
+                       "import repro.bdd\n",
+                       "from repro.boolfn import ISF\n",
+                       "from repro import boolfn\n"):
+            findings = self.check(self.BOUNDARY, source)
+            assert findings, source
+            assert findings[0].rule == "process-boundary"
+
+    def test_store_format_imports_pass(self):
+        source = ("from repro.decomp.cache_store import merge_stores\n"
+                  "from repro.io import parse_pla\n"
+                  "from repro.pipeline.session import Session\n")
+        assert not self.check(self.BOUNDARY, source)
+
+    def test_other_modules_unaffected(self):
+        assert not self.check("src/repro/pipeline/session.py",
+                              "from repro.bdd import BDD\n")
+
+    def test_real_parallel_module_is_clean(self):
+        path = REPO_ROOT / "src" / "repro" / "pipeline" / "parallel.py"
+        findings = self.check("src/repro/pipeline/parallel.py",
+                              path.read_text())
+        assert not findings
+
+    def test_boundary_module_stays_off_manager_seam_allowlist(self):
+        # Workers must reach managers through adopt_manager /
+        # pla.make_manager, so parallel.py must not be granted direct
+        # BDD construction rights.
+        assert not any(
+            self.BOUNDARY.startswith(prefix)
+            for prefix in astlint.MANAGER_SEAM_ALLOWED)
+
+
 class TestBareAssert:
     def test_assert_flagged(self):
         findings = _bare_assert("src/repro/decomp/foo.py",

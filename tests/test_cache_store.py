@@ -22,8 +22,10 @@ from repro.decomp.cache_store import (CACHE_FORMAT, CACHE_VERSION,
                                       CacheStoreError,
                                       PersistentComponentCache,
                                       StoredComponent, cone_gate_count,
-                                      load_store, save_store,
-                                      serialize_cache, store_component)
+                                      load_store, make_store,
+                                      merge_entries, merge_stores,
+                                      save_store, serialize_cache,
+                                      store_component)
 from repro.network.extract import node_functions
 from repro.network.netlist import Netlist
 from repro.pipeline import (Pipeline, PipelineConfig, PipelineInput,
@@ -199,6 +201,82 @@ class TestStoreFile:
         assert len(doc["entries"]) == 1
         assert StoredComponent.from_dict(doc["entries"][0]).key() \
             == stored.key()
+
+
+# ---------------------------------------------------------------------
+# Atomic writes + store merging
+# ---------------------------------------------------------------------
+class TestAtomicSave:
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = str(tmp_path / "t.cache.json")
+        save_store(path, make_store([]))
+        leftovers = [name for name in os.listdir(str(tmp_path))
+                     if name != "t.cache.json"]
+        assert leftovers == []
+
+    def test_failed_replace_keeps_original_and_cleans_temp(self, tmp_path,
+                                                           monkeypatch):
+        import repro.decomp.cache_store as cache_store
+        path = str(tmp_path / "t.cache.json")
+        entry = StoredComponent(["a"], [{"a": 1}])
+        save_store(path, make_store([entry]))
+        before = open(path).read()
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(cache_store.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            save_store(path, make_store([]))
+        # The original store is untouched and no temp file survives.
+        assert open(path).read() == before
+        assert os.listdir(str(tmp_path)) == ["t.cache.json"]
+
+
+class TestMerge:
+    def entry(self, support, cube, gates=0):
+        return StoredComponent(list(support),
+                               [dict(cube)], gates=gates)
+
+    def test_union_preserves_order_a_then_b(self):
+        one = self.entry("ab", {"a": 1})
+        two = self.entry("ab", {"b": 0})
+        three = self.entry("ab", {"a": 0, "b": 1})
+        merged = merge_entries([one, two], [three, two])
+        assert [e.key() for e in merged] \
+            == [one.key(), two.key(), three.key()]
+
+    def test_duplicate_key_keeps_smaller_cone(self):
+        big = self.entry("ab", {"a": 1}, gates=7)
+        small = self.entry("ab", {"a": 1}, gates=2)
+        assert merge_entries([big], [small])[0].gates == 2
+        assert merge_entries([small], [big])[0].gates == 2
+
+    def test_merge_stores_documents(self):
+        a = make_store([self.entry("ab", {"a": 1}, gates=3)], label="a")
+        b = make_store([self.entry("ab", {"a": 1}, gates=1),
+                        self.entry("ab", {"b": 1})])
+        merged = merge_stores(a, b)
+        assert merged["format"] == CACHE_FORMAT
+        assert merged["label"] == "a"
+        assert len(merged["entries"]) == 2
+        assert StoredComponent.from_dict(merged["entries"][0]).gates == 1
+
+    def test_merge_rejects_invalid_document(self):
+        good = make_store([])
+        with pytest.raises(CacheStoreError):
+            merge_stores(good, {"format": "bogus"})
+        with pytest.raises(CacheStoreError):
+            merge_stores({"format": CACHE_FORMAT,
+                          "version": CACHE_VERSION + 1,
+                          "entries": []}, good)
+
+    def test_merge_drops_malformed_entries(self):
+        ok = self.entry("ab", {"a": 1}).as_dict()
+        dirty = {"format": CACHE_FORMAT, "version": CACHE_VERSION,
+                 "entries": [ok, {"support": "nope"}]}
+        merged = merge_stores(dirty, make_store([]))
+        assert len(merged["entries"]) == 1
 
 
 # ---------------------------------------------------------------------

@@ -56,6 +56,82 @@ class TestDecompose:
         assert "exors=0" in out.getvalue()
 
 
+PLA_SMALL = """\
+.i 3
+.o 1
+.ilb p q r
+.ob s
+.type fd
+.p 3
+11- 1
+--1 1
+000 0
+.e
+"""
+
+
+class TestDecomposeBatch:
+    @pytest.fixture
+    def batch_paths(self, tmp_path):
+        paths = []
+        for name, text in (("one", PLA), ("two", PLA_SMALL)):
+            path = tmp_path / ("%s.pla" % name)
+            path.write_text(text)
+            paths.append(str(path))
+        return paths
+
+    def test_jobs_output_is_byte_identical_to_serial(self, batch_paths,
+                                                     tmp_path):
+        serial_dir = str(tmp_path / "serial")
+        parallel_dir = str(tmp_path / "parallel")
+        assert main(["decompose"] + batch_paths
+                    + ["--output-dir", serial_dir]) == 0
+        assert main(["decompose"] + batch_paths
+                    + ["--output-dir", parallel_dir, "--jobs", "2"]) == 0
+        import os
+        for name in ("one.blif", "two.blif"):
+            serial = open(os.path.join(serial_dir, name)).read()
+            parallel = open(os.path.join(parallel_dir, name)).read()
+            assert serial == parallel
+            assert serial.startswith(".model bidecomp")
+
+    def test_batch_stats_json_document(self, batch_paths, tmp_path):
+        import json
+        stats = str(tmp_path / "batch.json")
+        cache_dir = str(tmp_path / "cache")
+        argv = (["decompose"] + batch_paths
+                + ["--output-dir", str(tmp_path / "out"), "--jobs", "2",
+                   "--cache-dir", cache_dir, "--stats-json", stats])
+        assert main(argv) == 0
+        doc = json.load(open(stats))
+        assert doc["inputs"] == 2
+        assert doc["jobs"] == 2
+        assert doc["failures"] == 0
+        assert doc["merged_store"].endswith("batch.cache.json")
+        assert doc["merged_store_entries"] > 0
+        assert doc["config"]["jobs"] == 2
+        assert {run["worker"] for run in doc["runs"]} == {0, 1}
+        # A warm rerun hits the merged store.
+        warm = str(tmp_path / "warm.json")
+        assert main(["decompose"] + batch_paths
+                    + ["--output-dir", str(tmp_path / "out"),
+                       "--jobs", "2", "--cache-dir", cache_dir,
+                       "--stats-json", warm]) == 0
+        assert json.load(open(warm))["rehydrated_hits"] > 0
+
+    def test_single_output_with_many_inputs_is_an_error(self,
+                                                        batch_paths,
+                                                        tmp_path):
+        assert main(["decompose"] + batch_paths
+                    + ["-o", str(tmp_path / "out.blif")]) == 2
+
+    def test_batch_without_output_dir_streams_to_stdout(self,
+                                                        batch_paths):
+        out = io.StringIO()
+        assert main(["decompose"] + batch_paths, stdout=out) == 0
+        assert out.getvalue().count(".model bidecomp") == 2
+
+
 class TestVerify:
     def test_detects_wrong_netlist(self, pla_path, tmp_path):
         bad = tmp_path / "bad.blif"

@@ -1,0 +1,392 @@
+"""Tests for the multi-process batch executor (repro.pipeline.parallel).
+
+Covers the determinism contract (jobs=1 and jobs=N emit byte-identical
+BLIFs — every input runs snapshot-isolated in a fresh session), LPT
+partitioning, worker event forwarding (``worker`` payload tags, batch
+lifecycle events), failure isolation (a failing input reports an error
+without killing its partition), component-store sharing (worker-store
+merge, warm-rerun rehydrated hits), the ``Pipeline.run_batch`` /
+``PipelineConfig(jobs=...)`` wiring, and the batch-scope wall-clock
+budget.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.pipeline import (Deadline, EventBus, Pipeline, PipelineConfig,
+                            PipelineInput, Session)
+from repro.pipeline.parallel import (ParallelBatchResult,
+                                     ParallelPipelineRun, _partition,
+                                     run_batch_parallel,
+                                     worker_store_path)
+from repro.pipeline.pipeline import (stage_build_isfs, stage_decompose,
+                                     stage_emit, stage_parse,
+                                     stage_preprocess, stage_verify)
+
+PLA_A = """\
+.i 4
+.o 2
+.ilb a b c d
+.ob f g
+.type fd
+.p 5
+11-- 10
+--11 11
+00-- 01
+1--1 -0
+0-0- 01
+.e
+"""
+
+PLA_B = """\
+.i 4
+.o 1
+.ilb a b x y
+.ob f
+.type fd
+.p 3
+11-- 1
+--11 1
+0-0- 0
+.e
+"""
+
+PLA_C = """\
+.i 3
+.o 1
+.ilb p q r
+.ob s
+.type fd
+.p 4
+11- 1
+--1 1
+000 0
+010 0
+.e
+"""
+
+PLA_D = """\
+.i 5
+.o 1
+.ilb a b c d e
+.ob t
+.type fd
+.p 6
+11--- 1
+--11- 1
+---11 1
+00000 0
+0-0-0 0
+-0-0- 0
+.e
+"""
+
+TEXTS = [PLA_A, PLA_B, PLA_C, PLA_D]
+
+
+def make_inputs():
+    return [PipelineInput(text=text, label="in%d" % i)
+            for i, text in enumerate(TEXTS)]
+
+
+def blifs(runs):
+    return [run.blif for run in runs]
+
+
+def _boom_preprocess(session, run, record):
+    if run.label == "boom":
+        raise RuntimeError("injected stage failure")
+    stage_preprocess(session, run, record)
+
+
+#: A standard pipeline whose preprocess stage raises for label "boom".
+#: Module-level so worker processes can resolve it.
+FAILING_PIPELINE = Pipeline([("parse", stage_parse),
+                             ("build_isfs", stage_build_isfs),
+                             ("preprocess", _boom_preprocess),
+                             ("decompose", stage_decompose),
+                             ("verify", stage_verify),
+                             ("emit", stage_emit)])
+
+
+# ---------------------------------------------------------------------
+# Determinism: jobs must not change the emitted BLIFs
+# ---------------------------------------------------------------------
+class TestDeterminism:
+    def test_parallel_matches_serial_byte_for_byte(self):
+        serial = run_batch_parallel(make_inputs(), jobs=1)
+        for jobs in (2, 3):
+            parallel = run_batch_parallel(make_inputs(), jobs=jobs)
+            assert blifs(parallel) == blifs(serial)
+            assert [run.label for run in parallel] \
+                == [run.label for run in serial]
+
+    def test_results_come_back_in_input_order(self):
+        result = run_batch_parallel(make_inputs(), jobs=2)
+        assert [run.label for run in result] \
+            == ["in0", "in1", "in2", "in3"]
+        assert all(isinstance(run, ParallelPipelineRun) for run in result)
+
+    def test_gate_counts_match_serial_session(self):
+        session = Session()
+        classic = Pipeline.standard().run(
+            session, PipelineInput(text=PLA_A, label="in0"))
+        result = run_batch_parallel(
+            [PipelineInput(text=PLA_A, label="in0")], jobs=2)
+        assert result[0].blif == classic.blif
+        assert result[0].netlist_stats().gates \
+            == classic.netlist_stats().gates
+
+
+# ---------------------------------------------------------------------
+# Partitioning
+# ---------------------------------------------------------------------
+class TestPartition:
+    def test_hogs_scheduled_first_lpt(self):
+        descs = [{"path": None, "label": "d%d" % i, "emit_path": None,
+                  "text": "\n".join([".i 2", ".o 1", ".type fd"]
+                                    + ["1- 1"] * n + [".e"]) + "\n"}
+                 for i, n in enumerate([1, 5, 2, 4])]
+        parts = _partition(descs, 2)
+        assert len(parts) == 2
+        # Heaviest input (index 1, 5 cubes) leads the first bucket;
+        # next heaviest (index 3, 4 cubes) leads the second.
+        assert parts[0][0][0] == 1
+        assert parts[1][0][0] == 3
+        # Every input is assigned exactly once.
+        assigned = sorted(i for bucket in parts for i, _d in bucket)
+        assert assigned == [0, 1, 2, 3]
+
+    def test_more_jobs_than_inputs_drops_empty_buckets(self):
+        descs = [{"path": None, "text": PLA_A, "label": "x",
+                  "emit_path": None}]
+        parts = _partition(descs, 8)
+        assert len(parts) == 1
+
+    def test_unparsable_text_gets_zero_weight_not_error(self):
+        descs = [{"path": None, "text": "not a pla", "label": "bad",
+                  "emit_path": None},
+                 {"path": None, "text": PLA_A, "label": "good",
+                  "emit_path": None}]
+        parts = _partition(descs, 2)
+        assigned = sorted(i for bucket in parts for i, _d in bucket)
+        assert assigned == [0, 1]
+
+
+# ---------------------------------------------------------------------
+# Events
+# ---------------------------------------------------------------------
+class TestEvents:
+    def test_worker_tags_and_batch_lifecycle(self):
+        events = EventBus()
+        run_batch_parallel(make_inputs(), jobs=2, events=events)
+        started = events.named("batch_started")
+        finished = events.named("batch_finished")
+        assert started and started[0]["inputs"] == 4
+        assert started[0]["jobs"] == 2
+        assert sorted(i for part in started[0]["schedule"]
+                      for i in part) == [0, 1, 2, 3]
+        assert finished and finished[0]["failures"] == 0
+        batch_level = {"batch_started", "batch_finished",
+                       "component_cache_merged", "worker_failed"}
+        workers = set()
+        for event in events.history:
+            if event.name in batch_level:
+                continue
+            assert "worker" in event.payload, event.name
+            workers.add(event.payload["worker"])
+        assert workers == {0, 1}
+
+    def test_stage_events_forwarded_per_input(self):
+        events = EventBus()
+        run_batch_parallel(make_inputs(), jobs=2, events=events)
+        finished = events.named("stage_finished")
+        emits = [p for p in finished if p["stage"] == "emit"]
+        assert len(emits) == 4
+
+
+# ---------------------------------------------------------------------
+# Failure isolation
+# ---------------------------------------------------------------------
+class TestFailureIsolation:
+    def inputs(self):
+        return [PipelineInput(text=PLA_A, label="in0"),
+                PipelineInput(text=PLA_B, label="boom"),
+                PipelineInput(text=PLA_C, label="in2")]
+
+    def test_failing_input_reports_error_others_succeed(self):
+        events = EventBus()
+        result = run_batch_parallel(self.inputs(), jobs=2,
+                                    events=events,
+                                    pipeline=FAILING_PIPELINE)
+        assert [run.label for run in result] == ["in0", "boom", "in2"]
+        boom = result[1]
+        assert boom.failed
+        assert boom.error["type"] == "RuntimeError"
+        assert "injected" in boom.error["message"]
+        assert boom.blif is None
+        assert not result[0].failed and result[0].blif
+        assert not result[2].failed and result[2].blif
+        assert result.failures == [boom]
+        failed = events.named("stage_failed")
+        assert failed and failed[0]["stage"] == "preprocess"
+        assert failed[0]["worker"] in (0, 1)
+        finished = events.named("batch_finished")
+        assert finished[0]["failures"] == 1
+
+    def test_failed_run_raises_on_netlist_stats(self):
+        result = run_batch_parallel(self.inputs(), jobs=2,
+                                    pipeline=FAILING_PIPELINE)
+        with pytest.raises(ValueError, match="injected"):
+            result[1].netlist_stats()
+
+    def test_failure_surfaces_in_stats_json(self):
+        result = run_batch_parallel(self.inputs(), jobs=1,
+                                    pipeline=FAILING_PIPELINE)
+        doc = result.report()
+        assert doc["failures"] == 1
+        errors = [run["error"] for run in doc["runs"] if "error" in run]
+        assert errors == [{"type": "RuntimeError",
+                           "message": "injected stage failure"}]
+        json.dumps(doc)  # the whole report is JSON-serializable
+
+
+# ---------------------------------------------------------------------
+# Component-store sharing
+# ---------------------------------------------------------------------
+class TestStoreSharing:
+    def config(self, tmp_path, **kwargs):
+        return PipelineConfig(
+            cache_path=str(tmp_path / "batch.cache.json"), **kwargs)
+
+    def test_cold_sweep_merges_worker_stores(self, tmp_path):
+        events = EventBus()
+        config = self.config(tmp_path)
+        result = run_batch_parallel(make_inputs(), config=config,
+                                    jobs=2, events=events)
+        assert result.merged_store == config.cache_path
+        assert result.merged_entries > 0
+        assert os.path.exists(config.cache_path)
+        merged = events.named("component_cache_merged")
+        assert merged and merged[0]["entries"] == result.merged_entries
+        # Private worker files are cleaned up after the merge.
+        for worker_id in range(2):
+            assert not os.path.exists(
+                worker_store_path(config.cache_path, worker_id))
+
+    def test_warm_rerun_rehydrates_from_merged_store(self, tmp_path):
+        config = self.config(tmp_path)
+        cold = run_batch_parallel(make_inputs(), config=config, jobs=2)
+        warm = run_batch_parallel(make_inputs(), config=config, jobs=2)
+        assert cold.report()["rehydrated_hits"] == 0
+        assert warm.report()["rehydrated_hits"] > 0
+
+    def test_warm_determinism_across_jobs(self, tmp_path):
+        config = self.config(tmp_path)
+        run_batch_parallel(make_inputs(), config=config, jobs=2)
+        snapshot = open(config.cache_path).read()
+        readonly = self.config(tmp_path, cache_readonly=True)
+        warm2 = run_batch_parallel(make_inputs(), config=readonly, jobs=2)
+        warm3 = run_batch_parallel(make_inputs(), config=readonly, jobs=3)
+        assert blifs(warm2) == blifs(warm3)
+        # Readonly sweeps never touch the store.
+        assert open(config.cache_path).read() == snapshot
+        assert warm2.merged_store is None
+
+    def test_inline_path_shares_store_too(self, tmp_path):
+        config = self.config(tmp_path)
+        run_batch_parallel(make_inputs(), config=config, jobs=1)
+        warm = run_batch_parallel(make_inputs(), config=config, jobs=1)
+        assert warm.report()["rehydrated_hits"] > 0
+
+
+# ---------------------------------------------------------------------
+# run_batch / config wiring
+# ---------------------------------------------------------------------
+class TestRunBatchWiring:
+    def test_run_batch_jobs_dispatches_to_parallel(self):
+        session = Session()
+        result = Pipeline.standard().run_batch(session, make_inputs(),
+                                               jobs=2)
+        assert isinstance(result, ParallelBatchResult)
+        assert result.jobs == 2
+        # Worker events land on the session's own bus.
+        assert session.events.named("batch_finished")
+
+    def test_config_jobs_is_the_default(self):
+        session = Session(PipelineConfig(jobs=2))
+        result = Pipeline.standard().run_batch(session, make_inputs())
+        assert isinstance(result, ParallelBatchResult)
+
+    def test_serial_run_batch_unchanged(self):
+        session = Session()
+        runs = Pipeline.standard().run_batch(session, make_inputs())
+        assert not isinstance(runs, ParallelBatchResult)
+        assert len(runs) == 4
+
+    def test_live_inputs_are_rejected(self):
+        from repro.io import parse_pla
+        pla = parse_pla(PLA_A)
+        with pytest.raises(ValueError, match="process boundary"):
+            run_batch_parallel([PipelineInput(pla=pla)], jobs=2)
+
+    def test_negative_jobs_rejected_by_config(self):
+        with pytest.raises(ValueError, match="jobs"):
+            PipelineConfig(jobs=-1)
+
+    def test_report_includes_batch_metadata(self):
+        config = PipelineConfig(jobs=2)
+        result = run_batch_parallel(make_inputs(), config=config)
+        doc = result.report(config)
+        assert doc["inputs"] == 4
+        assert doc["jobs"] == 2
+        assert doc["failures"] == 0
+        assert doc["config"]["jobs"] == 2
+        assert len(doc["runs"]) == 4
+        assert {run["worker"] for run in doc["runs"]} == {0, 1}
+        json.dumps(doc)
+
+
+# ---------------------------------------------------------------------
+# Batch-scope wall clock
+# ---------------------------------------------------------------------
+class TestBudgetScope:
+    def test_bogus_scope_rejected(self):
+        with pytest.raises(ValueError, match="budget_scope"):
+            PipelineConfig(budget_scope="sweep")
+
+    def test_run_scope_restarts_clock_each_run(self):
+        session = Session(PipelineConfig(time_limit=60.0))
+        session.start_clock()
+        first = session._deadline
+        session.start_clock()
+        assert session._deadline is not first
+
+    def test_batch_scope_keeps_running_clock(self):
+        session = Session(PipelineConfig(time_limit=60.0,
+                                         budget_scope="batch"))
+        session.start_clock()
+        first = session._deadline
+        session.start_clock()
+        assert session._deadline is first
+        session.start_clock(restart=True)
+        assert session._deadline is not first
+
+    def test_adopted_deadline_survives_batch_scope_runs(self):
+        session = Session(PipelineConfig(time_limit=60.0,
+                                         budget_scope="batch"))
+        shared = Deadline(60.0)
+        session.adopt_deadline(shared)
+        session.start_clock()
+        assert session._deadline is shared
+
+    def test_batch_scope_spans_parallel_partition(self):
+        # A batch budget far too small for even one decomposition must
+        # fail every input in the partition, not one per time_limit.
+        config = PipelineConfig(time_limit=1e-9, budget_scope="batch")
+        result = run_batch_parallel(make_inputs(), config=config, jobs=1)
+        assert len(result.failures) == len(result)
+        assert all(run.error["type"] == "PipelineTimeout"
+                   for run in result)

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Repo AST lint: architectural rules the test suite can't see.
 
-Three rules, each guarding a seam the session/pipeline refactor and the
+Four rules, each guarding a seam the session/pipeline refactor and the
 static-analysis layer rely on (docs/ANALYSIS.md has the rationale):
 
 ``manager-seam``
@@ -12,7 +12,21 @@ static-analysis layer rely on (docs/ANALYSIS.md has the rationale):
     ``repro.fsm``).  Any other ``BDD(...)`` construction in ``src/repro``
     creates an unmanaged manager that dodges the session's growth hook
     and resource budgets — and risks the cross-manager BDD operations
-    the contract checker exists to catch.
+    the contract checker exists to catch.  This covers the parallel
+    worker entrypoint too: ``repro.pipeline.parallel`` is deliberately
+    *not* on the allowed list, so workers can only obtain managers the
+    way every session does (``stage_build_isfs`` -> ``pla.make_manager``
+    -> ``Session.adopt_manager``).
+
+``process-boundary``
+    The multi-process batch executor
+    (``src/repro/pipeline/parallel.py``) ships data between parent and
+    workers.  Live BDD objects — nodes, ``Function``s, ``ISF``s — are
+    bound to one manager in one process and must never cross; only the
+    manager-independent store format of ``repro.decomp.cache_store``
+    (support names + ISOP cover dicts) and sanitized primitive payloads
+    may.  Enforced structurally: boundary modules may not import from
+    ``repro.bdd`` or ``repro.boolfn`` at all.
 
 ``bare-assert``
     No bare ``assert`` statements in ``src/repro`` (outside doctests):
@@ -51,6 +65,18 @@ MANAGER_SEAM_ALLOWED = (
 
 #: Module paths whose ``BDD`` attribute is the manager class.
 _BDD_MODULES = ("repro.bdd", "repro.bdd.manager")
+
+#: Modules (repo-root-relative) that marshal data across a process
+#: boundary.  They may not import the live-BDD layers at all: anything
+#: they ship must already be in the manager-independent store format
+#: (``repro.decomp.cache_store``) or a sanitized primitive payload.
+PROCESS_BOUNDARY_MODULES = (
+    "src/repro/pipeline/parallel.py",
+)
+
+#: Package prefixes whose objects are bound to a per-process BDD
+#: manager and therefore must never cross a process boundary.
+_LIVE_BDD_PACKAGES = ("repro.bdd", "repro.boolfn")
 
 
 class AstFinding:
@@ -141,6 +167,35 @@ def check_manager_seam(rel, tree):
                 "into repro.bdd/io/bench/fsm)")
 
 
+def _is_live_bdd_module(name):
+    return name is not None and any(
+        name == pkg or name.startswith(pkg + ".")
+        for pkg in _LIVE_BDD_PACKAGES)
+
+
+def check_process_boundary(rel, tree):
+    """Live-BDD imports inside process-boundary marshalling modules."""
+    if rel not in PROCESS_BOUNDARY_MODULES:
+        return
+    for node in ast.walk(tree):
+        names = []
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            if _is_live_bdd_module(node.module):
+                names = [node.module]
+            elif node.module == "repro":
+                names = ["repro.%s" % alias.name for alias in node.names]
+        for name in names:
+            if _is_live_bdd_module(name):
+                yield AstFinding(
+                    rel, node.lineno, "process-boundary",
+                    "process-boundary module imports %r; live BDD "
+                    "objects must not cross the process boundary — "
+                    "exchange store-format dicts "
+                    "(repro.decomp.cache_store) instead" % name)
+
+
 def check_bare_assert(rel, tree):
     """``assert`` statements in library code (stripped by ``-O``)."""
     if not rel.startswith("src/repro/"):
@@ -207,7 +262,8 @@ def check_stage_registry(rel, tree, registered=None):
                 "repro.pipeline.config.STAGE_NAMES" % name)
 
 
-CHECKS = (check_manager_seam, check_bare_assert, check_stage_registry)
+CHECKS = (check_manager_seam, check_process_boundary, check_bare_assert,
+          check_stage_registry)
 
 
 def lint_file(path, registered=None):
@@ -219,6 +275,7 @@ def lint_file(path, registered=None):
     tree = ast.parse(text, filename=str(path))
     findings = []
     findings.extend(check_manager_seam(rel, tree))
+    findings.extend(check_process_boundary(rel, tree))
     findings.extend(check_bare_assert(rel, tree))
     findings.extend(check_stage_registry(rel, tree, registered=registered))
     return findings
