@@ -6,6 +6,11 @@
 * :class:`CheckedDecompositionEngine` — sanitizer asserting the paper's
   Theorem 1/2/3/4/6 certificates at every recursion step (CLI
   ``--check``, ``PipelineConfig(check_contracts=True)``);
+* :func:`certify` / :func:`certify_file` — independent offline
+  certifier replaying decomposition certificate traces in a fresh
+  manager (``repro certify`` on the CLI); imports no engine or
+  pipeline code, enforced by the ``certifier-independence`` AST-lint
+  rule;
 * the repo-discipline AST lint lives outside the package, in
   ``tools/astlint.py``.
 
@@ -18,10 +23,15 @@ from repro.analysis.rules import (RULES, Finding, LintReport, LintRule,
 from repro.analysis.netlist_lint import LintContext, lint_netlist
 from repro.analysis.contracts import (CONTRACTS, CheckedDecompositionEngine,
                                       ContractStats, ContractViolation)
+from repro.analysis.certify import (CertificationFailure,
+                                    CertificationReport, certify,
+                                    certify_file)
 
 __all__ = [
     "RULES", "Finding", "LintReport", "LintRule", "Severity", "rule",
     "LintContext", "lint_netlist",
     "CONTRACTS", "CheckedDecompositionEngine", "ContractStats",
     "ContractViolation",
+    "CertificationFailure", "CertificationReport", "certify",
+    "certify_file",
 ]

@@ -109,9 +109,16 @@ class LintReport:
         return counts
 
     def worst(self, threshold):
-        """Findings at or above *threshold* severity."""
+        """Findings at or above *threshold* severity.
+
+        The threshold is validated eagerly (:meth:`Severity.rank`
+        raises ValueError on an unknown level) even when there are no
+        findings, so a mistyped threshold cannot silently select
+        nothing.
+        """
+        floor = Severity.rank(threshold)
         return [f for f in self.findings
-                if Severity.at_least(f.severity, threshold)]
+                if Severity.rank(f.severity) >= floor]
 
     def summary(self):
         """Compact JSON-able summary (what ``--stats-json`` embeds)."""

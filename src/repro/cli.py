@@ -11,6 +11,7 @@ adds the surrounding tooling:
     python -m repro.cli stats input.pla                # netlist costs
     python -m repro.cli verify input.pla out.blif      # BDD verifier
     python -m repro.cli lint out.blif [--spec input.pla]  # netlist lint
+    python -m repro.cli certify input.pla out.blif out.cert.json
     python -m repro.cli testability input.pla          # Theorem 5
     python -m repro.cli map input.pla                  # cell mapping
     python -m repro.cli baseline input.pla --flow sis|bds
@@ -88,6 +89,8 @@ def _pipeline_config(args, flow="bidecomp", verify=True):
         cache_readonly=getattr(args, "cache_readonly", False),
         budget_scope=getattr(args, "budget_scope", "run"),
         jobs=getattr(args, "jobs", 1),
+        emit_certificates=(getattr(args, "certificates", False)
+                           or getattr(args, "certify", False)),
     )
 
 
@@ -136,7 +139,7 @@ def _add_resource_flags(parser):
                              "write it back")
 
 
-def _emit_stats_json(args, session, run, stdout):
+def _emit_stats_json(args, session, run, stdout, extra=None):
     if getattr(args, "stats_json", None) is None:
         return
     doc = run.stats_json(config=session.config)
@@ -144,6 +147,8 @@ def _emit_stats_json(args, session, run, stdout):
         from repro.analysis import lint_netlist
         report = lint_netlist(run.netlist, specs=run.spec_items())
         doc["lint"] = report.summary()
+    if extra:
+        doc.update(extra)
     text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
     if args.stats_json == "-":
         stdout.write(text)
@@ -169,6 +174,42 @@ def _run_pipeline(args, session, pipeline, source, stdout):
     return run
 
 
+def _certify_one(spec_path, blif_path, cert_path, events=None):
+    """Round-trip one artifact triple through the offline certifier.
+
+    Runs :func:`repro.analysis.certify_file` — a fresh manager rebuilt
+    from the PLA, not the session that produced the artifacts — and
+    reports the outcome on stderr (and *events*, when given).  Returns
+    True when the certificate was accepted.
+    """
+    from repro.analysis import certify_file
+    from repro.io import CertificateError
+    try:
+        report = certify_file(spec_path, blif_path, cert_path)
+    except CertificateError as exc:
+        sys.stderr.write("certify %s: %s\n" % (cert_path, exc))
+        if events is not None:
+            events.publish("certify_failed", spec=spec_path,
+                           certificate=cert_path, error=str(exc))
+        return False
+    if report.ok:
+        sys.stderr.write("certified %s: %d step(s), %d check(s)\n"
+                         % (cert_path, report.steps_checked,
+                            report.checks))
+        if events is not None:
+            events.publish("certified", spec=spec_path,
+                           certificate=cert_path,
+                           steps=report.steps_checked,
+                           checks=report.checks)
+        return True
+    sys.stderr.write(report.format_text())
+    if events is not None:
+        events.publish("certify_failed", spec=spec_path,
+                       certificate=cert_path,
+                       failures=[f.as_dict() for f in report.failures])
+    return False
+
+
 def _print_stats(stats, stream, prefix=""):
     stream.write("%sgates=%d exors=%d inverters=%d area=%.1f "
                  "cascades=%d delay=%.1f\n"
@@ -188,8 +229,13 @@ def cmd_decompose(args, stdout):
     if (len(args.input) > 1 or args.jobs != 1
             or args.output_dir is not None):
         return _decompose_batch(args, stdout)
-    session = Session(_pipeline_config(args, verify=not args.no_verify))
+    emit_certs = args.certificates or args.certify
     emit_path = None if args.output in (None, "-") else args.output
+    if emit_certs and emit_path is None:
+        sys.stderr.write("error: --certificates/--certify need a file "
+                         "output (-o or --output-dir)\n")
+        return 2
+    session = Session(_pipeline_config(args, verify=not args.no_verify))
     source = PipelineInput(path=args.input[0], emit_path=emit_path)
     run = _run_pipeline(args, session, Pipeline.standard(), source, stdout)
     if run is None:
@@ -201,8 +247,27 @@ def cmd_decompose(args, stdout):
     sys.stderr.write("decomposition: %s\n" % result.stats.as_dict())
     sys.stderr.write("cache: %s\n" % result.cache_stats)
     sys.stderr.write("time: %.3fs\n" % run.elapsed)
-    _emit_stats_json(args, session, run, stdout)
-    return 0
+    exit_code = 0
+    extra = None
+    if emit_certs:
+        counts = {"emitted": 1 if run.certificate_path else 0,
+                  "checked": 0, "accepted": 0, "rejected": 0}
+        if args.certify:
+            if run.certificate_path is None:
+                sys.stderr.write("certify %s: no certificate was "
+                                 "emitted\n" % run.label)
+                counts["rejected"] = 1
+                exit_code = 1
+            else:
+                counts["checked"] = 1
+                accepted = _certify_one(args.input[0], emit_path,
+                                        run.certificate_path,
+                                        events=session.events)
+                counts["accepted" if accepted else "rejected"] = 1
+                exit_code = 0 if accepted else 1
+        extra = {"certify": counts}
+    _emit_stats_json(args, session, run, stdout, extra=extra)
+    return exit_code
 
 
 def _decompose_batch(args, stdout):
@@ -211,6 +276,12 @@ def _decompose_batch(args, stdout):
     if args.output is not None and len(args.input) > 1:
         sys.stderr.write("error: -o/--output takes a single input; "
                          "use --output-dir for batches\n")
+        return 2
+    emit_certs = args.certificates or args.certify
+    if (emit_certs and args.output_dir is None
+            and args.output in (None, "-")):
+        sys.stderr.write("error: --certificates/--certify need file "
+                         "outputs (--output-dir)\n")
         return 2
     config = _pipeline_config(args, verify=not args.no_verify)
     if args.output_dir is not None:
@@ -239,9 +310,32 @@ def _decompose_batch(args, stdout):
     sys.stderr.write("batch: %d inputs over %d worker(s), %d failed, "
                      "%.3fs\n" % (len(result), result.jobs,
                                   len(result.failures), result.elapsed))
+    certify_counts = None
+    if emit_certs:
+        certify_counts = {"emitted": sum(1 for run in result
+                                         if run.certificate_path),
+                          "checked": 0, "accepted": 0, "rejected": 0}
+        if args.certify:
+            for run in result:
+                if run.error is not None:
+                    continue
+                if (run.certificate_path is None
+                        or run.source.path is None):
+                    sys.stderr.write("certify %s: no certificate/spec "
+                                     "path to check\n" % run.label)
+                    certify_counts["rejected"] += 1
+                    continue
+                certify_counts["checked"] += 1
+                accepted = _certify_one(run.source.path,
+                                        run.source.emit_path,
+                                        run.certificate_path)
+                certify_counts["accepted" if accepted else
+                               "rejected"] += 1
     if getattr(args, "stats_json", None) is not None:
-        text = json.dumps(result.report(config), indent=2,
-                          sort_keys=True) + "\n"
+        doc = result.report(config)
+        if certify_counts is not None:
+            doc["certify"] = certify_counts
+        text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
         if args.stats_json == "-":
             stdout.write(text)
         else:
@@ -250,7 +344,11 @@ def _decompose_batch(args, stdout):
     if any(run.error["type"] == "ContractViolation"
            for run in result.failures):
         return 4
-    return 3 if result.failures else 0
+    if result.failures:
+        return 3
+    if certify_counts is not None and certify_counts["rejected"]:
+        return 1
+    return 0
 
 
 def cmd_stats(args, stdout):
@@ -285,8 +383,18 @@ def cmd_verify(args, stdout):
 
 def cmd_lint(args, stdout):
     """Static-analysis lint of a BLIF netlist (see docs/ANALYSIS.md)."""
-    from repro.analysis import lint_netlist
+    from repro.analysis import Severity, lint_netlist
     from repro.io import parse_blif_netlist
+    # argparse's choices guard the real CLI; validate here too so
+    # programmatic callers with a mistyped level exit 2 instead of
+    # silently passing (the threshold would otherwise never be ranked
+    # when the report is clean).
+    if args.fail_on != "never" and args.fail_on not in Severity.ORDER:
+        sys.stderr.write("error: unknown --fail-on severity %r "
+                         "(choose from %s)\n"
+                         % (args.fail_on,
+                            "/".join(Severity.ORDER + ("never",))))
+        return 2
     netlist = parse_blif_netlist(read_text(args.netlist))
     specs = None
     if args.spec is not None:
@@ -305,6 +413,32 @@ def cmd_lint(args, stdout):
     if args.fail_on == "never":
         return 0
     return 1 if report.worst(args.fail_on) else 0
+
+
+def cmd_certify(args, stdout):
+    """Independently re-prove a decomposition certificate.
+
+    Loads the PLA spec into a fresh manager, rebuilds every certified
+    step from its serialized covers, re-proves the theorem conditions
+    and cross-checks the emitted BLIF — without importing the engine
+    or pipeline (see docs/ANALYSIS.md for the threat model).
+    """
+    from repro.analysis import certify_file
+    from repro.io import CertificateError
+    try:
+        report = certify_file(args.spec, args.netlist, args.certificate)
+    except CertificateError as exc:
+        sys.stderr.write("error: %s\n" % exc)
+        return 1
+    stdout.write(report.format_text())
+    if getattr(args, "json", None) is not None:
+        text = json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            stdout.write(text)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(text)
+    return 0 if report.ok else 1
 
 
 def cmd_testability(args, stdout):
@@ -397,6 +531,13 @@ def build_parser():
                         "components are shared via --cache-dir")
     p.add_argument("--model", default="bidecomp")
     p.add_argument("--no-verify", action="store_true")
+    p.add_argument("--certificates", action="store_true",
+                   help="write a <stem>.cert.json proof trace beside "
+                        "each emitted BLIF (see 'repro certify')")
+    p.add_argument("--certify", action="store_true",
+                   help="emit certificates and round-trip each one "
+                        "through the offline certifier (a rejection "
+                        "makes the exit code 1)")
     _add_config_flags(p)
     _add_resource_flags(p)
     p.set_defaults(func=cmd_decompose)
@@ -425,6 +566,17 @@ def build_parser():
                    help="lowest severity that makes the exit code 1 "
                         "(default: error)")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("certify",
+                       help="independently re-prove a decomposition "
+                            "certificate against its PLA spec and BLIF")
+    p.add_argument("spec", help="PLA specification file")
+    p.add_argument("netlist", help="emitted BLIF file")
+    p.add_argument("certificate", help="<stem>.cert.json proof trace")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the certification report as JSON "
+                        "('-' for stdout)")
+    p.set_defaults(func=cmd_certify)
 
     p = sub.add_parser("testability", help="Theorem 5 fault analysis")
     p.add_argument("input")

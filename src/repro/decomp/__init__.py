@@ -28,6 +28,7 @@ from repro.decomp.cache_store import (CACHE_FORMAT, CACHE_VERSION,
                                       serialize_cache, save_store,
                                       load_store)
 from repro.decomp.terminal import find_gate
+from repro.decomp.trace import CertificateTracer
 from repro.decomp.bidecomp import (DecompositionConfig, DecompositionEngine,
                                    DecompositionError, DecompositionStats)
 from repro.decomp.driver import (DecompositionResult, bi_decompose,
@@ -48,7 +49,7 @@ __all__ = [
     "find_initial_grouping", "group_variables", "find_best_grouping",
     "grouping_score", "improve_grouping", "find_weak_grouping",
     "is_inessential", "remove_inessential",
-    "ComponentCache", "NullCache", "find_gate",
+    "ComponentCache", "NullCache", "find_gate", "CertificateTracer",
     "CACHE_FORMAT", "CACHE_VERSION", "CacheStoreError", "StoredComponent",
     "PersistentComponentCache", "cone_gate_count", "store_component",
     "serialize_cache", "save_store", "load_store",

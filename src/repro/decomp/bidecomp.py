@@ -191,6 +191,13 @@ class DecompositionEngine:
         #: paper's claim that test generation can ride along with the
         #: decomposition at negligible cost.
         self.provenance = {}
+        #: Optional :class:`repro.decomp.trace.CertificateTracer`.  When
+        #: set (the session does this under
+        #: ``PipelineConfig(emit_certificates=True)``), every recursion
+        #: step records a proof-trace frame — theorem tag, gate,
+        #: variable-group names and exact ISOP covers — that the
+        #: offline certifier can replay without this engine.
+        self.tracer = None
 
     # -- public entry ---------------------------------------------------
     def decompose(self, isf):
@@ -206,17 +213,34 @@ class DecompositionEngine:
             isf, removed = remove_inessential(isf)
             self.stats.inessential_removed += len(removed)
         support = isf.structural_support()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin()
+        try:
+            csf, node = self._decompose_step(isf, support)
+        except BaseException:
+            if tracer is not None:
+                tracer.abort()
+            raise
+        if tracer is not None:
+            tracer.end(isf, csf)
+        self.provenance.setdefault(node, isf)
+        return csf, node
 
+    def _decompose_step(self, isf, support):
+        """One step of the Fig. 7 recursion (cache / terminal / strong /
+        weak / Shannon), inside the tracer frame :meth:`decompose` opens."""
         cached = self.cache.lookup(isf, support)
         if cached is not None:
             csf, node, complemented = cached
             self.stats.cache_hits += 1
             self._report("cache_hit")
+            if self.tracer is not None:
+                self.tracer.annotate_cache(complemented)
             if complemented:
                 # The inverter's output (not the stored node) is what
                 # satisfies the queried interval.
                 node = self.netlist.add_not(node)
-            self.provenance.setdefault(node, isf)
             return csf, node
 
         if len(support) <= 2:
@@ -225,20 +249,18 @@ class DecompositionEngine:
                                   allow_exor=self.config.use_exor)
             self.stats.terminal_gates += 1
             self._report("terminal")
+            if self.tracer is not None:
+                self.tracer.annotate_terminal()
             self.cache.insert(csf, node)
-            self.provenance.setdefault(node, isf)
             return csf, node
 
         step = self._find_strong_step(isf, support)
         if step is None and self.config.use_weak:
             step = self._find_weak_step(isf, support)
         if step is None:
-            csf, node = self._shannon_step(isf, support)
-        else:
-            gate, xa, isf_a = step
-            csf, node = self._emit(isf, gate, xa, isf_a)
-        self.provenance.setdefault(node, isf)
-        return csf, node
+            return self._shannon_step(isf, support)
+        gate, xa, isf_a = step
+        return self._emit(isf, gate, xa, isf_a)
 
     # -- step selection ---------------------------------------------------
     def _find_strong_step(self, isf, support):
@@ -257,6 +279,8 @@ class DecompositionEngine:
         gate, xa, xb = best
         self.stats.strong[gate] += 1
         self._report("strong")
+        if self.tracer is not None:
+            self.tracer.annotate_strong(gate, xa, xb, support)
         if gate == OR_GATE:
             isf_a = derive_or_component_a(isf, xa, xb)
         elif gate == AND_GATE:
@@ -278,6 +302,8 @@ class DecompositionEngine:
         gate, xa = weak
         self.stats.weak[gate] += 1
         self._report("weak")
+        if self.tracer is not None:
+            self.tracer.annotate_weak(gate, xa, support)
         if gate == OR_GATE:
             isf_a = derive_weak_or_component_a(isf, xa)
         else:
@@ -312,6 +338,8 @@ class DecompositionEngine:
         self.stats.shannon += 1
         self._report("shannon")
         var = support[0]
+        if self.tracer is not None:
+            self.tracer.annotate_shannon(var)
         f1, node1 = self.decompose(isf.cofactor(var, 1))
         f0, node0 = self.decompose(isf.cofactor(var, 0))
         literal = self.var_nodes[var]

@@ -18,15 +18,23 @@ from repro.network.extract import output_functions
 class VerificationError(RuntimeError):
     """Raised when a netlist fails verification; carries a counterexample.
 
+    ``counterexample`` reports the witness assignment by input *name*
+    (``{"a": 0, "b": 1}``) — the form the failure message shows and the
+    one tools should display.  ``index_counterexample`` keeps the raw
+    ``{var_index: 0/1}`` minterm for callers that need to replay the
+    witness against the manager by index.
+
     Subclasses :class:`RuntimeError` — not :class:`AssertionError`, as
     it briefly did: ``except AssertionError`` blocks (and pytest's
     rewriting) would swallow real verification failures, and the class
     has nothing to do with ``assert`` anyway.
     """
 
-    def __init__(self, message, counterexample=None):
+    def __init__(self, message, counterexample=None,
+                 index_counterexample=None):
         super().__init__(message)
         self.counterexample = counterexample
+        self.index_counterexample = index_counterexample
 
 
 #: Deprecated alias kept for callers that imported the old name while
@@ -68,7 +76,8 @@ def verify_against_isfs(netlist, specs, input_map=None, raise_on_fail=True):
             named = _name_assignment(mgr, witness)
             raise VerificationError(
                 "output %r violates its specification at %s"
-                % (name, named), counterexample=named)
+                % (name, _format_assignment(named)),
+                counterexample=named, index_counterexample=witness)
     return True
 
 
@@ -95,8 +104,9 @@ def verify_equivalent(netlist_a, netlist_b, mgr, input_map=None,
             witness = pick_minterm(mgr, diff)
             named = _name_assignment(mgr, witness)
             raise VerificationError(
-                "outputs %r differ at %s" % (name, named),
-                counterexample=named)
+                "outputs %r differ at %s"
+                % (name, _format_assignment(named)),
+                counterexample=named, index_counterexample=witness)
     return True
 
 
@@ -105,3 +115,11 @@ def _name_assignment(mgr, assignment):
     if assignment is None:
         return None
     return {mgr.var_name(var): value for var, value in assignment.items()}
+
+
+def _format_assignment(named):
+    """Render a name-keyed witness as ``a=0, b=1`` for messages."""
+    if not named:
+        return "the empty assignment"
+    return ", ".join("%s=%d" % (name, named[name])
+                     for name in sorted(named))

@@ -96,6 +96,14 @@ class PipelineConfig:
     cache_readonly:
         Load the store but never write it back (warm-start runs that
         must not perturb the cache on disk).
+    emit_certificates:
+        Record a proof trace of every decomposition step
+        (:class:`repro.decomp.CertificateTracer`) and write a
+        ``<stem>.cert.json`` certificate beside each emitted BLIF for
+        the offline certifier (``repro certify``,
+        :mod:`repro.analysis.certify`).  Only the bidecomp flow
+        produces traces; off by default (the CLI flags are
+        ``--certificates`` / ``--certify``).
     """
 
     def __init__(self, decomposition=None, flow="bidecomp", verify=True,
@@ -103,7 +111,7 @@ class PipelineConfig:
                  recursion_limit=DEFAULT_RECURSION_LIMIT,
                  model="bidecomp", progress_interval=1024,
                  flow_options=None, cache_path=None, cache_readonly=False,
-                 budget_scope="run", jobs=1):
+                 budget_scope="run", jobs=1, emit_certificates=False):
         if decomposition is None:
             decomposition = DecompositionConfig()
         if not isinstance(decomposition, DecompositionConfig):
@@ -156,6 +164,7 @@ class PipelineConfig:
         if jobs < 0:
             raise ValueError("jobs must be >= 0 (0 = auto), got %r" % jobs)
         self.jobs = jobs
+        self.emit_certificates = bool(emit_certificates)
 
     @classmethod
     def coerce(cls, value):
@@ -182,6 +191,7 @@ class PipelineConfig:
             "cache_readonly": self.cache_readonly,
             "budget_scope": self.budget_scope,
             "jobs": self.jobs,
+            "emit_certificates": self.emit_certificates,
         }
 
     def __repr__(self):

@@ -133,6 +133,7 @@ def _run_payload(run):
         "elapsed": run.elapsed,
         "stages": _sanitize(run.stages),
         "output_names": dict(run.output_names),
+        "certificate": run.certificate_path,
         "error": None,
     }
     if run.netlist is not None:
@@ -148,6 +149,7 @@ def _failure_payload(desc, exc, elapsed, stages):
         "elapsed": elapsed,
         "stages": _sanitize(stages),
         "output_names": {},
+        "certificate": None,
         "error": {"type": type(exc).__name__, "message": str(exc)},
     }
 
@@ -171,6 +173,7 @@ class ParallelPipelineRun(PipelineRun):
         self.stages = list(payload.get("stages") or [])
         self.elapsed = payload.get("elapsed", 0.0)
         self.output_names = dict(payload.get("output_names") or {})
+        self.certificate_path = payload.get("certificate")
         self._netlist_stats = payload.get("netlist")
 
     @property
@@ -231,6 +234,8 @@ class ParallelBatchResult(list):
             "failures": len(self.failures),
             "rehydrated_hits": sum(d.get("rehydrated_hits", 0)
                                    for d in run_docs),
+            "certificates": sum(1 for run in self
+                                if run.certificate_path),
             "runs": run_docs,
         }
         if self.merged_store is not None:
@@ -261,6 +266,7 @@ def _clone_config(config, **overrides):
         "cache_readonly": config.cache_readonly,
         "budget_scope": config.budget_scope,
         "jobs": config.jobs,
+        "emit_certificates": config.emit_certificates,
     }
     fields.update(overrides)
     return PipelineConfig(**fields)

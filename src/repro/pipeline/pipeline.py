@@ -25,7 +25,8 @@ persistent component store rather than a live session.
 
 import time
 
-from repro.io import parse_pla, read_text, write_blif
+from repro.io import (cert_path_for, parse_pla, read_text, save_cert,
+                      write_blif)
 from repro.network.stats import compute_stats
 
 
@@ -68,6 +69,8 @@ class PipelineRun:
         self.output_names = {}      # spec name -> netlist output name
         self.mapping = None
         self.blif = None
+        self.certificate_roots = {}  # spec name -> tracer step id
+        self.certificate_path = None
         self.stages = []            # stage_finished payloads, in order
         self.elapsed = 0.0
 
@@ -109,6 +112,8 @@ class PipelineRun:
             doc["cache_hit_rate"] = decomp.get("cache_hit_rate", 0.0)
             doc["rehydrated_hits"] = decomp["cache"].get(
                 "rehydrated_hits", 0)
+        if self.certificate_path:
+            doc["certificate"] = self.certificate_path
         return doc
 
 
@@ -169,6 +174,7 @@ def stage_decompose(session, run, record):
         run.result, run.output_names = session.decompose_specs(
             run.specs, label=run.label, record=record)
         run.netlist = run.result.netlist
+        run.certificate_roots = dict(record.get("certificate_roots") or {})
     else:
         from repro.baselines import (bds_like_synthesize,
                                      sis_like_synthesize)
@@ -217,6 +223,19 @@ def stage_emit(session, run, record):
     run.blif = write_blif(run.netlist, model=session.config.model,
                           path=run.source.emit_path, outputs=outputs)
     record["bytes"] = len(run.blif)
+    if (session.config.emit_certificates
+            and run.source.emit_path is not None
+            and run.certificate_roots):
+        doc = session.build_certificate(run)
+        if doc is not None:
+            run.certificate_path = save_cert(
+                cert_path_for(run.source.emit_path), doc)
+            record["certificate"] = run.certificate_path
+            record["certificate_steps"] = len(doc["steps"])
+            session.events.publish("certificate_emitted",
+                                   path=run.certificate_path,
+                                   steps=len(doc["steps"]),
+                                   label=run.label)
 
 
 class Pipeline:

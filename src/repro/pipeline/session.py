@@ -326,6 +326,9 @@ class Session:
                 # Bind to the engine's own var-node map (the engine
                 # copies ours and extends its copy on batch growth).
                 cache.bind(self.mgr, self.netlist, self.engine.var_nodes)
+            if self.config.emit_certificates:
+                from repro.decomp.trace import CertificateTracer
+                self.engine.tracer = CertificateTracer(self.mgr)
         else:
             # The manager may have gained variables since the engine
             # was built (batch inputs with new input names).
@@ -371,6 +374,8 @@ class Session:
         functions = {}
         name_map = {}
         started = time.perf_counter()
+        roots = {}
+        tracer = getattr(engine, "tracer", None)
         with recursion_guard(self.config.recursion_limit):
             for name, isf in specs.items():
                 csf, node = engine.decompose(isf)
@@ -378,6 +383,8 @@ class Session:
                 self.netlist.set_output(out_name, node)
                 functions[name] = csf
                 name_map[name] = out_name
+                if tracer is not None:
+                    roots[name] = tracer.last_root
         elapsed = time.perf_counter() - started
 
         stats = DecompositionStats.from_dict(
@@ -396,7 +403,25 @@ class Session:
             contract_stats = getattr(engine, "contract_stats", None)
             if contract_stats is not None:
                 record["contracts"] = contract_stats.as_dict()
+            if tracer is not None:
+                record["certificate_roots"] = dict(roots)
         return result, name_map
+
+    def build_certificate(self, run):
+        """Assemble the certificate document for one pipeline run.
+
+        Uses the proof roots the decompose stage recorded on *run*
+        (``run.certificate_roots``: ``{spec_name: tracer step id}``);
+        returns the document, or None when the run was not traced
+        (certificates disabled, or a non-bidecomp flow).
+        """
+        tracer = getattr(self.engine, "tracer", None)
+        if tracer is None or not run.certificate_roots:
+            return None
+        outputs = {name: (step, run.output_names.get(name, name))
+                   for name, step in run.certificate_roots.items()}
+        return tracer.document(outputs, label=run.label,
+                               model=self.config.model)
 
     def stats_snapshot(self):
         """Session-level counters for reports."""

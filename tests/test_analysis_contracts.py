@@ -119,6 +119,54 @@ class TestViolations:
         assert "or-residue" in str(violation)
 
 
+class TestWeakStepContracts:
+    def _engine(self, mgr):
+        return _session(mgr)._ensure_engine()
+
+    def test_useless_weak_or_violates(self):
+        # For f = a & b, exists(a, R) is the whole space, so the weak-OR
+        # residual Q & ~exists(a, R) injects no don't-cares: the Table 1
+        # termination argument breaks and the contract must fire.
+        mgr = BDD(["a", "b"])
+        engine = self._engine(mgr)
+        from repro.decomp import OR_GATE
+        isf = ISF.from_csf(parse(mgr, "a & b"))
+        with pytest.raises(ContractViolation) as excinfo:
+            engine._on_step(isf, [0, 1], OR_GATE, [0], None, isf)
+        assert excinfo.value.contract == "weak-usefulness"
+        assert engine.contract_stats.as_dict()["violations"] == {
+            "weak-usefulness": 1}
+
+    def test_useless_weak_and_violates(self):
+        mgr = BDD(["a", "b"])
+        engine = self._engine(mgr)
+        from repro.decomp import AND_GATE
+        isf = ISF.from_csf(parse(mgr, "a | b"))
+        with pytest.raises(ContractViolation) as excinfo:
+            engine._on_step(isf, [0, 1], AND_GATE, [0], None, isf)
+        assert excinfo.value.contract == "weak-usefulness"
+
+    def test_weak_xa_outside_support_violates(self):
+        mgr = BDD(["a", "b", "c"])
+        engine = self._engine(mgr)
+        from repro.decomp import OR_GATE
+        isf = ISF.from_csf(parse(mgr, "a & b"))
+        with pytest.raises(ContractViolation) as excinfo:
+            engine._on_step(isf, [0, 1], OR_GATE, [2], None, isf)
+        assert excinfo.value.contract == "disjoint-sets"
+
+    def test_useful_weak_or_passes(self):
+        # f = a | b & c genuinely weak-OR-decomposes around XA={a}.
+        mgr = BDD(["a", "b", "c"])
+        engine = self._engine(mgr)
+        from repro.decomp import OR_GATE
+        isf = ISF.from_csf(parse(mgr, "a | b & c"))
+        engine._on_step(isf, [0, 1, 2], OR_GATE, [0], None, isf)
+        doc = engine.contract_stats.as_dict()
+        assert doc["checks"]["weak-usefulness"] == 1
+        assert doc["total_violations"] == 0
+
+
 class TestContractStats:
     def test_counting_and_serialisation(self):
         stats = ContractStats()
@@ -154,3 +202,28 @@ class TestCheckCLI:
         assert main(["decompose", str(pla), "-o",
                      str(tmp_path / "out.blif"), "--check"],
                     stdout=out) == 0
+
+    def test_contract_stats_round_trip_stats_json(self, tmp_path):
+        import json
+        from repro.cli import main
+        pla = tmp_path / "in.pla"
+        pla.write_text(PLA)
+        stats_path = tmp_path / "stats.json"
+        assert main(["decompose", str(pla), "-o",
+                     str(tmp_path / "out.blif"), "--check",
+                     "--stats-json", str(stats_path)],
+                    stdout=io.StringIO()) == 0
+        doc = json.loads(stats_path.read_text())
+        stage = next(s for s in doc["stages"]
+                     if s["stage"] == "decompose")
+        contracts = stage["contracts"]
+        # The embedded document is exactly ContractStats.as_dict():
+        # nonzero per-contract counters plus the two totals.
+        assert set(contracts) == {"checks", "violations",
+                                  "total_checks", "total_violations"}
+        assert contracts["total_checks"] == sum(
+            contracts["checks"].values())
+        assert contracts["total_checks"] > 0
+        assert contracts["total_violations"] == 0
+        assert contracts["violations"] == {}
+        assert all(count > 0 for count in contracts["checks"].values())

@@ -209,6 +209,13 @@ class TestReportAndSelection:
         assert len(report.worst(Severity.WARNING)) == 1
         assert len(report.worst(Severity.INFO)) == 2
 
+    def test_worst_validates_threshold_even_when_empty(self):
+        from repro.analysis.rules import LintReport
+        report = LintReport([])
+        assert report.worst(Severity.ERROR) == []
+        with pytest.raises(ValueError):
+            report.worst("bogus")
+
     def test_report_serialises(self):
         nl = _clean_netlist()
         nl.types[4] = "FROB"
@@ -271,6 +278,22 @@ class TestLintCommand:
                     stdout=io.StringIO()) == 1
         assert main(["lint", str(blif), "--fail-on", "never"],
                     stdout=io.StringIO()) == 0
+
+    def test_unknown_fail_on_exits_two(self, pla_path, tmp_path):
+        blif_path = str(tmp_path / "out.blif")
+        assert main(["decompose", pla_path, "-o", blif_path]) == 0
+        # argparse's choices guard the argv path with a usage error...
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", blif_path, "--fail-on", "bogus"],
+                 stdout=io.StringIO())
+        assert excinfo.value.code == 2
+        # ...and cmd_lint validates eagerly for programmatic callers,
+        # even though the report itself would be clean.
+        import types
+        from repro.cli import cmd_lint
+        args = types.SimpleNamespace(netlist=blif_path, spec=None,
+                                     fail_on="bogus", json=None)
+        assert cmd_lint(args, io.StringIO()) == 2
 
     def test_json_report(self, pla_path, tmp_path):
         blif_path = str(tmp_path / "out.blif")

@@ -128,6 +128,46 @@ class TestProcessBoundary:
             for prefix in astlint.MANAGER_SEAM_ALLOWED)
 
 
+class TestCertifierIndependence:
+    CERTIFIER = "src/repro/analysis/certify.py"
+
+    def check(self, rel, source):
+        return list(astlint.check_certifier_independence(
+            rel, ast.parse(source)))
+
+    def test_engine_imports_flagged(self):
+        for source in ("from repro.decomp import BiDecompositionEngine\n",
+                       "from repro.decomp.bidecomp import decompose\n",
+                       "import repro.decomp.bidecomp\n",
+                       "from repro.pipeline.session import Session\n",
+                       "from repro import decomp\n",
+                       "import repro.pipeline\n"):
+            findings = self.check(self.CERTIFIER, source)
+            assert findings, source
+            assert findings[0].rule == "certifier-independence"
+
+    def test_allowed_imports_pass(self):
+        source = ("import json\n"
+                  "from repro.bdd import exists, pick_minterm\n"
+                  "from repro.bdd.function import Function\n"
+                  "from repro.io import load_pla, parse_blif\n"
+                  "from repro.io.cert import load_cert\n"
+                  "from repro.network import output_functions\n")
+        assert not self.check(self.CERTIFIER, source)
+
+    def test_other_modules_unaffected(self):
+        assert not self.check("src/repro/analysis/contracts.py",
+                              "from repro.decomp import OR_GATE\n")
+
+    def test_real_certifier_module_is_clean(self):
+        path = REPO_ROOT / "src" / "repro" / "analysis" / "certify.py"
+        findings = self.check(self.CERTIFIER, path.read_text())
+        assert not findings
+
+    def test_rule_is_registered(self):
+        assert astlint.check_certifier_independence in astlint.CHECKS
+
+
 class TestBareAssert:
     def test_assert_flagged(self):
         findings = _bare_assert("src/repro/decomp/foo.py",

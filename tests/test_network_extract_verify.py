@@ -164,6 +164,54 @@ class TestVerificationErrorType:
         assert (in_on and not produced) or (in_off and produced)
 
 
+class TestCounterexampleForms:
+    def test_index_form_kept_in_payload(self):
+        nl, mgr = _netlist_and_mgr()
+        spec = ISF.from_csf(parse(mgr, "a | ~c"))
+        with pytest.raises(VerificationError) as excinfo:
+            verify_against_isfs(nl, {"f": spec})
+        indexed = excinfo.value.index_counterexample
+        assert indexed is not None
+        assert all(isinstance(var, int) for var in indexed)
+        # Both forms describe the same assignment, keyed differently.
+        named = excinfo.value.counterexample
+        assert named == {mgr.var_name(var): value
+                         for var, value in indexed.items()}
+
+    def test_message_reports_inputs_by_name(self):
+        nl, mgr = _netlist_and_mgr()
+        spec = ISF.from_csf(parse(mgr, "a | ~c"))
+        with pytest.raises(VerificationError) as excinfo:
+            verify_against_isfs(nl, {"f": spec})
+        message = str(excinfo.value)
+        named = excinfo.value.counterexample
+        for name, value in named.items():
+            assert "%s=%d" % (name, value) in message
+
+    def test_equivalence_failure_carries_both_forms(self):
+        nl1, mgr = _netlist_and_mgr()
+        nl2 = Netlist(["a", "b", "c"])
+        a, b, c = nl2.inputs
+        nl2.set_output("f", nl2.add_and(a, b))
+        with pytest.raises(VerificationError) as excinfo:
+            verify_equivalent(nl1, nl2, mgr)
+        named = excinfo.value.counterexample
+        indexed = excinfo.value.index_counterexample
+        assert named is not None and indexed is not None
+        assert named == {mgr.var_name(var): value
+                         for var, value in indexed.items()}
+        assert any("%s=%d" % (name, value) in str(excinfo.value)
+                   for name, value in named.items())
+
+    def test_missing_output_has_no_counterexample(self):
+        nl, mgr = _netlist_and_mgr()
+        spec = ISF.from_csf(parse(mgr, "a"))
+        with pytest.raises(VerificationError) as excinfo:
+            verify_against_isfs(nl, {"nope": spec})
+        assert excinfo.value.counterexample is None
+        assert excinfo.value.index_counterexample is None
+
+
 class TestEquivalence:
     def test_equivalent_netlists(self):
         nl1, mgr = _netlist_and_mgr()

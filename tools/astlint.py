@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Repo AST lint: architectural rules the test suite can't see.
 
-Four rules, each guarding a seam the session/pipeline refactor and the
+Five rules, each guarding a seam the session/pipeline refactor and the
 static-analysis layer rely on (docs/ANALYSIS.md has the rationale):
 
 ``manager-seam``
@@ -27,6 +27,16 @@ static-analysis layer rely on (docs/ANALYSIS.md has the rationale):
     (support names + ISOP cover dicts) and sanitized primitive payloads
     may.  Enforced structurally: boundary modules may not import from
     ``repro.bdd`` or ``repro.boolfn`` at all.
+
+``certifier-independence``
+    The offline certificate checker
+    (``src/repro/analysis/certify.py``) exists to audit the engine
+    from outside: its verdicts are only worth something if it cannot
+    share code — and therefore bugs — with what it audits.  Among
+    ``repro`` packages it may import only the neutral layers
+    (``repro.bdd``, ``repro.boolfn``, ``repro.io``, ``repro.network``);
+    any import from ``repro.decomp`` or ``repro.pipeline`` (or any
+    other repro module off the allowlist) is a finding.
 
 ``bare-assert``
     No bare ``assert`` statements in ``src/repro`` (outside doctests):
@@ -196,6 +206,53 @@ def check_process_boundary(rel, tree):
                     "(repro.decomp.cache_store) instead" % name)
 
 
+#: Modules (repo-root-relative) that independently audit the engine's
+#: output.  Among ``repro`` packages they may import only the neutral
+#: layers below — never the decomposition engine or the pipeline they
+#: are checking.
+CERTIFIER_MODULES = (
+    "src/repro/analysis/certify.py",
+)
+
+#: The ``repro`` packages a certifier module may import from.
+_CERTIFIER_ALLOWED = ("repro.bdd", "repro.boolfn", "repro.io",
+                      "repro.network")
+
+
+def _is_repro_module(name):
+    return name is not None and (name == "repro"
+                                 or name.startswith("repro."))
+
+
+def _certifier_allowed(name):
+    return any(name == pkg or name.startswith(pkg + ".")
+               for pkg in _CERTIFIER_ALLOWED)
+
+
+def check_certifier_independence(rel, tree):
+    """Engine/pipeline imports inside independent-certifier modules."""
+    if rel not in CERTIFIER_MODULES:
+        return
+    for node in ast.walk(tree):
+        names = []
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names
+                     if _is_repro_module(alias.name)]
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "repro":
+                names = ["repro.%s" % alias.name for alias in node.names]
+            elif _is_repro_module(node.module):
+                names = [node.module]
+        for name in names:
+            if not _certifier_allowed(name):
+                yield AstFinding(
+                    rel, node.lineno, "certifier-independence",
+                    "certifier module imports %r; the offline checker "
+                    "may only use the neutral layers (%s) so it cannot "
+                    "share bugs with the engine it audits"
+                    % (name, ", ".join(_CERTIFIER_ALLOWED)))
+
+
 def check_bare_assert(rel, tree):
     """``assert`` statements in library code (stripped by ``-O``)."""
     if not rel.startswith("src/repro/"):
@@ -262,7 +319,8 @@ def check_stage_registry(rel, tree, registered=None):
                 "repro.pipeline.config.STAGE_NAMES" % name)
 
 
-CHECKS = (check_manager_seam, check_process_boundary, check_bare_assert,
+CHECKS = (check_manager_seam, check_process_boundary,
+          check_certifier_independence, check_bare_assert,
           check_stage_registry)
 
 
@@ -276,6 +334,7 @@ def lint_file(path, registered=None):
     findings = []
     findings.extend(check_manager_seam(rel, tree))
     findings.extend(check_process_boundary(rel, tree))
+    findings.extend(check_certifier_independence(rel, tree))
     findings.extend(check_bare_assert(rel, tree))
     findings.extend(check_stage_registry(rel, tree, registered=registered))
     return findings
