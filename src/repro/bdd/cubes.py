@@ -38,6 +38,12 @@ def _sat_count_rec(mgr, f, num_vars, cache):
         return 0
     if f == TRUE:
         return 1
+    if f & 1:
+        # Complement rule: over the 2^(num_vars - level) assignments of
+        # the variables at and below the root, ~f holds exactly where f
+        # does not.  Keeps the cache keyed on regular edges only.
+        return ((1 << (num_vars - mgr.level(f)))
+                - _sat_count_rec(mgr, f ^ 1, num_vars, cache))
     key = (f, num_vars)
     cached = cache.get(key)
     if cached is not None:

@@ -6,9 +6,12 @@ from repro.bdd.node import FALSE, TRUE, TERMINAL_LEVEL
 def to_dot(mgr, roots, names=None):
     """Render the DAG of *roots* as a Graphviz DOT string.
 
-    *roots* is a list of node ids; *names* optionally labels each root.
+    *roots* is a list of edges; *names* optionally labels each root.
     Solid edges are then-branches, dashed edges else-branches, following
-    the convention of Bryant's original paper.
+    the convention of Bryant's original paper.  Complement edges are
+    resolved during traversal, so the graph shows one vertex per
+    distinct subfunction (an edge and its complement render as two
+    vertices even though they share a physical node).
     """
     if names is None:
         names = ["f%d" % i for i in range(len(roots))]
@@ -53,7 +56,13 @@ def to_dot(mgr, roots, names=None):
 
 
 def stats(mgr, roots):
-    """Return a dict of structural statistics for the DAG of *roots*."""
+    """Return a dict of structural statistics for the DAG of *roots*.
+
+    ``internal_nodes``/``total_nodes`` count distinct subfunctions
+    (complement-resolved edges); ``manager_size`` is the physical slot
+    count of the arena, which can be *smaller* because a function and
+    its complement share one slot.
+    """
     seen = set()
     internal = 0
     stack = list(roots)

@@ -5,6 +5,11 @@ specified function with on-set L and don't-care set U & ~L), ``isop``
 computes a completely specified cover ``f`` with ``L <= f <= U`` as an
 irredundant list of cubes.  This is the SOP engine behind the SIS-like
 baseline and the PLA writer.
+
+The walk is an explicit-stack iteration (no python recursion); the cube
+list is assembled in exactly the order of the classical recursion —
+negative-literal cubes, then positive-literal, then variable-free — so
+covers are reproducible term for term.
 """
 
 from repro.bdd.node import FALSE, TRUE
@@ -64,40 +69,57 @@ def isop(mgr, lower, upper):
     if mgr.diff(lower, upper) != FALSE:
         raise ValueError("isop requires lower <= upper")
     cache = {}
-    return _isop_rec(mgr, lower, upper, cache)
+    # Explicit-stack Minato-Morreale: frame tags mark the three resume
+    # points of the classical recursion (expand, after both literal
+    # branches, after the variable-free remainder).
+    results = []
+    tasks = [(0, lower, upper)]
+    while tasks:
+        frame = tasks.pop()
+        tag = frame[0]
+        if tag == 0:
+            _, lo_f, up_f = frame
+            if lo_f == FALSE:
+                results.append((FALSE, []))
+                continue
+            if up_f == TRUE:
+                results.append((TRUE, [Cube()]))
+                continue
+            key = (lo_f, up_f)
+            cached = cache.get(key)
+            if cached is not None:
+                results.append(cached)
+                continue
+            level = min(mgr.level(lo_f), mgr.level(up_f))
+            var = mgr.var_at_level(level)
+            l0, l1 = _cofactors_at(mgr, lo_f, level)
+            u0, u1 = _cofactors_at(mgr, up_f, level)
 
-
-def _isop_rec(mgr, lower, upper, cache):
-    if lower == FALSE:
-        return FALSE, []
-    if upper == TRUE:
-        return TRUE, [Cube()]
-    key = (lower, upper)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
-    level = min(mgr.level(lower), mgr.level(upper))
-    var = mgr.var_at_level(level)
-    l0, l1 = _cofactors_at(mgr, lower, level)
-    u0, u1 = _cofactors_at(mgr, upper, level)
-
-    # On-set minterms coverable only by cubes containing the negative
-    # (resp. positive) literal of the splitting variable.
-    l0_only = mgr.diff(l0, u1)
-    l1_only = mgr.diff(l1, u0)
-    f0, cubes0 = _isop_rec(mgr, l0_only, u0, cache)
-    f1, cubes1 = _isop_rec(mgr, l1_only, u1, cache)
-
-    # What remains must be covered by cubes independent of the variable.
-    remainder = mgr.or_(mgr.diff(l0, f0), mgr.diff(l1, f1))
-    fd, cubes_d = _isop_rec(mgr, remainder, mgr.and_(u0, u1), cache)
-
-    cover = mgr.or_(fd, mgr.ite(mgr.var(var), f1, f0))
-    cubes = ([cube.with_literal(var, 0) for cube in cubes0]
-             + [cube.with_literal(var, 1) for cube in cubes1]
-             + cubes_d)
-    cache[key] = (cover, cubes)
-    return cover, cubes
+            # On-set minterms coverable only by cubes containing the
+            # negative (resp. positive) literal of the split variable.
+            l0_only = mgr.diff(l0, u1)
+            l1_only = mgr.diff(l1, u0)
+            tasks.append((1, key, var, l0, l1, u0, u1))
+            tasks.append((0, l1_only, u1))
+            tasks.append((0, l0_only, u0))
+        elif tag == 1:
+            _, key, var, l0, l1, u0, u1 = frame
+            f1, cubes1 = results.pop()
+            f0, cubes0 = results.pop()
+            # What remains must be covered by variable-free cubes.
+            remainder = mgr.or_(mgr.diff(l0, f0), mgr.diff(l1, f1))
+            tasks.append((2, key, var, f0, cubes0, f1, cubes1))
+            tasks.append((0, remainder, mgr.and_(u0, u1)))
+        else:
+            _, key, var, f0, cubes0, f1, cubes1 = frame
+            fd, cubes_d = results.pop()
+            cover = mgr.or_(fd, mgr.ite(mgr.var(var), f1, f0))
+            cubes = ([cube.with_literal(var, 0) for cube in cubes0]
+                     + [cube.with_literal(var, 1) for cube in cubes1]
+                     + cubes_d)
+            cache[key] = (cover, cubes)
+            results.append((cover, cubes))
+    return results[0]
 
 
 def _cofactors_at(mgr, node, level):

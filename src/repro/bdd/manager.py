@@ -1,28 +1,61 @@
-"""Reduced ordered BDD manager (the paper's BuDDy stand-in).
+"""Reduced ordered BDD manager with complement edges (BuDDy stand-in).
 
-Implements a classic unique-table / computed-table ROBDD package without
-complement edges.  Nodes are integers indexing flat lists; structural
-canonicity guarantees that two node ids are equal iff the functions are
-equal, which makes equivalence checking O(1).
+Implements a classic unique-table / computed-table ROBDD package *with*
+complement edges: functions are denoted by packed integer edges
+``(node_index << 1) | complement_bit`` (see :mod:`repro.bdd.node`), so
+negation is O(1) and a function shares one physical node with its
+complement.  Canonicity rule: the stored low (else) edge of a node is
+never complemented; ``_mk`` renormalises and the unique table guarantees
+that two edges are equal iff the functions are equal, keeping
+equivalence checking O(1).
+
+Storage layout:
+
+* parallel lists ``_level`` / ``_lo`` / ``_hi`` indexed by node index
+  (slot 0 is the single terminal, the constant-0 function);
+* a per-level unique table keyed on the packed int
+  ``(lo << 32) | hi`` — per-level tables make adjacent-level swaps
+  (sifting) local operations;
+* one computed table per operator (AND / XOR / ITE), keyed on the
+  packed operand edges and capped in size.  Both the unique and the
+  computed stores ride on the interpreter's dict — itself an
+  open-addressing hash table with a C probe loop.  Hand-rolled probe
+  tables were implemented and measured first: a Fibonacci-mixed probe
+  loop ran ~3.5x slower than the dict and a BuDDy-style direct-mapped
+  lossy table still lost end-to-end (its bignum key mixing plus
+  overwrite-on-collision recomputation cost more than exact dict hits
+  saved); DESIGN.md records the numbers.  Invalidation (reorder/GC)
+  drops the per-operator dicts wholesale.
+
+The recursive operator walks of the pre-complement core are replaced by
+explicit-stack iterative loops, so deep cones pay no python recursion
+overhead and cannot hit the recursion limit.
 
 The manager offers:
 
 * variable creation and ordering maps (variable index <-> level),
-* the ``ite`` operator plus dedicated AND / OR / XOR / NOT fast paths,
+* the ``ite`` operator plus dedicated AND / XOR fast paths (OR and the
+  other binary connectives derive from them through complement edges),
 * cofactors, literal restriction, composition,
 * support computation,
+* unique/computed-table hit-rate and peak-live-node counters
+  (:meth:`cache_stats`),
 * hooks used by the quantification / cube / ISOP / reordering modules.
 
 The public, handle-based API lives in :mod:`repro.bdd.function`; this
-module is deliberately id-based for speed.
+module is deliberately edge-based for speed.
 """
 
 from repro.bdd.node import FALSE, TRUE, TERMINAL_LEVEL
 
-# Opcodes for the shared binary computed table.
-_OP_AND = 0
-_OP_OR = 1
-_OP_XOR = 2
+#: Memory backstop on entries per operator computed table.  A table
+#: that exceeds the cap after a top-level operation is dropped
+#: wholesale.  The cap is deliberately generous: hog decompositions
+#: legitimately accumulate a few million live subproblems, and an
+#: eager cap (2**21 was tried) forces wholesale recomputation — on
+#: 16sym8 it turned ~0.5M distinct AND subproblems into 2.5M cache
+#: misses, costing more wall-clock than the dropped memory was worth.
+_CT_MAX = 1 << 24
 
 
 class BDDError(Exception):
@@ -40,23 +73,35 @@ class BDD:
     """
 
     def __init__(self, var_names=()):
-        # Parallel node storage; slots 0/1 are the terminals.
-        self._level = [TERMINAL_LEVEL, TERMINAL_LEVEL]
-        self._lo = [FALSE, TRUE]
-        self._hi = [FALSE, TRUE]
-        self._unique = {}
-        # Computed tables.
-        self._cache_binary = {}
-        self._cache_ite = {}
-        self._cache_not = {}
+        # Physical node arena; slot 0 is the terminal (constant 0).
+        self._level = [TERMINAL_LEVEL]
+        self._lo = [FALSE]
+        self._hi = [FALSE]
+        # Unique table: one dict per level, keyed (lo << 32) | hi.
+        self._unique = []
+        # Computed tables: one exact dict per operator, keyed on the
+        # packed operand edges (see the module docstring for why these
+        # are dicts and not hand-rolled probe arrays).
+        self._ct_and = {}
+        self._ct_xor = {}
+        self._ct_ite = {}
+        # Hit-rate / peak-size counters (see cache_stats()).
+        self._ct_lookups = 0
+        self._ct_hits = 0
+        self._uniq_lookups = 0
+        self._uniq_hits = 0
+        self._peak_live = 1
+        # Support cache (a real dict: results survive until the next
+        # clear_caches, which must clear it explicitly — its keys are
+        # packed edges whose *levels* go stale on reordering).
         self._cache_support = {}
         # Variable bookkeeping.
         self._var_names = []
         self._name_to_var = {}
         self._var_to_level = []
         self._level_to_var = []
-        # Garbage collection: external reference counts and the
-        # freelist of recycled node slots.
+        # Garbage collection: external reference counts (keyed by node
+        # index) and the freelist of recycled node slots.
         self._refs = {}
         self._free = []
         # Growth hook: called every `_growth_interval` fresh node
@@ -82,6 +127,7 @@ class BDD:
         self._name_to_var[name] = var
         self._var_to_level.append(len(self._level_to_var))
         self._level_to_var.append(var)
+        self._unique.append({})
         return var
 
     @property
@@ -126,14 +172,26 @@ class BDD:
     # Node construction
     # ------------------------------------------------------------------
     def _mk(self, level, lo, hi):
-        """Find-or-create the node ``(level, lo, hi)`` (reduction applied)."""
+        """Find-or-create the edge for ``(level, lo, hi)`` (normalised).
+
+        *lo* / *hi* are edges; reduction (``lo == hi``) and the
+        complement canonicity rule (stored low edge is regular) are
+        applied here, so every caller gets the canonical edge.
+        """
         if lo == hi:
             return lo
-        key = (level, lo, hi)
-        node = self._unique.get(key)
+        out = lo & 1
+        if out:
+            lo ^= 1
+            hi ^= 1
+        table = self._unique[level]
+        key = (lo << 32) | hi
+        self._uniq_lookups += 1
+        node = table.get(key)
         if node is None:
-            if self._free:
-                node = self._free.pop()
+            free = self._free
+            if free:
+                node = free.pop()
                 self._level[node] = level
                 self._lo[node] = lo
                 self._hi[node] = hi
@@ -142,13 +200,18 @@ class BDD:
                 self._level.append(level)
                 self._lo.append(lo)
                 self._hi.append(hi)
-            self._unique[key] = node
+            table[key] = node
+            live = len(self._level) - len(free)
+            if live > self._peak_live:
+                self._peak_live = live
             if self._growth_hook is not None:
                 self._growth_countdown -= 1
                 if self._growth_countdown <= 0:
                     self._growth_countdown = self._growth_interval
                     self._growth_hook(self)
-        return node
+        else:
+            self._uniq_hits += 1
+        return (node << 1) | out
 
     def set_growth_hook(self, hook, interval=1024):
         """Install ``hook(manager)`` fired every *interval* fresh nodes.
@@ -165,179 +228,578 @@ class BDD:
         self._growth_countdown = interval
 
     def var(self, var):
-        """Return the node for the positive literal of *var*."""
+        """Return the edge for the positive literal of *var*."""
         level = self._var_to_level[self.var_index(var)]
         return self._mk(level, FALSE, TRUE)
 
     def nvar(self, var):
-        """Return the node for the negative literal of *var*."""
+        """Return the edge for the negative literal of *var*."""
         level = self._var_to_level[self.var_index(var)]
         return self._mk(level, TRUE, FALSE)
 
     @property
     def true(self):
-        """The constant-1 node."""
+        """The constant-1 edge."""
         return TRUE
 
     @property
     def false(self):
-        """The constant-0 node."""
+        """The constant-0 edge."""
         return FALSE
 
-    def level(self, node):
-        """Level of *node* (``TERMINAL_LEVEL`` for constants)."""
-        return self._level[node]
+    def level(self, edge):
+        """Level of *edge* (``TERMINAL_LEVEL`` for constants)."""
+        return self._level[edge >> 1]
 
-    def low(self, node):
-        """Else-branch (variable = 0) of *node*."""
-        return self._lo[node]
+    def low(self, edge):
+        """Else-branch (variable = 0) of *edge*, complement resolved."""
+        return self._lo[edge >> 1] ^ (edge & 1)
 
-    def high(self, node):
-        """Then-branch (variable = 1) of *node*."""
-        return self._hi[node]
+    def high(self, edge):
+        """Then-branch (variable = 1) of *edge*, complement resolved."""
+        return self._hi[edge >> 1] ^ (edge & 1)
 
-    def top_var(self, node):
-        """Variable index decided at the root of *node*."""
-        level = self._level[node]
+    def top_var(self, edge):
+        """Variable index decided at the root of *edge*."""
+        level = self._level[edge >> 1]
         if level == TERMINAL_LEVEL:
             raise BDDError("terminal node has no top variable")
         return self._level_to_var[level]
 
     def size(self):
-        """Total number of nodes allocated in the manager (incl. terminals)."""
+        """Number of physical node slots allocated (incl. the terminal).
+
+        With complement edges one slot serves a function and its
+        complement, so this is not comparable to :meth:`node_count`,
+        which counts distinct functions (edges).
+        """
         return len(self._level)
 
     # ------------------------------------------------------------------
     # Core operators
     # ------------------------------------------------------------------
     def not_(self, f):
-        """Complement of *f*."""
-        if f == FALSE:
-            return TRUE
-        if f == TRUE:
-            return FALSE
-        cached = self._cache_not.get(f)
-        if cached is not None:
-            return cached
-        result = self._mk(self._level[f], self.not_(self._lo[f]),
-                          self.not_(self._hi[f]))
-        self._cache_not[f] = result
-        self._cache_not[result] = f
-        return result
-
-    def _apply2(self, op, f, g):
-        """Shared recursion for the commutative binary operators."""
-        if op == _OP_AND:
-            if f == FALSE or g == FALSE:
-                return FALSE
-            if f == TRUE:
-                return g
-            if g == TRUE:
-                return f
-            if f == g:
-                return f
-        elif op == _OP_OR:
-            if f == TRUE or g == TRUE:
-                return TRUE
-            if f == FALSE:
-                return g
-            if g == FALSE:
-                return f
-            if f == g:
-                return f
-        else:  # XOR
-            if f == g:
-                return FALSE
-            if f == FALSE:
-                return g
-            if g == FALSE:
-                return f
-            if f == TRUE:
-                return self.not_(g)
-            if g == TRUE:
-                return self.not_(f)
-        if f > g:
-            f, g = g, f
-        key = (op, f, g)
-        cached = self._cache_binary.get(key)
-        if cached is not None:
-            return cached
-        level_f = self._level[f]
-        level_g = self._level[g]
-        if level_f < level_g:
-            level, f0, f1, g0, g1 = level_f, self._lo[f], self._hi[f], g, g
-        elif level_g < level_f:
-            level, f0, f1, g0, g1 = level_g, f, f, self._lo[g], self._hi[g]
-        else:
-            level = level_f
-            f0, f1 = self._lo[f], self._hi[f]
-            g0, g1 = self._lo[g], self._hi[g]
-        result = self._mk(level, self._apply2(op, f0, g0),
-                          self._apply2(op, f1, g1))
-        self._cache_binary[key] = result
-        return result
+        """Complement of *f* — one XOR on the edge's complement bit."""
+        return f ^ 1
 
     def and_(self, f, g):
-        """Conjunction ``f & g``."""
-        return self._apply2(_OP_AND, f, g)
-
-    def or_(self, f, g):
-        """Disjunction ``f | g``."""
-        return self._apply2(_OP_OR, f, g)
+        """Conjunction ``f & g`` (iterative, explicit stack)."""
+        # Top-level fast paths: trivial and cached calls — the vast
+        # majority on decomposition workloads — skip the loop setup.
+        if f == g or g == 1:
+            return f
+        if f == 1:
+            return g
+        if f == 0 or g == 0 or f == g ^ 1:
+            return 0
+        if f > g:
+            f, g = g, f
+        ct = self._ct_and
+        res = ct.get((f << 32) | g)
+        if res is not None:
+            # A miss is not counted here: the loop's first frame probes
+            # the same key and counts it exactly once.
+            self._ct_lookups += 1
+            self._ct_hits += 1
+            return res
+        # Local aliases: these loops are the package's hot path.
+        _lev = self._level
+        _lo = self._lo
+        _hi = self._hi
+        unique = self._unique
+        free = self._free
+        lookups = hits = 0
+        uniq_lookups = uniq_hits = 0
+        results = []
+        rpush = results.append
+        rpop = results.pop
+        # Frames: (0, a, b) expand a non-trivial, normalised (a < b)
+        # pair; (1, lvl, key) reduce the top two results; (2, val, 0)
+        # push a literal result.  Children are classified eagerly at
+        # push time — trivial and cache-hit children never round-trip
+        # through the stack — and an unresolved low child is descended
+        # into directly (the inner while below), so the left spine of
+        # every expansion pays no frame traffic at all.
+        tasks = [(0, f, g)]
+        tpush = tasks.append
+        tpop = tasks.pop
+        while tasks:
+            tag, a, b = tpop()
+            if tag == 2:
+                rpush(a)
+                continue
+            if tag == 1:
+                hi_e = rpop()
+                lo_e = rpop()
+                lvl = a
+                key = b
+            else:
+                # Re-probe: the sibling subtree may have filled this
+                # key since the frame was pushed.
+                key = (a << 32) | b
+                lookups += 1
+                res = ct.get(key)
+                if res is not None:
+                    hits += 1
+                    rpush(res)
+                    continue
+                while True:
+                    ia = a >> 1
+                    ib = b >> 1
+                    la = _lev[ia]
+                    lb = _lev[ib]
+                    if la < lb:
+                        lvl = la
+                        ca = a & 1
+                        a0 = _lo[ia] ^ ca
+                        a1 = _hi[ia] ^ ca
+                        b0 = b1 = b
+                    elif lb < la:
+                        lvl = lb
+                        cb = b & 1
+                        a0 = a1 = a
+                        b0 = _lo[ib] ^ cb
+                        b1 = _hi[ib] ^ cb
+                    else:
+                        lvl = la
+                        ca = a & 1
+                        cb = b & 1
+                        a0 = _lo[ia] ^ ca
+                        a1 = _hi[ia] ^ ca
+                        b0 = _lo[ib] ^ cb
+                        b1 = _hi[ib] ^ cb
+                    # Eager resolution of the low child.
+                    if a0 == b0 or b0 == 1:
+                        lo_e = a0
+                    elif a0 == 1:
+                        lo_e = b0
+                    elif a0 == 0 or b0 == 0 or a0 == b0 ^ 1:
+                        lo_e = 0
+                    else:
+                        if a0 > b0:
+                            a0, b0 = b0, a0
+                        lookups += 1
+                        lo_e = ct.get((a0 << 32) | b0)
+                        if lo_e is not None:
+                            hits += 1
+                    # Eager resolution of the high child.
+                    if a1 == b1 or b1 == 1:
+                        hi_e = a1
+                    elif a1 == 1:
+                        hi_e = b1
+                    elif a1 == 0 or b1 == 0 or a1 == b1 ^ 1:
+                        hi_e = 0
+                    else:
+                        if a1 > b1:
+                            a1, b1 = b1, a1
+                        hi_e = ct.get((a1 << 32) | b1)
+                        if hi_e is not None:
+                            lookups += 1
+                            hits += 1
+                    if lo_e is None:
+                        tpush((1, lvl, key))
+                        if hi_e is None:
+                            tpush((0, a1, b1))
+                        else:
+                            tpush((2, hi_e, 0))
+                        # Descend the low spine without a frame: the
+                        # eager probe above just missed and nothing
+                        # has run since, so no re-probe is needed.
+                        a = a0
+                        b = b0
+                        key = (a0 << 32) | b0
+                        continue
+                    if hi_e is not None:
+                        break
+                    # Low child resolved, high child pending.
+                    rpush(lo_e)
+                    tpush((1, lvl, key))
+                    tpush((0, a1, b1))
+                    lo_e = None
+                    break
+                if lo_e is None:
+                    continue
+            # Make the node for (lvl, lo_e, hi_e), memoise under key.
+            if lo_e == hi_e:
+                res = lo_e
+            else:
+                out = lo_e & 1
+                if out:
+                    lo_e ^= 1
+                    hi_e ^= 1
+                table = unique[lvl]
+                ukey = (lo_e << 32) | hi_e
+                uniq_lookups += 1
+                node = table.get(ukey)
+                if node is None:
+                    if free:
+                        node = free.pop()
+                        _lev[node] = lvl
+                        _lo[node] = lo_e
+                        _hi[node] = hi_e
+                    else:
+                        node = len(_lev)
+                        _lev.append(lvl)
+                        _lo.append(lo_e)
+                        _hi.append(hi_e)
+                    table[ukey] = node
+                    live = len(_lev) - len(free)
+                    if live > self._peak_live:
+                        self._peak_live = live
+                    if self._growth_hook is not None:
+                        self._growth_countdown -= 1
+                        if self._growth_countdown <= 0:
+                            self._growth_countdown = \
+                                self._growth_interval
+                            self._growth_hook(self)
+                else:
+                    uniq_hits += 1
+                res = (node << 1) | out
+            ct[key] = res
+            rpush(res)
+        self._ct_lookups += lookups
+        self._ct_hits += hits
+        self._uniq_lookups += uniq_lookups
+        self._uniq_hits += uniq_hits
+        if len(ct) > _CT_MAX:
+            ct.clear()
+        return results[0]
 
     def xor(self, f, g):
-        """Exclusive-or ``f ^ g``."""
-        return self._apply2(_OP_XOR, f, g)
+        """Exclusive-or ``f ^ g`` (iterative, explicit stack)."""
+        # Top-level fast paths (xor ignores polarity up to an output
+        # complement, so operands normalise to regular edges).
+        if f < 2:
+            return g ^ f
+        if g < 2:
+            return f ^ g
+        pol = (f ^ g) & 1
+        f &= -2
+        g &= -2
+        if f == g:
+            return pol
+        if f > g:
+            f, g = g, f
+        ct = self._ct_xor
+        res = ct.get((f << 32) | g)
+        if res is not None:
+            self._ct_lookups += 1
+            self._ct_hits += 1
+            return res ^ pol
+        _lev = self._level
+        _lo = self._lo
+        _hi = self._hi
+        unique = self._unique
+        free = self._free
+        lookups = hits = 0
+        uniq_lookups = uniq_hits = 0
+        results = []
+        rpush = results.append
+        rpop = results.pop
+        tasks = [(0, f ^ pol, g)]
+        tpush = tasks.append
+        tpop = tasks.pop
+        while tasks:
+            tag, a, b = tpop()
+            if tag == 0:
+                if a < 2:
+                    rpush(b ^ a)
+                    continue
+                if b < 2:
+                    rpush(a ^ b)
+                    continue
+                # xor ignores polarity up to an output complement:
+                # normalise both operands to regular edges.
+                out = (a ^ b) & 1
+                a &= -2
+                b &= -2
+                if a == b:
+                    rpush(out)
+                    continue
+                if a > b:
+                    a, b = b, a
+                key = (a << 32) | b
+                lookups += 1
+                res = ct.get(key)
+                if res is not None:
+                    hits += 1
+                    rpush(res ^ out)
+                    continue
+                ia = a >> 1
+                ib = b >> 1
+                la = _lev[ia]
+                lb = _lev[ib]
+                if la < lb:
+                    lvl = la
+                    a0 = _lo[ia]
+                    a1 = _hi[ia]
+                    b0 = b1 = b
+                elif lb < la:
+                    lvl = lb
+                    a0 = a1 = a
+                    b0 = _lo[ib]
+                    b1 = _hi[ib]
+                else:
+                    lvl = la
+                    a0 = _lo[ia]
+                    a1 = _hi[ia]
+                    b0 = _lo[ib]
+                    b1 = _hi[ib]
+                if out:
+                    tpush((2, 0, 0))
+                tpush((1, lvl, key))
+                tpush((0, a1, b1))
+                tpush((0, a0, b0))
+            elif tag == 1:
+                hi_e = rpop()
+                lo_e = rpop()
+                if lo_e == hi_e:
+                    res = lo_e
+                else:
+                    out = lo_e & 1
+                    if out:
+                        lo_e ^= 1
+                        hi_e ^= 1
+                    table = unique[a]
+                    ukey = (lo_e << 32) | hi_e
+                    uniq_lookups += 1
+                    node = table.get(ukey)
+                    if node is None:
+                        if free:
+                            node = free.pop()
+                            _lev[node] = a
+                            _lo[node] = lo_e
+                            _hi[node] = hi_e
+                        else:
+                            node = len(_lev)
+                            _lev.append(a)
+                            _lo.append(lo_e)
+                            _hi.append(hi_e)
+                        table[ukey] = node
+                        live = len(_lev) - len(free)
+                        if live > self._peak_live:
+                            self._peak_live = live
+                        if self._growth_hook is not None:
+                            self._growth_countdown -= 1
+                            if self._growth_countdown <= 0:
+                                self._growth_countdown = \
+                                    self._growth_interval
+                                self._growth_hook(self)
+                    else:
+                        uniq_hits += 1
+                    res = (node << 1) | out
+                ct[b] = res
+                rpush(res)
+            else:
+                # Output-complement marker pushed by the normalisation.
+                results[-1] ^= 1
+        self._ct_lookups += lookups
+        self._ct_hits += hits
+        self._uniq_lookups += uniq_lookups
+        self._uniq_hits += uniq_hits
+        if len(ct) > _CT_MAX:
+            ct.clear()
+        return results[0]
+
+    def or_(self, f, g):
+        """Disjunction ``f | g`` (De Morgan over the AND fast path)."""
+        return self.and_(f ^ 1, g ^ 1) ^ 1
 
     def xnor(self, f, g):
         """Equivalence ``~(f ^ g)``."""
-        return self.not_(self.xor(f, g))
+        return self.xor(f, g) ^ 1
 
     def nand(self, f, g):
         """``~(f & g)``."""
-        return self.not_(self.and_(f, g))
+        return self.and_(f, g) ^ 1
 
     def nor(self, f, g):
         """``~(f | g)``."""
-        return self.not_(self.or_(f, g))
+        return self.and_(f ^ 1, g ^ 1)
 
     def diff(self, f, g):
         """Boolean difference (SHARP): ``f & ~g``."""
-        return self.and_(f, self.not_(g))
+        return self.and_(f, g ^ 1)
 
     def implies(self, f, g):
         """Implication ``~f | g``."""
-        return self.or_(self.not_(f), g)
+        return self.and_(f, g ^ 1) ^ 1
 
     def ite(self, f, g, h):
         """If-then-else operator: ``(f & g) | (~f & h)``."""
-        if f == TRUE:
-            return g
-        if f == FALSE:
-            return h
+        if f < 2:
+            return g if f else h
         if g == h:
             return g
-        if g == TRUE and h == FALSE:
-            return f
-        if g == FALSE and h == TRUE:
-            return self.not_(f)
-        key = (f, g, h)
-        cached = self._cache_ite.get(key)
-        if cached is not None:
-            return cached
-        level = min(self._level[f], self._level[g], self._level[h])
-        f0, f1 = self._cofactors_at(f, level)
-        g0, g1 = self._cofactors_at(g, level)
-        h0, h1 = self._cofactors_at(h, level)
-        result = self._mk(level, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
-        self._cache_ite[key] = result
-        return result
+        _lev = self._level
+        _lo = self._lo
+        _hi = self._hi
+        unique = self._unique
+        free = self._free
+        ct = self._ct_ite
+        lookups = hits = 0
+        uniq_lookups = uniq_hits = 0
+        results = []
+        rpush = results.append
+        rpop = results.pop
+        tasks = [(0, f, g, h)]
+        tpush = tasks.append
+        tpop = tasks.pop
+        while tasks:
+            tag, a, b, c = tpop()
+            if tag == 0:
+                if a < 2:
+                    rpush(b if a else c)
+                    continue
+                if b == c:
+                    rpush(b)
+                    continue
+                # Fold selector-equal branches to constants.
+                if b == a:
+                    b = 1
+                elif b == a ^ 1:
+                    b = 0
+                if c == a:
+                    c = 0
+                elif c == a ^ 1:
+                    c = 1
+                if b == 1 and c == 0:
+                    rpush(a)
+                    continue
+                if b == 0 and c == 1:
+                    rpush(a ^ 1)
+                    continue
+                # Route two-operand shapes through the binary caches.
+                if c == 0:
+                    rpush(self.and_(a, b))
+                elif c == 1:
+                    rpush(self.and_(a, b ^ 1) ^ 1)
+                elif b == 0:
+                    rpush(self.and_(a ^ 1, c))
+                elif b == 1:
+                    rpush(self.and_(a ^ 1, c ^ 1) ^ 1)
+                elif b == c ^ 1:
+                    rpush(self.xor(a, c))
+                else:
+                    # First-operand and output-complement normalisation.
+                    if a & 1:
+                        a ^= 1
+                        b, c = c, b
+                    out = b & 1
+                    if out:
+                        b ^= 1
+                        c ^= 1
+                    key = ((a << 32 | b) << 32) | c
+                    lookups += 1
+                    res = ct.get(key)
+                    if res is not None:
+                        hits += 1
+                        rpush(res ^ out)
+                        continue
+                    ia = a >> 1
+                    ib = b >> 1
+                    ic = c >> 1
+                    la = _lev[ia]
+                    lvl = _lev[ib]
+                    if la < lvl:
+                        lvl = la
+                    lc = _lev[ic]
+                    if lc < lvl:
+                        lvl = lc
+                    if la == lvl:
+                        ca = a & 1
+                        a0 = _lo[ia] ^ ca
+                        a1 = _hi[ia] ^ ca
+                    else:
+                        a0 = a1 = a
+                    if _lev[ib] == lvl:
+                        a2 = _lo[ib]
+                        a3 = _hi[ib]
+                    else:
+                        a2 = a3 = b
+                    if lc == lvl:
+                        cc = c & 1
+                        c0 = _lo[ic] ^ cc
+                        c1 = _hi[ic] ^ cc
+                    else:
+                        c0 = c1 = c
+                    if out:
+                        tpush((2, 0, 0, 0))
+                    tpush((1, lvl, key, 0))
+                    tpush((0, a1, a3, c1))
+                    tpush((0, a0, a2, c0))
+            elif tag == 1:
+                hi_e = rpop()
+                lo_e = rpop()
+                if lo_e == hi_e:
+                    res = lo_e
+                else:
+                    out = lo_e & 1
+                    if out:
+                        lo_e ^= 1
+                        hi_e ^= 1
+                    table = unique[a]
+                    ukey = (lo_e << 32) | hi_e
+                    uniq_lookups += 1
+                    node = table.get(ukey)
+                    if node is None:
+                        if free:
+                            node = free.pop()
+                            _lev[node] = a
+                            _lo[node] = lo_e
+                            _hi[node] = hi_e
+                        else:
+                            node = len(_lev)
+                            _lev.append(a)
+                            _lo.append(lo_e)
+                            _hi.append(hi_e)
+                        table[ukey] = node
+                        live = len(_lev) - len(free)
+                        if live > self._peak_live:
+                            self._peak_live = live
+                        if self._growth_hook is not None:
+                            self._growth_countdown -= 1
+                            if self._growth_countdown <= 0:
+                                self._growth_countdown = \
+                                    self._growth_interval
+                                self._growth_hook(self)
+                    else:
+                        uniq_hits += 1
+                    res = (node << 1) | out
+                ct[b] = res
+                rpush(res)
+            else:
+                results[-1] ^= 1
+        self._ct_lookups += lookups
+        self._ct_hits += hits
+        self._uniq_lookups += uniq_lookups
+        self._uniq_hits += uniq_hits
+        if len(ct) > _CT_MAX:
+            ct.clear()
+        return results[0]
 
-    def _cofactors_at(self, node, level):
-        """Cofactors of *node* with respect to the variable at *level*."""
-        if self._level[node] == level:
-            return self._lo[node], self._hi[node]
-        return node, node
+    def _cofactors_at(self, edge, level):
+        """Cofactors of *edge* with respect to the variable at *level*."""
+        if self._level[edge >> 1] == level:
+            c = edge & 1
+            return self._lo[edge >> 1] ^ c, self._hi[edge >> 1] ^ c
+        return edge, edge
+
+    def cache_stats(self):
+        """Unique/computed-table hit-rate and peak-live-node counters."""
+        return {
+            "unique_lookups": self._uniq_lookups,
+            "unique_hits": self._uniq_hits,
+            "computed_lookups": self._ct_lookups,
+            "computed_hits": self._ct_hits,
+            "cache_hit_rate": (self._ct_hits / self._ct_lookups
+                               if self._ct_lookups else 0.0),
+            "unique_hit_rate": (self._uniq_hits / self._uniq_lookups
+                                if self._uniq_lookups else 0.0),
+            "computed_slots": (len(self._ct_and) + len(self._ct_xor)
+                               + len(self._ct_ite)),
+            "peak_live_nodes": self._peak_live,
+        }
 
     # ------------------------------------------------------------------
     # Cofactors, restriction, composition
@@ -345,25 +807,49 @@ class BDD:
     def cofactor(self, f, var, value):
         """Restrict variable *var* to the constant *value* (0 or 1) in *f*."""
         level = self._var_to_level[self.var_index(var)]
-        return self._restrict_level(f, level, 1 if value else 0, {})
+        return self._restrict_level(f, level, 1 if value else 0)
 
-    def _restrict_level(self, f, level, value, memo):
-        node_level = self._level[f]
-        if node_level > level:
-            return f
-        cached = memo.get(f)
-        if cached is not None:
-            return cached
-        if node_level == level:
-            result = self._hi[f] if value else self._lo[f]
-        else:
-            result = self._mk(node_level,
-                              self._restrict_level(self._lo[f], level, value,
-                                                   memo),
-                              self._restrict_level(self._hi[f], level, value,
-                                                   memo))
-        memo[f] = result
-        return result
+    def _restrict_level(self, f, level, value):
+        """Iterative one-level restriction with a per-call memo."""
+        _lev = self._level
+        _lo = self._lo
+        _hi = self._hi
+        memo = {}
+        results = []
+        tasks = [(0, f)]
+        while tasks:
+            tag, e = tasks.pop()
+            if tag == 0:
+                out = e & 1
+                reg = e ^ out
+                idx = reg >> 1
+                node_level = _lev[idx]
+                if node_level > level:
+                    results.append(e)
+                    continue
+                cached = memo.get(reg)
+                if cached is not None:
+                    results.append(cached ^ out)
+                    continue
+                if node_level == level:
+                    res = _hi[idx] if value else _lo[idx]
+                    memo[reg] = res
+                    results.append(res ^ out)
+                    continue
+                if out:
+                    tasks.append((2, 0))
+                tasks.append((1, reg))
+                tasks.append((0, _hi[idx]))
+                tasks.append((0, _lo[idx]))
+            elif tag == 1:
+                hi_e = results.pop()
+                lo_e = results.pop()
+                res = self._mk(_lev[e >> 1], lo_e, hi_e)
+                memo[e] = res
+                results.append(res)
+            else:
+                results[-1] ^= 1
+        return results[0]
 
     def restrict(self, f, assignment):
         """Restrict several variables at once.
@@ -380,21 +866,25 @@ class BDD:
         return self._compose_rec(f, level, g, {})
 
     def _compose_rec(self, f, level, g, memo):
-        node_level = self._level[f]
+        node_level = self._level[f >> 1]
         if node_level > level:
             return f
+        out = f & 1
+        f ^= out
         cached = memo.get(f)
         if cached is not None:
-            return cached
+            return cached ^ out
         if node_level == level:
-            result = self.ite(g, self._hi[f], self._lo[f])
+            result = self.ite(g, self._hi[f >> 1], self._lo[f >> 1])
         else:
-            lo = self._compose_rec(self._lo[f], level, g, memo)
-            hi = self._compose_rec(self._hi[f], level, g, memo)
+            lo = self._compose_rec(self._lo[f >> 1], level, g, memo)
+            hi = self._compose_rec(self._hi[f >> 1], level, g, memo)
             var = self._level_to_var[node_level]
+            # The substituted g may depend on variables ordered above
+            # this node, so the recombination must go through ite.
             result = self.ite(self.var(var), hi, lo)
         memo[f] = result
-        return result
+        return result ^ out
 
     def rename(self, f, mapping):
         """Rename variables of *f* according to ``{old: new}`` *mapping*.
@@ -419,17 +909,39 @@ class BDD:
     # ------------------------------------------------------------------
     def support_levels(self, f):
         """Frozenset of levels on which *f* structurally depends."""
-        cached = self._cache_support.get(f)
+        f &= -2
+        if not f:
+            return frozenset()
+        cache = self._cache_support
+        cached = cache.get(f)
         if cached is not None:
             return cached
-        if f == FALSE or f == TRUE:
-            result = frozenset()
-        else:
-            result = (self.support_levels(self._lo[f])
-                      | self.support_levels(self._hi[f])
-                      | frozenset((self._level[f],)))
-        self._cache_support[f] = result
-        return result
+        _lev = self._level
+        _lo = self._lo
+        _hi = self._hi
+        empty = frozenset()
+        stack = [f]
+        while stack:
+            e = stack[-1]
+            if e in cache:
+                stack.pop()
+                continue
+            idx = e >> 1
+            lo = _lo[idx] & -2
+            hi = _hi[idx] & -2
+            ready = True
+            if lo and lo not in cache:
+                stack.append(lo)
+                ready = False
+            if hi and hi not in cache:
+                stack.append(hi)
+                ready = False
+            if not ready:
+                continue
+            stack.pop()
+            cache[e] = (cache.get(lo, empty) | cache.get(hi, empty)
+                        | frozenset((_lev[idx],)))
+        return cache[f]
 
     def support(self, f):
         """Sorted tuple of variable *indices* in the support of *f*."""
@@ -441,17 +953,33 @@ class BDD:
         return tuple(self._var_names[v] for v in self.support(f))
 
     def node_count(self, f):
-        """Number of distinct nodes in the DAG rooted at *f* (incl. terminals)."""
-        seen = set()
+        """Number of distinct functions (edges) in the DAG rooted at *f*.
+
+        Counts complement-resolved edges, i.e. distinct subfunctions
+        including the reachable constants — exactly the node count the
+        pre-complement core reported, so size-based decisions (e.g.
+        ``simplify.minimize``) are unchanged by the edge encoding.
+        """
+        _lev = self._level
+        _lo = self._lo
+        _hi = self._hi
+        seen = {f}
+        add = seen.add
         stack = [f]
+        push = stack.append
         while stack:
-            node = stack.pop()
-            if node in seen:
-                continue
-            seen.add(node)
-            if self._level[node] != TERMINAL_LEVEL:
-                stack.append(self._lo[node])
-                stack.append(self._hi[node])
+            e = stack.pop()
+            idx = e >> 1
+            if _lev[idx] != TERMINAL_LEVEL:
+                c = e & 1
+                lo = _lo[idx] ^ c
+                if lo not in seen:
+                    add(lo)
+                    push(lo)
+                hi = _hi[idx] ^ c
+                if hi not in seen:
+                    add(hi)
+                    push(hi)
         return len(seen)
 
     def eval(self, f, assignment):
@@ -459,73 +987,79 @@ class BDD:
         values = {}
         for var, value in assignment.items():
             values[self._var_to_level[self.var_index(var)]] = 1 if value else 0
-        node = f
-        while self._level[node] != TERMINAL_LEVEL:
-            level = self._level[node]
+        idx = f >> 1
+        parity = f & 1
+        while self._level[idx] != TERMINAL_LEVEL:
+            level = self._level[idx]
             if level not in values:
                 raise BDDError("assignment misses variable %r"
                                % self._var_names[self._level_to_var[level]])
-            node = self._hi[node] if values[level] else self._lo[node]
-        return node == TRUE
+            edge = self._hi[idx] if values[level] else self._lo[idx]
+            parity ^= edge & 1
+            idx = edge >> 1
+        return parity == 1
 
     # ------------------------------------------------------------------
     # Garbage collection (explicit, BuDDy-style ref counting)
     # ------------------------------------------------------------------
-    def ref(self, node):
-        """Protect *node* (and its cone) from garbage collection."""
-        if node not in (FALSE, TRUE):
-            self._refs[node] = self._refs.get(node, 0) + 1
-        return node
+    def ref(self, edge):
+        """Protect *edge* (and its cone) from garbage collection."""
+        idx = edge >> 1
+        if idx:
+            self._refs[idx] = self._refs.get(idx, 0) + 1
+        return edge
 
-    def deref(self, node):
+    def deref(self, edge):
         """Release one external reference taken with :meth:`ref`."""
-        if node in (FALSE, TRUE):
-            return node
-        count = self._refs.get(node, 0)
+        idx = edge >> 1
+        if not idx:
+            return edge
+        count = self._refs.get(idx, 0)
         if count <= 0:
-            raise BDDError("deref of unreferenced node %d" % node)
+            raise BDDError("deref of unreferenced node %d" % edge)
         if count == 1:
-            del self._refs[node]
+            del self._refs[idx]
         else:
-            self._refs[node] = count - 1
-        return node
+            self._refs[idx] = count - 1
+        return edge
 
-    def ref_count(self, node):
-        """Current external reference count of *node*."""
-        return self._refs.get(node, 0)
+    def ref_count(self, edge):
+        """Current external reference count of *edge*'s node."""
+        return self._refs.get(edge >> 1, 0)
 
     def collect(self, extra_roots=()):
         """Mark-and-sweep garbage collection.
 
         Keeps everything reachable from ref'd nodes and *extra_roots*;
-        every other internal node's slot is recycled (its id may be
+        every other internal node's slot is recycled (its index may be
         reused by future ``_mk`` calls).  All computed tables are
-        dropped — they may reference dead nodes.
+        invalidated — they may reference dead nodes.
 
         Returns the number of freed slots.
         """
         live = set()
         stack = list(self._refs)
-        stack.extend(extra_roots)
+        stack.extend(edge >> 1 for edge in extra_roots)
         while stack:
-            node = stack.pop()
-            if node in live or node in (FALSE, TRUE):
+            idx = stack.pop()
+            if idx in live or not idx:
                 continue
-            live.add(node)
-            stack.append(self._lo[node])
-            stack.append(self._hi[node])
+            live.add(idx)
+            stack.append(self._lo[idx] >> 1)
+            stack.append(self._hi[idx] >> 1)
         freed = 0
         already_free = set(self._free)
-        for node in range(2, len(self._level)):
-            if node in live or node in already_free:
+        for idx in range(1, len(self._level)):
+            if idx in live or idx in already_free:
                 continue
-            key = (self._level[node], self._lo[node], self._hi[node])
-            if self._unique.get(key) == node:
-                del self._unique[key]
-            self._level[node] = TERMINAL_LEVEL
-            self._lo[node] = FALSE
-            self._hi[node] = FALSE
-            self._free.append(node)
+            key = (self._lo[idx] << 32) | self._hi[idx]
+            table = self._unique[self._level[idx]]
+            if table.get(key) == idx:
+                del table[key]
+            self._level[idx] = TERMINAL_LEVEL
+            self._lo[idx] = FALSE
+            self._hi[idx] = FALSE
+            self._free.append(idx)
             freed += 1
         self.clear_caches()
         return freed
@@ -538,12 +1072,18 @@ class BDD:
     # Cache maintenance (used by reordering)
     # ------------------------------------------------------------------
     def clear_caches(self):
-        """Drop all computed tables (required after in-place reordering).
+        """Invalidate all computed tables (required after in-place
+        reordering).
 
-        This also clears the dynamic caches attached lazily by the
-        quantification / cube-count modules (any attribute whose name
-        starts with ``_cache_``).
+        Drops the per-operator computed tables and every dict-based
+        cache: ``_cache_support`` (keyed on packed edges whose levels
+        go stale on reordering) and the dynamic caches attached lazily
+        by the quantification / cube-count / simplify modules (any
+        attribute named ``_cache_*``).
         """
+        self._ct_and.clear()
+        self._ct_xor.clear()
+        self._ct_ite.clear()
         for name, value in vars(self).items():
             if name.startswith("_cache_") and isinstance(value, dict):
                 value.clear()

@@ -1,32 +1,48 @@
-"""Low-level node conventions for the BDD package.
+"""Low-level edge conventions for the BDD package.
 
-The manager stores nodes in flat parallel lists indexed by integer node
-ids.  Two terminal nodes exist in every manager:
+The manager stores *physical* nodes in flat parallel lists indexed by
+integer node indices, and functions are denoted by *edges*: packed
+integers ``(index << 1) | complement_bit``.  A set complement bit means
+the denoted function is the negation of the one stored at the index, so
+negation is a single XOR and a function and its complement share one
+physical node.
 
-* ``FALSE = 0`` — the constant-0 terminal,
-* ``TRUE = 1`` — the constant-1 terminal.
+One terminal node exists in every manager, at index 0, representing the
+constant 0.  Its two edges are the Boolean constants:
 
-Internal nodes are created on demand through the unique table, so two
-structurally identical nodes never coexist (strong canonicity).  Nodes
-store the *level* of their decision variable rather than the variable
-index, which makes adjacent-level swapping (the primitive behind sifting
-reordering) a local operation.
+* ``FALSE = 0`` — the regular edge to the terminal (constant 0),
+* ``TRUE = 1`` — the complemented edge to the terminal (constant 1).
+
+Canonicity rule: the *low* (else) edge stored in a node is never
+complemented.  Together with the unique table this makes edges strongly
+canonical — two edges are equal iff they denote the same function —
+while roughly halving the node count of complement-heavy workloads.
 
 This module only holds the shared constants; the actual storage lives in
 :class:`repro.bdd.manager.BDD`.
 """
 
-#: Node id of the constant-0 terminal.
+#: Edge of the constant-0 function (regular edge to the terminal).
 FALSE = 0
 
-#: Node id of the constant-1 terminal.
+#: Edge of the constant-1 function (complemented edge to the terminal).
 TRUE = 1
 
-#: Level assigned to terminal nodes.  Always compares greater than any
-#: variable level, so terminals sink to the bottom of every ordering.
+#: Level assigned to the terminal node.  Always compares greater than
+#: any variable level, so the terminal sinks below every ordering.
 TERMINAL_LEVEL = 1 << 30
 
 
-def is_terminal(node):
-    """Return True if *node* is one of the two constant terminals."""
-    return node == FALSE or node == TRUE
+def is_terminal(edge):
+    """Return True if *edge* is one of the two constant edges."""
+    return edge == FALSE or edge == TRUE
+
+
+def is_complemented(edge):
+    """Return True if *edge* carries the complement bit."""
+    return bool(edge & 1)
+
+
+def regular(edge):
+    """Strip the complement bit: the positive-polarity edge of *edge*."""
+    return edge & ~1

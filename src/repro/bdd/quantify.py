@@ -4,18 +4,48 @@ These are the workhorse operators of the paper: every decomposability
 check (Theorems 1 and 2) and every component derivation (Theorems 3
 and 4) is a quantified Boolean formula evaluated on BDDs.
 
-Quantification recurses by level; the set of quantified variables is
-normalised to a sorted tuple of *levels*, and results are memoised on
-the manager so that the repeated checks performed during variable
-grouping stay cheap.
+Quantification walks by level with an explicit stack (no python
+recursion, so arbitrarily deep cones are safe); the set of quantified
+variables is normalised to a sorted tuple of *levels*, and results are
+memoised on the manager so that the repeated checks performed during
+variable grouping stay cheap.  With complement edges the universal
+quantifier is the dual of the existential one (``forall(V, f) =
+~exists(V, ~f)``), so both share one memo table.
+
+Hot-path notes: decomposition calls ``exists`` hundreds of thousands
+of times with a handful of distinct variable sets, so the
+name/index -> sorted-level-tuple normalisation and the per-call level
+suffix tuples are interned on the manager (``_cache_var_token``,
+``_cache_suffixes``).  Each level suffix also gets a small integer id
+(``_cache_suffix_id``) so memo keys pack as ints — ``(edge << 20) |
+suffix_id`` — instead of allocating and hashing nested tuples on every
+probe.  All of these live in ``_cache_*`` attributes, which
+:meth:`repro.bdd.manager.BDD.clear_caches` drops wholesale on reorder
+or GC, keeping ids and level tokens consistent with the current order.
 """
 
-from repro.bdd.node import FALSE, TRUE, TERMINAL_LEVEL
+from repro.bdd.node import FALSE, TRUE
+
+#: Bits reserved for the suffix id in packed memo keys.  2**20 distinct
+#: (tail of a quantified level set) values is far beyond any real run;
+#: _suffix_id raises before the packing could ever overflow.
+_SUFFIX_BITS = 20
+_SUFFIX_MAX = 1 << _SUFFIX_BITS
 
 
 def _levels_token(mgr, variables):
-    """Normalise *variables* (names/indices) to a sorted tuple of levels."""
-    return tuple(sorted(mgr.level_of_var(v) for v in set(variables)))
+    """Normalise *variables* (names/indices) to a sorted tuple of levels.
+
+    Memoised per distinct argument tuple: grouping code calls this with
+    the same few variable sets over and over.
+    """
+    key = tuple(variables)
+    cache = _cache(mgr, "_cache_var_token")
+    token = cache.get(key)
+    if token is None:
+        token = tuple(sorted(mgr.level_of_var(v) for v in set(key)))
+        cache[key] = token
+    return token
 
 
 def _cache(mgr, name):
@@ -26,61 +56,101 @@ def _cache(mgr, name):
     return cache
 
 
+def _suffixes(mgr, levels):
+    """Interned ``levels[i:]`` slices plus their packed-key ids.
+
+    Returns ``(suffixes, ids)`` where ``ids[i]`` is a small integer
+    unique to the tuple ``levels[i:]`` for the lifetime of the caches.
+    """
+    cache = _cache(mgr, "_cache_suffixes")
+    entry = cache.get(levels)
+    if entry is None:
+        ids = _cache(mgr, "_cache_suffix_id")
+        suffixes = [levels[i:] for i in range(len(levels) + 1)]
+        entry_ids = []
+        for suffix in suffixes:
+            sid = ids.get(suffix)
+            if sid is None:
+                sid = len(ids)
+                if sid >= _SUFFIX_MAX:
+                    raise OverflowError("too many distinct level sets")
+                ids[suffix] = sid
+            entry_ids.append(sid)
+        entry = (suffixes, entry_ids)
+        cache[levels] = entry
+    return entry
+
+
 def exists(mgr, variables, f):
     """Existential quantification: OR of all cofactors over *variables*."""
     levels = _levels_token(mgr, variables)
     if not levels:
         return f
-    return _exists_rec(mgr, f, levels, _cache(mgr, "_cache_exists"))
+    return _exists_iter(mgr, f, levels, _cache(mgr, "_cache_exists"))
 
 
-def _exists_rec(mgr, f, levels, cache):
-    node_level = mgr.level(f)
-    # Drop quantified levels that can no longer appear below this node.
-    while levels and levels[0] < node_level:
-        levels = levels[1:]
-    if not levels or f == FALSE or f == TRUE:
-        return f
-    key = (f, levels)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
-    lo = _exists_rec(mgr, mgr.low(f), levels, cache)
-    hi = _exists_rec(mgr, mgr.high(f), levels, cache)
-    if node_level == levels[0]:
-        result = mgr.or_(lo, hi)
-    else:
-        result = mgr.ite(mgr.var(mgr.var_at_level(node_level)), hi, lo)
-    cache[key] = result
-    return result
+def _exists_iter(mgr, f, levels, cache):
+    _suffix_tuples, sids = _suffixes(mgr, levels)
+    n = len(levels)
+    _lev = mgr._level
+    _lo = mgr._lo
+    _hi = mgr._hi
+    or_ = mgr.or_
+    results = []
+    rpush = results.append
+    rpop = results.pop
+    tasks = [(0, f, 0)]
+    tpush = tasks.append
+    tpop = tasks.pop
+    while tasks:
+        tag, payload, i = tpop()
+        if tag == 0:
+            e = payload
+            if e < 2:
+                rpush(e)
+                continue
+            idx = e >> 1
+            lvl = _lev[idx]
+            # Drop quantified levels that can no longer appear below.
+            while i < n and levels[i] < lvl:
+                i += 1
+            if i == n:
+                rpush(e)
+                continue
+            key = (e << _SUFFIX_BITS) | sids[i]
+            cached = cache.get(key)
+            if cached is not None:
+                rpush(cached)
+                continue
+            c = e & 1
+            tpush((1, (key, lvl, levels[i] == lvl), 0))
+            tpush((0, _hi[idx] ^ c, i))
+            tpush((0, _lo[idx] ^ c, i))
+        else:
+            key, lvl, quantified = payload
+            hi = rpop()
+            lo = rpop()
+            if quantified:
+                result = or_(lo, hi)
+            else:
+                # Quantification only removes variables, so lo/hi top
+                # levels stay strictly below lvl: _mk is safe here.
+                result = mgr._mk(lvl, lo, hi)
+            cache[key] = result
+            rpush(result)
+    return results[0]
 
 
 def forall(mgr, variables, f):
-    """Universal quantification: AND of all cofactors over *variables*."""
+    """Universal quantification: AND of all cofactors over *variables*.
+
+    The dual of :func:`exists` under complement edges; shares its memo.
+    """
     levels = _levels_token(mgr, variables)
     if not levels:
         return f
-    return _forall_rec(mgr, f, levels, _cache(mgr, "_cache_forall"))
-
-
-def _forall_rec(mgr, f, levels, cache):
-    node_level = mgr.level(f)
-    while levels and levels[0] < node_level:
-        levels = levels[1:]
-    if not levels or f == FALSE or f == TRUE:
-        return f
-    key = (f, levels)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
-    lo = _forall_rec(mgr, mgr.low(f), levels, cache)
-    hi = _forall_rec(mgr, mgr.high(f), levels, cache)
-    if node_level == levels[0]:
-        result = mgr.and_(lo, hi)
-    else:
-        result = mgr.ite(mgr.var(mgr.var_at_level(node_level)), hi, lo)
-    cache[key] = result
-    return result
+    return _exists_iter(mgr, f ^ 1, levels,
+                        _cache(mgr, "_cache_exists")) ^ 1
 
 
 def and_exists(mgr, variables, f, g):
@@ -92,43 +162,76 @@ def and_exists(mgr, variables, f, g):
     variable grouping.
     """
     levels = _levels_token(mgr, variables)
-    return _and_exists_rec(mgr, f, g, levels,
-                           _cache(mgr, "_cache_and_exists"))
+    return _and_exists_iter(mgr, f, g, levels,
+                            _cache(mgr, "_cache_and_exists"))
 
 
-def _and_exists_rec(mgr, f, g, levels, cache):
-    if f == FALSE or g == FALSE:
-        return FALSE
-    node_level = min(mgr.level(f), mgr.level(g))
-    while levels and levels[0] < node_level:
-        levels = levels[1:]
-    if not levels:
-        return mgr.and_(f, g)
-    if f == TRUE and g == TRUE:
-        return TRUE
-    if f > g:
-        f, g = g, f
-    key = (f, g, levels)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
-    if mgr.level(f) == node_level:
-        f0, f1 = mgr.low(f), mgr.high(f)
-    else:
-        f0 = f1 = f
-    if mgr.level(g) == node_level:
-        g0, g1 = mgr.low(g), mgr.high(g)
-    else:
-        g0 = g1 = g
-    lo = _and_exists_rec(mgr, f0, g0, levels, cache)
-    if node_level == levels[0]:
-        if lo == TRUE:
-            result = TRUE
+def _and_exists_iter(mgr, f, g, levels, cache):
+    _suffix_tuples, sids = _suffixes(mgr, levels)
+    n = len(levels)
+    _lev = mgr._level
+    _lo = mgr._lo
+    _hi = mgr._hi
+    results = []
+    rpush = results.append
+    rpop = results.pop
+    tasks = [(0, (f, g), 0)]
+    tpush = tasks.append
+    tpop = tasks.pop
+    while tasks:
+        tag, payload, i = tpop()
+        if tag == 0:
+            f, g = payload
+            if f == FALSE or g == FALSE or f == g ^ 1:
+                rpush(FALSE)
+                continue
+            lf = _lev[f >> 1]
+            lg = _lev[g >> 1]
+            lvl = lf if lf < lg else lg
+            while i < n and levels[i] < lvl:
+                i += 1
+            if i == n:
+                rpush(mgr.and_(f, g))
+                continue
+            if f > g:
+                f, g = g, f
+            key = (((f << 32) | g) << _SUFFIX_BITS) | sids[i]
+            cached = cache.get(key)
+            if cached is not None:
+                rpush(cached)
+                continue
+            if _lev[f >> 1] == lvl:
+                cf = f & 1
+                f0 = _lo[f >> 1] ^ cf
+                f1 = _hi[f >> 1] ^ cf
+            else:
+                f0 = f1 = f
+            if _lev[g >> 1] == lvl:
+                cg = g & 1
+                g0 = _lo[g >> 1] ^ cg
+                g1 = _hi[g >> 1] ^ cg
+            else:
+                g0 = g1 = g
+            tpush((1, (f1, g1, key, lvl, levels[i] == lvl), i))
+            tpush((0, (f0, g0), i))
+        elif tag == 1:
+            f1, g1, key, lvl, quantified = payload
+            lo = rpop()
+            if quantified and lo == TRUE:
+                cache[key] = TRUE
+                rpush(TRUE)
+                continue
+            rpush(lo)
+            tpush((2, (key, lvl, quantified), 0))
+            tpush((0, (f1, g1), i))
         else:
-            hi = _and_exists_rec(mgr, f1, g1, levels, cache)
-            result = mgr.or_(lo, hi)
-    else:
-        hi = _and_exists_rec(mgr, f1, g1, levels, cache)
-        result = mgr.ite(mgr.var(mgr.var_at_level(node_level)), hi, lo)
-    cache[key] = result
-    return result
+            key, lvl, quantified = payload
+            hi = rpop()
+            lo = rpop()
+            if quantified:
+                result = mgr.or_(lo, hi)
+            else:
+                result = mgr._mk(lvl, lo, hi)
+            cache[key] = result
+            rpush(result)
+    return results[0]

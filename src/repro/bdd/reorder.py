@@ -5,11 +5,15 @@ stand-in provides the same capability.  The primitive is the classic
 in-place swap of two adjacent levels, on top of which Rudell-style
 sifting and targeted reordering are built.
 
-Because nodes are mutated in place, node ids held by callers stay valid
-and keep denoting the same Boolean function across reordering.  Dead
+Because nodes are mutated in place, edges held by callers stay valid
+and keep denoting the same Boolean function across reordering.  With
+complement edges the swap must respect the canonicity invariant that a
+node's stored low edge is regular: the rebuilt low child is provably
+regular (it derives from the old regular low edge), so in-place
+rewriting preserves the invariant without touching parents.  Dead
 nodes created by rewriting are left in the arena (the package does not
 garbage-collect); sifting cost is therefore measured on the live DAGs
-of caller-supplied roots, not on the arena size.
+of caller-supplied edges, not on the arena size.
 """
 
 from repro.bdd.node import TERMINAL_LEVEL
@@ -18,66 +22,72 @@ from repro.bdd.node import TERMINAL_LEVEL
 def swap_levels(mgr, level):
     """Swap the variables at *level* and *level + 1* in place.
 
-    All existing node ids keep their Boolean meaning.  Computed tables
+    All existing edges keep their Boolean meaning.  Computed tables
     are invalidated.
     """
     if not 0 <= level < mgr.num_vars - 1:
         raise ValueError("level out of range for swap: %d" % level)
-    upper_nodes = []   # nodes currently at `level`
-    lower_nodes = []   # nodes currently at `level + 1`
-    for (node_level, lo, hi), node in list(mgr._unique.items()):
-        if node_level == level:
-            upper_nodes.append(node)
-        elif node_level == level + 1:
-            lower_nodes.append(node)
+    _lev = mgr._level
+    _lo = mgr._lo
+    _hi = mgr._hi
+    upper_table = mgr._unique[level]
+    lower_table = mgr._unique[level + 1]
+    upper_nodes = list(upper_table.values())
+    lower_nodes = list(lower_table.values())
 
-    # Pre-compute, for every upper node, the four grandchildren cofactors
-    # with respect to the *pre-swap* levels.
+    # Pre-compute, for every upper node, the four grandchildren
+    # cofactors with respect to the *pre-swap* levels.  The low child
+    # is regular by the canonicity invariant; the high child's
+    # complement bit is pushed onto its grandchildren.
     rewrites = []      # (node, f00, f01, f10, f11) for v2-dependent nodes
     independents = []  # upper nodes whose children skip level + 1
     for node in upper_nodes:
-        f0, f1 = mgr._lo[node], mgr._hi[node]
-        depends = (mgr._level[f0] == level + 1
-                   or mgr._level[f1] == level + 1)
-        if not depends:
+        f0 = _lo[node]
+        f1 = _hi[node]
+        dep0 = _lev[f0 >> 1] == level + 1
+        dep1 = _lev[f1 >> 1] == level + 1
+        if not (dep0 or dep1):
             independents.append(node)
             continue
-        if mgr._level[f0] == level + 1:
-            f00, f01 = mgr._lo[f0], mgr._hi[f0]
+        if dep0:
+            f00 = _lo[f0 >> 1]
+            f01 = _hi[f0 >> 1]
         else:
             f00 = f01 = f0
-        if mgr._level[f1] == level + 1:
-            f10, f11 = mgr._lo[f1], mgr._hi[f1]
+        if dep1:
+            c1 = f1 & 1
+            f10 = _lo[f1 >> 1] ^ c1
+            f11 = _hi[f1 >> 1] ^ c1
         else:
             f10 = f11 = f1
         rewrites.append((node, f00, f01, f10, f11))
 
     # Drop the stale unique-table entries for both levels.
-    for node in upper_nodes:
-        del mgr._unique[(level, mgr._lo[node], mgr._hi[node])]
-    for node in lower_nodes:
-        del mgr._unique[(level + 1, mgr._lo[node], mgr._hi[node])]
+    upper_table.clear()
+    lower_table.clear()
 
     # 1. Lower nodes keep their (lo, hi) but float up one level: they
     #    still decide the same variable, which now sits at `level`.
     for node in lower_nodes:
-        mgr._level[node] = level
-        mgr._unique[(level, mgr._lo[node], mgr._hi[node])] = node
+        _lev[node] = level
+        upper_table[(_lo[node] << 32) | _hi[node]] = node
 
     # 2. Independent upper nodes sink one level, same reasoning.
     for node in independents:
-        mgr._level[node] = level + 1
-        mgr._unique[(level + 1, mgr._lo[node], mgr._hi[node])] = node
+        _lev[node] = level + 1
+        lower_table[(_lo[node] << 32) | _hi[node]] = node
 
     # 3. Dependent upper nodes are rewritten: they now decide the other
     #    variable first.  New children are built at `level + 1` through
     #    the unique table, sharing any nodes placed there in step 2.
+    #    new_lo's low argument f00 comes from a regular edge, so _mk
+    #    returns it regular and the node invariant holds.
     for node, f00, f01, f10, f11 in rewrites:
         new_lo = mgr._mk(level + 1, f00, f10)
         new_hi = mgr._mk(level + 1, f01, f11)
-        mgr._lo[node] = new_lo
-        mgr._hi[node] = new_hi
-        mgr._unique[(level, new_lo, new_hi)] = node
+        _lo[node] = new_lo
+        _hi[node] = new_hi
+        upper_table[(new_lo << 32) | new_hi] = node
 
     # 4. Update the variable <-> level maps and drop stale caches.
     var_a = mgr._level_to_var[level]
@@ -90,17 +100,24 @@ def swap_levels(mgr, level):
 
 
 def live_size(mgr, roots):
-    """Total number of distinct live nodes reachable from *roots*."""
+    """Total number of distinct live functions reachable from *roots*.
+
+    Counts complement-resolved edges (distinct subfunctions), matching
+    :meth:`BDD.node_count` and the node counts of the pre-complement
+    core, so sifting takes identical decisions.
+    """
     seen = set()
     stack = list(roots)
     while stack:
-        node = stack.pop()
-        if node in seen:
+        edge = stack.pop()
+        if edge in seen:
             continue
-        seen.add(node)
-        if mgr._level[node] != TERMINAL_LEVEL:
-            stack.append(mgr._lo[node])
-            stack.append(mgr._hi[node])
+        seen.add(edge)
+        idx = edge >> 1
+        if mgr._level[idx] != TERMINAL_LEVEL:
+            c = edge & 1
+            stack.append(mgr._lo[idx] ^ c)
+            stack.append(mgr._hi[idx] ^ c)
     return len(seen)
 
 
@@ -171,18 +188,20 @@ def _sift_one(mgr, var, roots, best_total, max_growth):
 
 
 def _level_occupancy(mgr, roots):
-    """Map level -> number of live nodes at that level."""
+    """Map level -> number of live functions decided at that level."""
     occupancy = {}
     seen = set()
     stack = list(roots)
     while stack:
-        node = stack.pop()
-        if node in seen:
+        edge = stack.pop()
+        if edge in seen:
             continue
-        seen.add(node)
-        level = mgr._level[node]
+        seen.add(edge)
+        idx = edge >> 1
+        level = mgr._level[idx]
         if level != TERMINAL_LEVEL:
             occupancy[level] = occupancy.get(level, 0) + 1
-            stack.append(mgr._lo[node])
-            stack.append(mgr._hi[node])
+            c = edge & 1
+            stack.append(mgr._lo[idx] ^ c)
+            stack.append(mgr._hi[idx] ^ c)
     return occupancy

@@ -35,10 +35,17 @@ def _constrain_rec(mgr, f, c, cache):
         return f
     if c == f:
         return TRUE
+    if c == f ^ 1:
+        return FALSE
+    # Constrain is linear in f, so negation commutes: normalising f to
+    # its regular edge halves the cache.
+    out = f & 1
+    if out:
+        f ^= 1
     key = (f, c)
     cached = cache.get(key)
     if cached is not None:
-        return cached
+        return cached ^ out
     level = min(mgr.level(f), mgr.level(c))
     f0, f1 = _cofactors_at(mgr, f, level)
     c0, c1 = _cofactors_at(mgr, c, level)
@@ -51,7 +58,7 @@ def _constrain_rec(mgr, f, c, cache):
         hi = _constrain_rec(mgr, f1, c1, cache)
         result = mgr.ite(mgr.var(mgr.var_at_level(level)), hi, lo)
     cache[key] = result
-    return result
+    return result ^ out
 
 
 def restrict(mgr, f, c):
@@ -73,10 +80,13 @@ def restrict(mgr, f, c):
 def _restrict_rec(mgr, f, c, cache):
     if c == TRUE or f == FALSE or f == TRUE:
         return f
+    out = f & 1
+    if out:
+        f ^= 1
     key = (f, c)
     cached = cache.get(key)
     if cached is not None:
-        return cached
+        return cached ^ out
     f_level = mgr.level(f)
     c_level = mgr.level(c)
     if c_level < f_level:
@@ -96,7 +106,7 @@ def _restrict_rec(mgr, f, c, cache):
             hi = _restrict_rec(mgr, f1, c1, cache)
             result = mgr.ite(mgr.var(mgr.var_at_level(level)), hi, lo)
     cache[key] = result
-    return result
+    return result ^ out
 
 
 def minimize(mgr, f, c):

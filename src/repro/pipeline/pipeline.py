@@ -112,6 +112,14 @@ class PipelineRun:
             doc["cache_hit_rate"] = decomp.get("cache_hit_rate", 0.0)
             doc["rehydrated_hits"] = decomp["cache"].get(
                 "rehydrated_hits", 0)
+        # Manager-level counters: the last stage that ran with a BDD
+        # manager carries the final unique/computed-table snapshot.
+        for payload in reversed(self.stages):
+            if "bdd_peak_nodes" in payload:
+                doc["bdd_cache_hit_rate"] = payload.get(
+                    "bdd_cache_hit_rate", 0.0)
+                doc["bdd_peak_nodes"] = payload["bdd_peak_nodes"]
+                break
         if self.certificate_path:
             doc["certificate"] = self.certificate_path
         return doc

@@ -291,6 +291,10 @@ class Session:
                    "elapsed": time.perf_counter() - started,
                    "bdd_nodes": (self.mgr.live_count()
                                  if self.mgr is not None else 0)}
+        if self.mgr is not None:
+            mgr_stats = self.mgr.cache_stats()
+            payload["bdd_cache_hit_rate"] = mgr_stats["cache_hit_rate"]
+            payload["bdd_peak_nodes"] = mgr_stats["peak_live_nodes"]
         payload.update(record)
         self.events.publish("stage_finished", **payload)
 
@@ -427,6 +431,8 @@ class Session:
         """Session-level counters for reports."""
         snap = {"bdd_nodes": self.mgr.live_count() if self.mgr else 0,
                 "cache_resets": self._cache_resets}
+        if self.mgr is not None:
+            snap["bdd_cache"] = self.mgr.cache_stats()
         if self.engine is not None:
             snap["engine_totals"] = self.engine.stats.as_dict()
             snap["cache_totals"] = self.engine.cache.stats()

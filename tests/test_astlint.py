@@ -168,6 +168,52 @@ class TestCertifierIndependence:
         assert astlint.check_certifier_independence in astlint.CHECKS
 
 
+class TestNodeEncoding:
+    def check(self, rel, source):
+        return list(astlint.check_node_encoding(rel, ast.parse(source)))
+
+    def test_private_array_access_flagged(self):
+        for attr in ("_lo", "_hi", "_level", "_unique"):
+            findings = self.check(
+                "src/repro/decomp/foo.py",
+                "def f(mgr, e):\n    return mgr.%s[e >> 1]\n" % attr)
+            assert findings, attr
+            assert findings[0].rule == "node-encoding"
+            assert attr in findings[0].message
+
+    def test_complement_xor_flagged(self):
+        for source in ("def neg(f):\n    return f ^ 1\n",
+                       "def neg(f):\n    return 1 ^ f\n"):
+            findings = self.check("src/repro/decomp/foo.py", source)
+            assert findings, source
+            assert "complement-bit" in findings[0].message
+
+    def test_bdd_package_allowed(self):
+        source = ("def neg(mgr, f):\n"
+                  "    return (f ^ 1, mgr._lo[f >> 1])\n")
+        assert not self.check("src/repro/bdd/foo.py", source)
+
+    def test_public_api_passes(self):
+        source = ("def f(mgr, e):\n"
+                  "    return mgr.not_(mgr.low(e)), mgr.level(e)\n")
+        assert not self.check("src/repro/decomp/foo.py", source)
+
+    def test_plain_bit_arithmetic_passes(self):
+        # Truth-table indexing ((i >> k) & 1) is not edge arithmetic.
+        source = "def bit(i, k):\n    return (i >> k) & 1\n"
+        assert not self.check("src/repro/boolfn/foo.py", source)
+
+    def test_xor_with_other_constants_passes(self):
+        source = "def f(x):\n    return x ^ 3\n"
+        assert not self.check("src/repro/decomp/foo.py", source)
+
+    def test_outside_src_repro_ignored(self):
+        assert not self.check("tools/foo.py", "x = y ^ 1\n")
+
+    def test_rule_is_registered(self):
+        assert astlint.check_node_encoding in astlint.CHECKS
+
+
 class TestBareAssert:
     def test_assert_flagged(self):
         findings = _bare_assert("src/repro/decomp/foo.py",

@@ -44,7 +44,10 @@ class TestStats:
         assert info["internal_nodes"] == 3
         assert info["total_nodes"] == 5
         assert info["support_size"] == 3
-        assert info["manager_size"] >= info["total_nodes"]
+        # Physical arena: one shared terminal plus the a, b, c variable
+        # nodes and the root.  A single slot serves each function and
+        # its complement, so this can undercut the semantic count.
+        assert info["manager_size"] == 5
 
     def test_constant_root(self):
         mgr = BDD(["a"])

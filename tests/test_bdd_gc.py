@@ -83,7 +83,7 @@ class TestCollection:
         parse(mgr, "x0 & x1")
         freed = mgr.collect()
         assert freed > 0
-        assert mgr.live_count() == 2  # only the terminals
+        assert mgr.live_count() == 1  # only the shared terminal
         # The manager remains fully usable.
         f = parse(mgr, "x0 ^ x1")
         assert f.sat_count() == 2

@@ -105,3 +105,33 @@ class TestSifting:
         assert live_size(mgr, [f, f]) == live_size(mgr, [f])
         assert live_size(mgr, [f, g]) <= \
             live_size(mgr, [f]) + live_size(mgr, [g])
+
+
+class TestCacheInvalidation:
+    """Reordering must invalidate every edge-keyed cache.
+
+    ``support_levels`` memoises frozensets of *levels* keyed on packed
+    edges; after an in-place swap those levels are stale, so a missed
+    clear returns the pre-reorder support (regression: support queries
+    on a session-shared manager after reordering).
+    """
+
+    def test_reorder_then_support(self):
+        mgr = BDD(["a", "b", "c"])
+        f = mgr.and_(mgr.var("a"), mgr.var("c"))
+        assert mgr.support_names(f) == ("a", "c")  # populate the cache
+        reorder_to(mgr, ["c", "b", "a"])
+        assert mgr.support_names(f) == ("a", "c")
+        assert mgr.support_levels(f) == frozenset({0, 2})
+
+    def test_reorder_then_support_on_session_shared_manager(self):
+        from repro.pipeline import Session
+        mgr = BDD(["a", "b", "c", "d"])
+        with Session(mgr=mgr) as session:
+            f = mgr.and_(mgr.var("b"), mgr.var("d"))
+            assert mgr.support_names(f) == ("b", "d")
+            move_var_to_level(mgr, "d", 0)
+            assert session.mgr is mgr
+            assert mgr.support_names(f) == ("b", "d")
+            assert mgr.support_levels(f) == frozenset(
+                {0, mgr.level_of_var("b")})

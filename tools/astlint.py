@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Repo AST lint: architectural rules the test suite can't see.
 
-Five rules, each guarding a seam the session/pipeline refactor and the
+Six rules, each guarding a seam the session/pipeline refactor and the
 static-analysis layer rely on (docs/ANALYSIS.md has the rationale):
 
 ``manager-seam``
@@ -37,6 +37,18 @@ static-analysis layer rely on (docs/ANALYSIS.md has the rationale):
     (``repro.bdd``, ``repro.boolfn``, ``repro.io``, ``repro.network``);
     any import from ``repro.decomp`` or ``repro.pipeline`` (or any
     other repro module off the allowlist) is a finding.
+
+``node-encoding``
+    The BDD core stores nodes in flat parallel arrays and denotes
+    functions by packed complement edges ``(index << 1) | bit``.  That
+    encoding is private to ``repro.bdd``: no other ``src/repro`` module
+    may read the manager-private arrays (``_lo``/``_hi``/``_level``/
+    ``_unique``) or perform complement-bit arithmetic (XOR with the
+    literal ``1``, the fingerprint of in-place edge negation).
+    Everything else must go through the public handle API
+    (``mgr.low``/``mgr.high``/``mgr.level``/``mgr.not_`` and
+    ``Function``), so the encoding can change again without a
+    repo-wide audit.
 
 ``bare-assert``
     No bare ``assert`` statements in ``src/repro`` (outside doctests):
@@ -253,6 +265,43 @@ def check_certifier_independence(rel, tree):
                     % (name, ", ".join(_CERTIFIER_ALLOWED)))
 
 
+#: Manager-private storage attributes of the packed-edge BDD arena.
+#: Reading (or writing) them couples a module to the node encoding.
+_NODE_PRIVATE_ATTRS = ("_lo", "_hi", "_level", "_unique")
+
+
+def _is_xor_with_one(node):
+    """True for ``expr ^ 1`` / ``1 ^ expr`` (complement-bit negation)."""
+    if not (isinstance(node, ast.BinOp)
+            and isinstance(node.op, ast.BitXor)):
+        return False
+    for operand in (node.left, node.right):
+        if (isinstance(operand, ast.Constant)
+                and type(operand.value) is int and operand.value == 1):
+            return True
+    return False
+
+
+def check_node_encoding(rel, tree):
+    """Packed-edge internals used outside the ``repro.bdd`` package."""
+    if not rel.startswith("src/repro/") or rel.startswith("src/repro/bdd/"):
+        return
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Attribute)
+                and node.attr in _NODE_PRIVATE_ATTRS):
+            yield AstFinding(
+                rel, node.lineno, "node-encoding",
+                "manager-private array %r accessed outside repro.bdd; "
+                "use the public handle API (mgr.low/high/level, "
+                "Function) instead" % node.attr)
+        elif _is_xor_with_one(node):
+            yield AstFinding(
+                rel, node.lineno, "node-encoding",
+                "complement-bit arithmetic (`^ 1`) outside repro.bdd; "
+                "edge encoding is private — negate through mgr.not_ "
+                "or the Function operators")
+
+
 def check_bare_assert(rel, tree):
     """``assert`` statements in library code (stripped by ``-O``)."""
     if not rel.startswith("src/repro/"):
@@ -320,8 +369,8 @@ def check_stage_registry(rel, tree, registered=None):
 
 
 CHECKS = (check_manager_seam, check_process_boundary,
-          check_certifier_independence, check_bare_assert,
-          check_stage_registry)
+          check_certifier_independence, check_node_encoding,
+          check_bare_assert, check_stage_registry)
 
 
 def lint_file(path, registered=None):
@@ -335,6 +384,7 @@ def lint_file(path, registered=None):
     findings.extend(check_manager_seam(rel, tree))
     findings.extend(check_process_boundary(rel, tree))
     findings.extend(check_certifier_independence(rel, tree))
+    findings.extend(check_node_encoding(rel, tree))
     findings.extend(check_bare_assert(rel, tree))
     findings.extend(check_stage_registry(rel, tree, registered=registered))
     return findings
