@@ -11,8 +11,11 @@
   manager (``repro certify`` on the CLI); imports no engine or
   pipeline code, enforced by the ``certifier-independence`` AST-lint
   rule;
-* the repo-discipline AST lint lives outside the package, in
-  ``tools/astlint.py``.
+* :mod:`repro.analysis.repolint` — the repo-discipline static analyzer
+  behind ``repro selfcheck``: a typed rule-plugin framework with a
+  transitive import graph and a per-function dataflow walk, covering
+  the seam invariants formerly in ``tools/astlint.py`` (now a thin
+  shim) plus determinism/purity rules for the certified hot paths.
 
 See docs/ANALYSIS.md for the rule and contract catalogue with paper
 references.
@@ -26,6 +29,9 @@ from repro.analysis.contracts import (CONTRACTS, CheckedDecompositionEngine,
 from repro.analysis.certify import (CertificationFailure,
                                     CertificationReport, certify,
                                     certify_file)
+from repro.analysis.repolint import (REPO_RULES, RepolintReport, RepoRule,
+                                     load_project, repo_rule, run_repolint,
+                                     to_sarif)
 
 __all__ = [
     "RULES", "Finding", "LintReport", "LintRule", "Severity", "rule",
@@ -34,4 +40,6 @@ __all__ = [
     "ContractViolation",
     "CertificationFailure", "CertificationReport", "certify",
     "certify_file",
+    "REPO_RULES", "RepoRule", "RepolintReport", "load_project",
+    "repo_rule", "run_repolint", "to_sarif",
 ]

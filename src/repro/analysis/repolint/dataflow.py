@@ -1,0 +1,261 @@
+"""Per-function dataflow walk for the determinism rules.
+
+Python's ``set``/``frozenset`` iterate in hash order, which for
+str/tuple keys changes run to run (``PYTHONHASHSEED``) and for objects
+hashing on ``id()`` changes allocation to allocation; ``os.listdir``
+returns directory order.  Anything that iterates such a value into an
+emitted artifact — a BLIF line, a certificate step, a store key — makes
+output bytes depend on interpreter accidents, which is exactly what the
+``--jobs 1/N`` byte-identity and offline-certification guarantees
+forbid.
+
+This walk tracks, per function scope and in textual order, which local
+names are bound to unordered values, then reports every *iteration
+site* over an unordered value that is not laundered through
+``sorted(...)`` or consumed by an order-insensitive reducer.  It is a
+deliberate over-approximation: a commutative fold over a set is safe in
+principle, but proving commutativity statically is not worth the rule
+missing a real leak — the escape hatch is an inline
+``# repolint: disable=... -- why it is order-safe`` suppression.
+"""
+
+import ast
+
+#: Kinds of unordered values the walk distinguishes (they feed two
+#: different rules with different remediation stories).
+SET_KIND = "set"
+LISTDIR_KIND = "listdir"
+
+#: ``set`` methods returning another set.
+_SET_METHODS = frozenset((
+    "union", "intersection", "difference", "symmetric_difference",
+    "copy",
+))
+
+#: ``module.function`` calls returning paths in directory order.
+_LISTDIR_CALLS = frozenset((
+    ("os", "listdir"), ("os", "scandir"),
+    ("glob", "glob"), ("glob", "iglob"),
+))
+
+#: Method names returning paths in directory order (``Path.iterdir``).
+_LISTDIR_METHODS = frozenset(("iterdir",))
+
+#: Set operators that preserve set-ness (`|`, `&`, `-`, `^`).
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+#: Callables whose result does not depend on argument iteration order.
+#: ``min``/``max`` break ties by encounter order, but a keyless min over
+#: hashables is order-independent and the keyed-tie case is rare enough
+#: to leave to review.
+ORDER_SAFE_CONSUMERS = frozenset((
+    "sorted", "len", "sum", "min", "max", "any", "all", "set",
+    "frozenset",
+))
+
+
+class IterationSite:
+    """One unsorted iteration over an unordered value."""
+
+    __slots__ = ("line", "kind", "describe")
+
+    def __init__(self, line, kind, describe):
+        self.line = line
+        self.kind = kind
+        self.describe = describe
+
+
+def _call_name(func):
+    """``Name(...)`` -> id, for classifying plain calls."""
+    return func.id if isinstance(func, ast.Name) else None
+
+
+def _module_attr(func):
+    """``mod.attr`` -> ``(mod, attr)`` when the base is a plain name."""
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id, func.attr
+    return None
+
+
+class _Scope(ast.NodeVisitor):
+    """One function (or module) body, visited in textual order.
+
+    ``env`` maps local names to unordered kinds.  Nested function
+    scopes start from a copy of the enclosing env (closures read outer
+    bindings) and are visited as their own ``_Scope``, so a rebinding
+    inside the nested function cannot leak back out.
+    """
+
+    def __init__(self, env, sites):
+        self.env = dict(env)
+        self.sites = sites
+
+    # -- expression classification ------------------------------------
+    def classify(self, node):
+        """Unordered kind of expression *node*, or ``None``."""
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return SET_KIND
+        if isinstance(node, ast.IfExp):
+            return (self.classify(node.body)
+                    or self.classify(node.orelse))
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+            left = self.classify(node.left)
+            right = self.classify(node.right)
+            if SET_KIND in (left, right):
+                return SET_KIND
+        if isinstance(node, ast.Call):
+            if _call_name(node.func) in ("set", "frozenset"):
+                return SET_KIND
+            pair = _module_attr(node.func)
+            if pair in _LISTDIR_CALLS:
+                return LISTDIR_KIND
+            if isinstance(node.func, ast.Attribute):
+                if node.func.attr in _LISTDIR_METHODS:
+                    return LISTDIR_KIND
+                if (node.func.attr in _SET_METHODS
+                        and self.classify(node.func.value) == SET_KIND):
+                    return SET_KIND
+        return None
+
+    def _describe(self, node):
+        try:
+            return ast.unparse(node)
+        except Exception:  # pragma: no cover - unparse is total on 3.9+
+            return "<expr>"
+
+    def _record(self, node, kind):
+        self.sites.append(IterationSite(node.lineno, kind,
+                                        self._describe(node)))
+
+    # -- bindings (textual order) -------------------------------------
+    def _bind(self, target, kind):
+        if isinstance(target, ast.Name):
+            if kind is None:
+                self.env.pop(target.id, None)
+            else:
+                self.env[target.id] = kind
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, None)
+
+    def visit_Assign(self, node):
+        self.generic_visit(node)
+        kind = self.classify(node.value)
+        for target in node.targets:
+            self._bind(target, kind)
+
+    def visit_AnnAssign(self, node):
+        self.generic_visit(node)
+        if node.value is not None:
+            self._bind(node.target, self.classify(node.value))
+
+    def visit_AugAssign(self, node):
+        self.generic_visit(node)
+        if (isinstance(node.target, ast.Name)
+                and self.env.get(node.target.id) != SET_KIND
+                and isinstance(node.op, _SET_BINOPS)
+                and self.classify(node.value) == SET_KIND):
+            self.env[node.target.id] = SET_KIND
+
+    # -- iteration sites ----------------------------------------------
+    def visit_For(self, node):
+        kind = self.classify(node.iter)
+        if kind is not None:
+            self._record(node.iter, kind)
+        # The loop variable is ordered data, not a set.
+        self._bind(node.target, None)
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node, consumer_safe):
+        for gen in node.generators:
+            kind = self.classify(gen.iter)
+            if kind is not None and not consumer_safe:
+                self._record(gen.iter, kind)
+            self._bind(gen.target, None)
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node):
+        # A set built from a set is still unordered data, not an
+        # ordering leak; the leak is reported where the result is
+        # eventually iterated.
+        self._check_comprehension(node, consumer_safe=True)
+
+    def visit_GeneratorExp(self, node):
+        self._check_comprehension(node, self._consumer_safe(node))
+
+    def visit_ListComp(self, node):
+        self._check_comprehension(node, self._consumer_safe(node))
+
+    def visit_DictComp(self, node):
+        # Dicts remember insertion order, so building one from a set
+        # bakes the nondeterministic order in.
+        self._check_comprehension(node, consumer_safe=False)
+
+    def visit_Call(self, node):
+        name = _call_name(node.func)
+        if (name in ("list", "tuple", "iter", "enumerate")
+                and len(node.args) == 1):
+            kind = self.classify(node.args[0])
+            if kind is not None:
+                self._record(node.args[0], kind)
+        elif (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join" and len(node.args) == 1):
+            kind = self.classify(node.args[0])
+            if kind is not None:
+                self._record(node.args[0], kind)
+        self.generic_visit(node)
+
+    def _consumer_safe(self, comp):
+        return comp in self._safe_comps
+
+    # -- scope boundaries ---------------------------------------------
+    def _enter_subscope(self, node, body):
+        sub = _Scope(self.env, self.sites)
+        sub._safe_comps = self._safe_comps
+        for stmt in body:
+            sub.visit(stmt)
+
+    def visit_FunctionDef(self, node):
+        self._enter_subscope(node, node.body)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node):
+        self._enter_subscope(node, [ast.Expr(value=node.body)])
+
+    def visit_ClassDef(self, node):
+        self._enter_subscope(node, node.body)
+
+
+def _safe_comprehensions(tree):
+    """Comprehension nodes consumed by an order-insensitive callable.
+
+    ``sum(x for x in s)``, ``sorted(v for v in s)`` and friends are
+    sanctioned: the generator's iteration order cannot reach the
+    result.  Only the single-argument direct-call shape qualifies.
+    """
+    safe = set()
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and _call_name(node.func) in ORDER_SAFE_CONSUMERS
+                and len(node.args) == 1
+                and isinstance(node.args[0],
+                               (ast.GeneratorExp, ast.ListComp))):
+            safe.add(node.args[0])
+    return safe
+
+
+def iteration_sites(tree):
+    """All unsorted-unordered iteration sites in *tree* (module AST).
+
+    Returns :class:`IterationSite` objects in source order.
+    """
+    sites = []
+    scope = _Scope({}, sites)
+    scope._safe_comps = _safe_comprehensions(tree)
+    for stmt in tree.body:
+        scope.visit(stmt)
+    sites.sort(key=lambda site: site.line)
+    return sites

@@ -1,0 +1,424 @@
+"""The repolint rule framework: registry, contexts, runner, report.
+
+Rules are plain functions registered with a stable id, a default
+severity and a scope, yielding the shared
+:class:`repro.analysis.Finding` type with ``path``/``line`` locations:
+
+* ``file`` rules run once per scanned source file over a
+  :class:`FileContext` (AST plus the project for cross-file lookups);
+* ``project`` rules run once per scan over a :class:`ProjectContext`
+  (the transitive import graph substrate).
+
+The runner then applies inline suppressions
+(``# repolint: disable=<rule> -- <justification>``) and the committed
+baseline before anything reaches the exit code, so intentional
+exceptions are visible and auditable rather than silently absent.
+"""
+
+import ast
+import os
+import re
+from pathlib import Path
+
+from repro.analysis.rules import Finding, LintReport, Severity
+
+#: All registered rules in definition order, keyed by rule id.
+REPO_RULES = {}
+
+#: Scopes a rule may declare.
+RULE_SCOPES = ("file", "project", "meta")
+
+
+class RepoRule:
+    """Registry entry: id, default severity, scope, body, docstring."""
+
+    def __init__(self, rule_id, severity, scope, fn, doc):
+        self.rule_id = rule_id
+        self.severity = severity
+        self.scope = scope
+        self.fn = fn
+        self.doc = doc
+
+    def __repr__(self):
+        return "RepoRule(%s, %s, %s)" % (self.rule_id, self.severity,
+                                         self.scope)
+
+
+def repo_rule(rule_id, severity, scope="file"):
+    """Decorator registering a repolint rule under *rule_id*."""
+    if severity not in Severity.ORDER:
+        raise ValueError("unknown severity %r" % (severity,))
+    if scope not in RULE_SCOPES:
+        raise ValueError("unknown rule scope %r" % (scope,))
+
+    def decorate(fn):
+        if rule_id in REPO_RULES:
+            raise ValueError("duplicate repolint rule id %r" % rule_id)
+        REPO_RULES[rule_id] = RepoRule(rule_id, severity, scope, fn,
+                                       (fn.__doc__ or "").strip())
+        return fn
+    return decorate
+
+
+def register_meta_rule(rule_id, severity, doc):
+    """Register a framework-emitted rule (no body to run)."""
+    if rule_id in REPO_RULES:
+        raise ValueError("duplicate repolint rule id %r" % rule_id)
+    REPO_RULES[rule_id] = RepoRule(rule_id, severity, "meta", None, doc)
+
+
+# ---------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------
+#: ``# repolint: disable=<rule>,<rule> -- justification text``
+#: (angle brackets here keep this doc line from matching itself)
+_SUPPRESS_RE = re.compile(
+    r"#\s*repolint:\s*disable=([A-Za-z0-9_,-]+)"
+    r"(?:\s+--\s*(?P<why>\S.*))?")
+
+
+class Suppression:
+    """One inline suppression comment."""
+
+    __slots__ = ("line", "rules", "justification", "used")
+
+    def __init__(self, line, rules, justification):
+        self.line = line
+        self.rules = tuple(rules)
+        self.justification = justification
+        self.used = False
+
+    def as_dict(self):
+        return {"line": self.line, "rules": list(self.rules),
+                "justification": self.justification}
+
+
+def parse_suppressions(text):
+    """All :class:`Suppression` comments in *text*, by source line."""
+    found = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = [name for name in match.group(1).split(",") if name]
+        found.append(Suppression(lineno, rules, match.group("why")))
+    return found
+
+
+# ---------------------------------------------------------------------
+# Scanned files and contexts
+# ---------------------------------------------------------------------
+class SourceFile:
+    """One scanned file: rel path, text, AST and its suppressions."""
+
+    def __init__(self, rel, text, tree):
+        self.rel = rel
+        self.text = text
+        self.tree = tree
+        self.suppressions = parse_suppressions(text)
+
+
+def is_test_path(rel):
+    """Test files are exercised by pytest, not linted."""
+    name = rel.rsplit("/", 1)[-1]
+    return "tests/" in rel or name.startswith("test_")
+
+
+class FileContext:
+    """What a file-scope rule sees: the file plus the whole project."""
+
+    def __init__(self, source, project, rule):
+        self.rel = source.rel
+        self.tree = source.tree
+        self.text = source.text
+        self.project = project
+        self._rule = rule
+
+    def finding(self, line, message, data=None):
+        """A :class:`Finding` for the active rule at *line*."""
+        return Finding(self._rule.rule_id, self._rule.severity, message,
+                       path=self.rel, line=line, data=data)
+
+
+class ProjectContext:
+    """What a project-scope rule sees: files and the import graph."""
+
+    def __init__(self, project, rule):
+        self.project = project
+        self.graph = project.graph
+        self.files = project.files
+        self._rule = rule
+
+    def finding(self, rel, line, message, data=None):
+        return Finding(self._rule.rule_id, self._rule.severity, message,
+                       path=rel, line=line, data=data)
+
+
+class Project:
+    """The scanned tree: sources, import graph, stage registry."""
+
+    def __init__(self, root, files, stage_names=None):
+        from repro.analysis.repolint.imports import ImportGraph
+        self.root = Path(root)
+        self.files = sorted(files, key=lambda source: source.rel)
+        self.by_rel = {source.rel: source for source in self.files}
+        self.graph = ImportGraph({source.rel: source.tree
+                                  for source in self.files})
+        #: Registered pipeline stage names, or None when the tree has
+        #: no ``src/repro/pipeline/config.py`` (temp mini-projects).
+        self.stage_names = stage_names
+
+
+def registered_stage_names(root):
+    """The ``STAGE_NAMES`` literal parsed from the pipeline config.
+
+    Parsed from source rather than imported, so a scan never executes
+    the tree it analyses.  Returns ``None`` when the file is absent.
+    """
+    config_path = (Path(root) / "src" / "repro" / "pipeline"
+                   / "config.py")
+    if not config_path.is_file():
+        return None
+    tree = ast.parse(config_path.read_text(), filename=str(config_path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "STAGE_NAMES"
+                   for t in node.targets):
+                return set(ast.literal_eval(node.value))
+    return None
+
+
+def _relpath(path, root):
+    """Repo-root-relative ``/``-separated form of *path*."""
+    path = Path(path).resolve()
+    try:
+        return path.relative_to(Path(root).resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def iter_python_files(paths):
+    """Python files under *paths* (files kept as-is, dirs walked)."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            yield from sorted(entry.rglob("*.py"))
+        else:
+            yield entry
+
+
+def load_project(paths=None, root=None):
+    """Scan *paths* (default ``src/repro`` + ``tools``) into a Project.
+
+    Files that fail to parse are carried as findings by the runner
+    (``parse-error``), not exceptions — one broken file must not mask
+    findings in the rest of the tree.
+    """
+    root = Path(root) if root is not None else Path(os.getcwd())
+    if paths is None:
+        paths = [root / "src" / "repro", root / "tools"]
+    files = []
+    broken = []
+    for path in iter_python_files(paths):
+        rel = _relpath(path, root)
+        if is_test_path(rel):
+            continue
+        text = Path(path).read_text()
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            broken.append(Finding(
+                "parse-error", Severity.ERROR,
+                "file does not parse: %s" % exc,
+                path=rel, line=exc.lineno or 1))
+            continue
+        files.append(SourceFile(rel, text, tree))
+    project = Project(root, files,
+                      stage_names=registered_stage_names(root))
+    return project, broken
+
+
+# ---------------------------------------------------------------------
+# Report
+# ---------------------------------------------------------------------
+class RepolintReport(LintReport):
+    """A repolint run: active findings plus the audit trail.
+
+    ``findings`` holds what counts toward the exit code; suppressed and
+    baselined findings are preserved separately so the report never
+    hides an exception — it documents it.
+    """
+
+    def __init__(self, findings, rules_run=(), files_checked=0,
+                 suppressed=(), baselined=()):
+        super().__init__(findings, rules_run=rules_run)
+        self.files_checked = files_checked
+        self.suppressed = list(suppressed)
+        self.baselined = list(baselined)
+
+    def summary(self):
+        counts = self.counts()
+        return {
+            "findings": len(self.findings),
+            "errors": counts[Severity.ERROR],
+            "warnings": counts[Severity.WARNING],
+            "infos": counts[Severity.INFO],
+            "clean": not self.findings,
+            "suppressed": len(self.suppressed),
+            "baselined": len(self.baselined),
+            "rules_run": len(self.rules_run),
+            "files_checked": self.files_checked,
+        }
+
+    def as_dict(self):
+        return {
+            "summary": self.summary(),
+            "rules_run": list(self.rules_run),
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+            "baselined": [f.as_dict() for f in self.baselined],
+        }
+
+    def format_text(self):
+        lines = ["%s:%s: [%s] %s: %s"
+                 % (f.path, f.line, f.rule, f.severity, f.message)
+                 for f in self.findings]
+        counts = self.counts()
+        lines.append(
+            "selfcheck: %d finding(s) (%d error, %d warning, %d info; "
+            "%d suppressed, %d baselined) over %d file(s), %d rule(s)"
+            % (len(self.findings), counts[Severity.ERROR],
+               counts[Severity.WARNING], counts[Severity.INFO],
+               len(self.suppressed), len(self.baselined),
+               self.files_checked, len(self.rules_run)))
+        return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------
+def _finding_sort_key(finding):
+    return (finding.path or "", finding.line or 0, finding.rule,
+            finding.message)
+
+
+def _apply_suppressions(findings, project):
+    """Split *findings* into (active, suppressed); add meta findings.
+
+    A suppression matches findings of the named rules on its own line.
+    Missing justification text is itself an error (the whole point is
+    a reviewable reason next to the exception), an unknown rule id a
+    warning, and a suppression that matched nothing a warning (stale
+    escapes must not accumulate).
+    """
+    active, suppressed, meta = [], [], []
+    for finding in findings:
+        source = project.by_rel.get(finding.path)
+        matched = None
+        if source is not None and finding.line is not None:
+            for supp in source.suppressions:
+                if (supp.line == finding.line
+                        and finding.rule in supp.rules):
+                    matched = supp
+                    break
+        if matched is not None and matched.justification:
+            matched.used = True
+            finding.data = dict(finding.data or ())
+            finding.data["suppression"] = matched.justification
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+    for source in project.files:
+        for supp in source.suppressions:
+            if not supp.justification:
+                meta.append(Finding(
+                    "suppression-missing-justification", Severity.ERROR,
+                    "suppression of %s has no justification; write "
+                    "'# repolint: disable=%s -- <why this is safe>'"
+                    % (", ".join(supp.rules), ",".join(supp.rules)),
+                    path=source.rel, line=supp.line))
+                continue
+            unknown = [name for name in supp.rules
+                       if name not in REPO_RULES]
+            for name in unknown:
+                meta.append(Finding(
+                    "suppression-unknown-rule", Severity.WARNING,
+                    "suppression names unknown rule %r" % name,
+                    path=source.rel, line=supp.line))
+            if not supp.used and not unknown:
+                meta.append(Finding(
+                    "suppression-unused", Severity.WARNING,
+                    "suppression of %s matched no finding on this "
+                    "line; remove it" % ", ".join(supp.rules),
+                    path=source.rel, line=supp.line))
+    return active + meta, suppressed
+
+
+def run_repolint(paths=None, root=None, rules=None, baseline=None):
+    """Run the rule set over a tree; returns a :class:`RepolintReport`.
+
+    Parameters
+    ----------
+    paths:
+        Files/directories to scan (default: ``<root>/src/repro`` and
+        ``<root>/tools``).
+    root:
+        Tree root rel paths are computed against (default: cwd).
+    rules:
+        Iterable of rule ids to run (default: every registered rule).
+        Unknown ids raise ValueError.
+    baseline:
+        Parsed baseline document (see
+        :mod:`repro.analysis.repolint.baseline`) or ``None``.
+    """
+    from repro.analysis.repolint.baseline import apply_baseline
+    project, findings = load_project(paths=paths, root=root)
+    if rules is None:
+        selected = [rule for rule in REPO_RULES.values()
+                    if rule.scope != "meta"]
+    else:
+        unknown = sorted(set(rules) - set(REPO_RULES))
+        if unknown:
+            raise ValueError("unknown repolint rule id(s): %s"
+                             % ", ".join(unknown))
+        selected = [REPO_RULES[rule_id] for rule_id in REPO_RULES
+                    if rule_id in set(rules)
+                    and REPO_RULES[rule_id].scope != "meta"]
+    for rule in selected:
+        if rule.scope == "file":
+            for source in project.files:
+                ctx = FileContext(source, project, rule)
+                findings.extend(rule.fn(ctx))
+        else:
+            ctx = ProjectContext(project, rule)
+            findings.extend(rule.fn(ctx))
+    findings, suppressed = _apply_suppressions(findings, project)
+    baselined = []
+    if baseline is not None:
+        findings, baselined = apply_baseline(findings, baseline)
+    findings.sort(key=_finding_sort_key)
+    suppressed.sort(key=_finding_sort_key)
+    baselined.sort(key=_finding_sort_key)
+    rules_run = [rule.rule_id for rule in selected]
+    return RepolintReport(findings, rules_run=rules_run,
+                          files_checked=len(project.files),
+                          suppressed=suppressed, baselined=baselined)
+
+
+# Framework-emitted rules, registered so catalogues (SARIF ``rules``,
+# docs/ANALYSIS.md) and ``--fail-on`` cover them uniformly.
+register_meta_rule(
+    "parse-error", Severity.ERROR,
+    "A scanned file failed to parse; nothing in it was analysed.")
+register_meta_rule(
+    "suppression-missing-justification", Severity.ERROR,
+    "An inline suppression lacks the required '-- <why>' text.")
+register_meta_rule(
+    "suppression-unknown-rule", Severity.WARNING,
+    "An inline suppression names a rule id that does not exist.")
+register_meta_rule(
+    "suppression-unused", Severity.WARNING,
+    "An inline suppression matched no finding on its line.")
+register_meta_rule(
+    "stale-baseline", Severity.ERROR,
+    "A baseline entry no longer matches any finding; re-baseline.")

@@ -1,0 +1,75 @@
+"""SARIF 2.1.0 export of a repolint report.
+
+SARIF (Static Analysis Results Interchange Format) is what code-hosting
+UIs ingest for inline annotations; the CI ``selfcheck`` job uploads
+this document as a build artifact.  Only the stable core of the schema
+is emitted: one run, the full rule catalogue under
+``tool.driver.rules``, and one ``result`` per finding with a physical
+location.  Suppressed and baselined findings are included with SARIF's
+own ``suppressions`` property so the artifact is a complete audit
+trail, matching the text report's philosophy.
+"""
+
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+SARIF_VERSION = "2.1.0"
+TOOL_NAME = "repro-repolint"
+
+#: Finding severity -> SARIF result level.
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def _rule_descriptor(rule):
+    return {
+        "id": rule.rule_id,
+        "shortDescription": {"text": rule.doc.splitlines()[0]
+                             if rule.doc else rule.rule_id},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }
+
+
+def _result(finding, suppression_kind=None):
+    doc = {
+        "ruleId": finding.rule,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path or ""},
+                "region": {"startLine": max(1, finding.line or 1)},
+            },
+        }],
+    }
+    if suppression_kind is not None:
+        doc["suppressions"] = [{"kind": suppression_kind}]
+    return doc
+
+
+def to_sarif(report, rules=None):
+    """The SARIF document for a :class:`RepolintReport`.
+
+    *rules* defaults to the full registry, so rule metadata is present
+    even for rules that produced no findings this run.
+    """
+    if rules is None:
+        from repro.analysis.repolint.framework import REPO_RULES
+        rules = REPO_RULES
+    results = [_result(finding) for finding in report.findings]
+    results += [_result(finding, suppression_kind="inSource")
+                for finding in report.suppressed]
+    results += [_result(finding, suppression_kind="external")
+                for finding in report.baselined]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": TOOL_NAME,
+                "informationUri":
+                    "https://example.invalid/repro/docs/ANALYSIS.md",
+                "rules": [_rule_descriptor(rule)
+                          for rule in rules.values()],
+            }},
+            "results": results,
+        }],
+    }

@@ -49,18 +49,26 @@ class Finding:
         Output name the finding is attached to, when output-specific.
     data:
         Optional extra JSON-able payload (signatures, support sets...).
+    path:
+        Repo-relative source path, for source-level findings (the
+        repolint rules); ``None`` for netlist findings.
+    line:
+        1-based source line within *path*; ``None`` when not anchored.
     """
 
-    __slots__ = ("rule", "severity", "message", "nodes", "output", "data")
+    __slots__ = ("rule", "severity", "message", "nodes", "output", "data",
+                 "path", "line")
 
     def __init__(self, rule, severity, message, nodes=(), output=None,
-                 data=None):
+                 data=None, path=None, line=None):
         self.rule = rule
         self.severity = severity
         self.message = message
         self.nodes = tuple(nodes)
         self.output = output
         self.data = data
+        self.path = path
+        self.line = line
 
     def as_dict(self):
         """JSON-able view of the finding."""
@@ -70,6 +78,10 @@ class Finding:
             doc["output"] = self.output
         if self.data is not None:
             doc["data"] = self.data
+        if self.path is not None:
+            doc["path"] = self.path
+        if self.line is not None:
+            doc["line"] = self.line
         return doc
 
     def __repr__(self):

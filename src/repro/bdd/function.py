@@ -119,7 +119,10 @@ class Function:
         return NotImplemented
 
     def __hash__(self):
-        return hash((id(self.mgr), self.node))
+        # Hashing the packed node alone keeps hash order independent of
+        # allocator state; __eq__ still requires the same manager, and
+        # cross-manager Functions merely share buckets.
+        return hash(self.node)
 
     def __le__(self, other):
         """Containment: every minterm of self is a minterm of other."""

@@ -415,6 +415,57 @@ def cmd_lint(args, stdout):
     return 1 if report.worst(args.fail_on) else 0
 
 
+def cmd_selfcheck(args, stdout):
+    """Run the repolint self-analysis over the repo's own source."""
+    from repro.analysis import Severity
+    from repro.analysis.repolint import (BaselineError, load_baseline,
+                                         make_baseline, run_repolint,
+                                         save_baseline, to_sarif)
+    if args.fail_on != "never" and args.fail_on not in Severity.ORDER:
+        sys.stderr.write("error: unknown --fail-on severity %r "
+                         "(choose from %s)\n"
+                         % (args.fail_on,
+                            "/".join(Severity.ORDER + ("never",))))
+        return 2
+    if args.write_baseline and args.baseline is None:
+        sys.stderr.write("error: --write-baseline needs "
+                         "--baseline PATH to write to\n")
+        return 2
+    baseline = None
+    if args.baseline is not None and not args.write_baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except BaselineError as exc:
+            sys.stderr.write("error: %s\n" % exc)
+            return 2
+    report = run_repolint(paths=args.paths or None, root=args.root,
+                          baseline=baseline)
+    if args.write_baseline:
+        save_baseline(args.baseline, make_baseline(report.findings))
+        stdout.write("selfcheck: wrote baseline with %d entrie(s) to "
+                     "%s\n" % (len(report.findings), args.baseline))
+        return 0
+    stdout.write(report.format_text())
+    if args.json is not None:
+        text = json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            stdout.write(text)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(text)
+    if args.sarif is not None:
+        text = json.dumps(to_sarif(report), indent=2,
+                          sort_keys=True) + "\n"
+        if args.sarif == "-":
+            stdout.write(text)
+        else:
+            with open(args.sarif, "w") as handle:
+                handle.write(text)
+    if args.fail_on == "never":
+        return 0
+    return 1 if report.worst(args.fail_on) else 0
+
+
 def cmd_certify(args, stdout):
     """Independently re-prove a decomposition certificate.
 
@@ -566,6 +617,34 @@ def build_parser():
                    help="lowest severity that makes the exit code 1 "
                         "(default: error)")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("selfcheck",
+                       help="repolint static analysis of the repo's "
+                            "own source (docs/ANALYSIS.md)")
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to scan (default: src/repro "
+                        "and tools under --root)")
+    p.add_argument("--root", default=None, metavar="DIR",
+                   help="repo root rel paths are computed against "
+                        "(default: current directory)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="baseline JSON of grandfathered findings; "
+                        "stale entries are errors")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="write the current findings to --baseline and "
+                        "exit 0 instead of reporting")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the full findings report as JSON "
+                        "('-' for stdout)")
+    p.add_argument("--sarif", default=None, metavar="PATH",
+                   help="write a SARIF 2.1.0 report "
+                        "('-' for stdout)")
+    p.add_argument("--fail-on", choices=("error", "warning", "info",
+                                         "never"),
+                   default="error",
+                   help="lowest severity that makes the exit code 1 "
+                        "(default: error)")
+    p.set_defaults(func=cmd_selfcheck)
 
     p = sub.add_parser("certify",
                        help="independently re-prove a decomposition "

@@ -75,18 +75,22 @@ def validate_specs(specs):
         raise ValueError(
             "bi_decompose: empty specification dict — pass at least one "
             "output name mapped to an ISF or Function")
-    by_manager = {}
+    by_manager = []
     for name, isf in specs.items():
-        by_manager.setdefault(id(isf.mgr), (isf.mgr, []))[1].append(name)
+        for mgr, names in by_manager:
+            if mgr is isf.mgr:
+                names.append(name)
+                break
+        else:
+            by_manager.append((isf.mgr, [name]))
     if len(by_manager) != 1:
         groups = "; ".join(
-            "[%s]" % ", ".join(names)
-            for _mgr, names in by_manager.values())
+            "[%s]" % ", ".join(names) for _mgr, names in by_manager)
         raise ValueError(
             "bi_decompose: all specifications must share one BDD manager, "
             "but the outputs split across %d managers: %s"
             % (len(by_manager), groups))
-    (mgr, _names), = by_manager.values()
+    (mgr, _names), = by_manager
     return mgr, specs
 
 

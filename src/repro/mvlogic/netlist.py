@@ -158,7 +158,7 @@ class MVNetlist:
             live.add(node)
             stack.extend(self.fanins[node])
         counts = {}
-        for node in live:
+        for node in sorted(live):
             counts[self.types[node]] = counts.get(self.types[node], 0) + 1
         return counts
 

@@ -1,70 +1,16 @@
 #!/usr/bin/env python
-"""Repo AST lint: architectural rules the test suite can't see.
+"""Repo-discipline AST lint — thin shim over ``repro.analysis.repolint``.
 
-Six rules, each guarding a seam the session/pipeline refactor and the
-static-analysis layer rely on (docs/ANALYSIS.md has the rationale):
-
-``manager-seam``
-    BDD managers must enter the system through
-    ``Session.adopt_manager`` (or be built by the designated factory
-    layers: ``repro.bdd`` itself, the file readers in ``repro.io``, the
-    benchmark builders in ``repro.bench`` and the FSM encoder in
-    ``repro.fsm``).  Any other ``BDD(...)`` construction in ``src/repro``
-    creates an unmanaged manager that dodges the session's growth hook
-    and resource budgets — and risks the cross-manager BDD operations
-    the contract checker exists to catch.  This covers the parallel
-    worker entrypoint too: ``repro.pipeline.parallel`` is deliberately
-    *not* on the allowed list, so workers can only obtain managers the
-    way every session does (``stage_build_isfs`` -> ``pla.make_manager``
-    -> ``Session.adopt_manager``).
-
-``process-boundary``
-    The multi-process batch executor
-    (``src/repro/pipeline/parallel.py``) ships data between parent and
-    workers.  Live BDD objects — nodes, ``Function``s, ``ISF``s — are
-    bound to one manager in one process and must never cross; only the
-    manager-independent store format of ``repro.decomp.cache_store``
-    (support names + ISOP cover dicts) and sanitized primitive payloads
-    may.  Enforced structurally: boundary modules may not import from
-    ``repro.bdd`` or ``repro.boolfn`` at all.
-
-``certifier-independence``
-    The offline certificate checker
-    (``src/repro/analysis/certify.py``) exists to audit the engine
-    from outside: its verdicts are only worth something if it cannot
-    share code — and therefore bugs — with what it audits.  Among
-    ``repro`` packages it may import only the neutral layers
-    (``repro.bdd``, ``repro.boolfn``, ``repro.io``, ``repro.network``);
-    any import from ``repro.decomp`` or ``repro.pipeline`` (or any
-    other repro module off the allowlist) is a finding.
-
-``node-encoding``
-    The BDD core stores nodes in flat parallel arrays and denotes
-    functions by packed complement edges ``(index << 1) | bit``.  That
-    encoding is private to ``repro.bdd``: no other ``src/repro`` module
-    may read the manager-private arrays (``_lo``/``_hi``/``_level``/
-    ``_unique``) or perform complement-bit arithmetic (XOR with the
-    literal ``1``, the fingerprint of in-place edge negation).
-    Everything else must go through the public handle API
-    (``mgr.low``/``mgr.high``/``mgr.level``/``mgr.not_`` and
-    ``Function``), so the encoding can change again without a
-    repo-wide audit.
-
-``bare-assert``
-    No bare ``assert`` statements in ``src/repro`` (outside doctests):
-    ``python -O`` strips them silently, so invariants guarded that way
-    vanish in optimised runs.  Use the typed exceptions
-    (``DecompositionError`` and friends) instead.
-
-``stage-registry``
-    Every pipeline stage name spelled as a literal — in a
-    ``("name", stage_fn)`` composition tuple or a
-    ``session.stage("name")`` call — must be registered in
-    ``repro.pipeline.config.STAGE_NAMES``, so reports and event
-    consumers can rely on a closed vocabulary.
-
-Run as ``python tools/astlint.py [paths...]`` (defaults to ``src/repro``
-and ``tools``); exits 1 when any finding is reported.  Stdlib only.
+The six seam rules that used to live here (manager-seam,
+process-boundary, certifier-independence, node-encoding, bare-assert,
+stage-registry) are now registered rules in the
+:mod:`repro.analysis.repolint` framework, which also gives them a
+transitive import graph and runs them alongside the determinism rules
+via ``repro selfcheck``.  This file keeps the original one-file-at-a-
+time entry points alive for CI invocations (``python tools/astlint.py``)
+and existing callers; the per-file checks here cover *direct* evidence
+only — the transitive upgrades need the whole-project scan and live in
+``repro selfcheck``.  docs/ANALYSIS.md carries the rule catalogue.
 """
 
 import ast
@@ -73,36 +19,22 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Path prefixes (relative to the repo root, ``/``-separated) where
-#: constructing a BDD manager is legitimate: the BDD package itself,
-#: the file readers, the benchmark builders and the FSM encoder.  All
-#: other ``src/repro`` code must receive managers through the
-#: ``Session.adopt_manager`` seam.
-MANAGER_SEAM_ALLOWED = (
-    "src/repro/bdd/",
-    "src/repro/io/",
-    "src/repro/bench/",
-    "src/repro/fsm/",
-)
+try:
+    import repro.analysis.repolint  # noqa: F401
+except ImportError:  # PYTHONPATH-less CI invocation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
 
-#: Module paths whose ``BDD`` attribute is the manager class.
-_BDD_MODULES = ("repro.bdd", "repro.bdd.manager")
+from repro.analysis.repolint import framework as _framework
+from repro.analysis.repolint import rules_seams as _seams
 
-#: Modules (repo-root-relative) that marshal data across a process
-#: boundary.  They may not import the live-BDD layers at all: anything
-#: they ship must already be in the manager-independent store format
-#: (``repro.decomp.cache_store``) or a sanitized primitive payload.
-PROCESS_BOUNDARY_MODULES = (
-    "src/repro/pipeline/parallel.py",
-)
-
-#: Package prefixes whose objects are bound to a per-process BDD
-#: manager and therefore must never cross a process boundary.
-_LIVE_BDD_PACKAGES = ("repro.bdd", "repro.boolfn")
+#: Re-exported so existing callers keep one source of truth.
+MANAGER_SEAM_ALLOWED = _seams.MANAGER_SEAM_ALLOWED
 
 
 class AstFinding:
-    """One astlint finding: file, line, rule id and message."""
+    """One finding: file, line, rule id and message."""
+
+    __slots__ = ("path", "line", "rule", "message")
 
     def __init__(self, path, line, rule, message):
         self.path = path
@@ -111,12 +43,87 @@ class AstFinding:
         self.message = message
 
     def __str__(self):
-        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+        return "%s:%s: [%s] %s" % (self.path, self.line, self.rule,
                                    self.message)
 
 
+class _ShimProject:
+    __slots__ = ("stage_names",)
+
+    def __init__(self, stage_names):
+        self.stage_names = stage_names
+
+
+class _ShimContext:
+    """Adapter giving a repolint file rule one file, no full project."""
+
+    def __init__(self, rel, tree, rule_id, stage_names=None):
+        self.rel = rel
+        self.tree = tree
+        self.project = _ShimProject(stage_names)
+        self._rule_id = rule_id
+
+    def finding(self, line, message, data=None):
+        return AstFinding(self.rel, line, self._rule_id, message)
+
+
+def check_manager_seam(rel, tree):
+    """BDD construction outside the adopt_manager seam layers."""
+    yield from _seams.check_manager_seam(
+        _ShimContext(rel, tree, "manager-seam"))
+
+
+def check_process_boundary(rel, tree):
+    """Direct live-BDD imports in process-boundary modules."""
+    if rel not in _seams.PROCESS_BOUNDARY_MODULES:
+        return
+    for line, message in _seams.direct_process_boundary_findings(
+            rel, tree):
+        yield AstFinding(rel, line, "process-boundary", message)
+
+
+def check_certifier_independence(rel, tree):
+    """Direct off-allowlist repro imports in certifier modules."""
+    if rel not in _seams.CERTIFIER_MODULES:
+        return
+    for line, message in _seams.direct_certifier_findings(rel, tree):
+        yield AstFinding(rel, line, "certifier-independence", message)
+
+
+def check_node_encoding(rel, tree):
+    """Manager-private attrs / complement-bit math outside repro.bdd."""
+    yield from _seams.check_node_encoding(
+        _ShimContext(rel, tree, "node-encoding"))
+
+
+def check_bare_assert(rel, tree):
+    """``assert`` in library code (stripped under ``python -O``)."""
+    yield from _seams.check_bare_assert(
+        _ShimContext(rel, tree, "bare-assert"))
+
+
+def check_stage_registry(rel, tree, registered=None):
+    """Stage-name literals missing from ``STAGE_NAMES``."""
+    yield from _seams.check_stage_registry(
+        _ShimContext(rel, tree, "stage-registry", stage_names=registered))
+
+
+CHECKS = (
+    check_manager_seam,
+    check_process_boundary,
+    check_certifier_independence,
+    check_node_encoding,
+    check_bare_assert,
+    check_stage_registry,
+)
+
+
+def _registered_stage_names():
+    """``STAGE_NAMES`` parsed from the pipeline config source."""
+    return _framework.registered_stage_names(REPO_ROOT)
+
+
 def _relpath(path):
-    """Repo-root-relative ``/``-separated form of *path*."""
     path = Path(path).resolve()
     try:
         return path.relative_to(REPO_ROOT).as_posix()
@@ -124,285 +131,31 @@ def _relpath(path):
         return path.as_posix()
 
 
-def _is_test_path(rel):
-    name = rel.rsplit("/", 1)[-1]
-    return "tests/" in rel or name.startswith("test_")
-
-
-def _bdd_aliases(tree):
-    """Names that *tree* binds to the BDD manager class or its module.
-
-    Returns ``(class_names, module_names)`` — identifiers that refer to
-    the ``BDD`` class directly, and identifiers that refer to a module
-    exposing it as an attribute.
-    """
-    class_names = set()
-    module_names = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ImportFrom):
-            if node.module in _BDD_MODULES:
-                for alias in node.names:
-                    if alias.name == "BDD":
-                        class_names.add(alias.asname or alias.name)
-            elif node.module == "repro" and any(
-                    alias.name == "bdd" for alias in node.names):
-                for alias in node.names:
-                    if alias.name == "bdd":
-                        module_names.add(alias.asname or alias.name)
-        elif isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name in _BDD_MODULES:
-                    module_names.add((alias.asname or alias.name)
-                                     .split(".", 1)[0])
-    return class_names, module_names
-
-
-def _constructs_manager(call, class_names, module_names):
-    func = call.func
-    if isinstance(func, ast.Name):
-        return func.id in class_names
-    if isinstance(func, ast.Attribute) and func.attr == "BDD":
-        # repro.bdd.manager.BDD(...) / bdd.BDD(...) attribute chains.
-        root = func.value
-        while isinstance(root, ast.Attribute):
-            root = root.value
-        return isinstance(root, ast.Name) and root.id in module_names
-    return False
-
-
-def check_manager_seam(rel, tree):
-    """``BDD(...)`` construction outside the allowed factory layers."""
-    if not rel.startswith("src/repro/"):
-        return
-    if any(rel.startswith(prefix) for prefix in MANAGER_SEAM_ALLOWED):
-        return
-    class_names, module_names = _bdd_aliases(tree)
-    if not class_names and not module_names:
-        return
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Call) and _constructs_manager(
-                node, class_names, module_names):
-            yield AstFinding(
-                rel, node.lineno, "manager-seam",
-                "BDD manager constructed outside the adopt_manager "
-                "seam; pass a manager in (or move the construction "
-                "into repro.bdd/io/bench/fsm)")
-
-
-def _is_live_bdd_module(name):
-    return name is not None and any(
-        name == pkg or name.startswith(pkg + ".")
-        for pkg in _LIVE_BDD_PACKAGES)
-
-
-def check_process_boundary(rel, tree):
-    """Live-BDD imports inside process-boundary marshalling modules."""
-    if rel not in PROCESS_BOUNDARY_MODULES:
-        return
-    for node in ast.walk(tree):
-        names = []
-        if isinstance(node, ast.Import):
-            names = [alias.name for alias in node.names]
-        elif isinstance(node, ast.ImportFrom):
-            if _is_live_bdd_module(node.module):
-                names = [node.module]
-            elif node.module == "repro":
-                names = ["repro.%s" % alias.name for alias in node.names]
-        for name in names:
-            if _is_live_bdd_module(name):
-                yield AstFinding(
-                    rel, node.lineno, "process-boundary",
-                    "process-boundary module imports %r; live BDD "
-                    "objects must not cross the process boundary — "
-                    "exchange store-format dicts "
-                    "(repro.decomp.cache_store) instead" % name)
-
-
-#: Modules (repo-root-relative) that independently audit the engine's
-#: output.  Among ``repro`` packages they may import only the neutral
-#: layers below — never the decomposition engine or the pipeline they
-#: are checking.
-CERTIFIER_MODULES = (
-    "src/repro/analysis/certify.py",
-)
-
-#: The ``repro`` packages a certifier module may import from.
-_CERTIFIER_ALLOWED = ("repro.bdd", "repro.boolfn", "repro.io",
-                      "repro.network")
-
-
-def _is_repro_module(name):
-    return name is not None and (name == "repro"
-                                 or name.startswith("repro."))
-
-
-def _certifier_allowed(name):
-    return any(name == pkg or name.startswith(pkg + ".")
-               for pkg in _CERTIFIER_ALLOWED)
-
-
-def check_certifier_independence(rel, tree):
-    """Engine/pipeline imports inside independent-certifier modules."""
-    if rel not in CERTIFIER_MODULES:
-        return
-    for node in ast.walk(tree):
-        names = []
-        if isinstance(node, ast.Import):
-            names = [alias.name for alias in node.names
-                     if _is_repro_module(alias.name)]
-        elif isinstance(node, ast.ImportFrom):
-            if node.module == "repro":
-                names = ["repro.%s" % alias.name for alias in node.names]
-            elif _is_repro_module(node.module):
-                names = [node.module]
-        for name in names:
-            if not _certifier_allowed(name):
-                yield AstFinding(
-                    rel, node.lineno, "certifier-independence",
-                    "certifier module imports %r; the offline checker "
-                    "may only use the neutral layers (%s) so it cannot "
-                    "share bugs with the engine it audits"
-                    % (name, ", ".join(_CERTIFIER_ALLOWED)))
-
-
-#: Manager-private storage attributes of the packed-edge BDD arena.
-#: Reading (or writing) them couples a module to the node encoding.
-_NODE_PRIVATE_ATTRS = ("_lo", "_hi", "_level", "_unique")
-
-
-def _is_xor_with_one(node):
-    """True for ``expr ^ 1`` / ``1 ^ expr`` (complement-bit negation)."""
-    if not (isinstance(node, ast.BinOp)
-            and isinstance(node.op, ast.BitXor)):
-        return False
-    for operand in (node.left, node.right):
-        if (isinstance(operand, ast.Constant)
-                and type(operand.value) is int and operand.value == 1):
-            return True
-    return False
-
-
-def check_node_encoding(rel, tree):
-    """Packed-edge internals used outside the ``repro.bdd`` package."""
-    if not rel.startswith("src/repro/") or rel.startswith("src/repro/bdd/"):
-        return
-    for node in ast.walk(tree):
-        if (isinstance(node, ast.Attribute)
-                and node.attr in _NODE_PRIVATE_ATTRS):
-            yield AstFinding(
-                rel, node.lineno, "node-encoding",
-                "manager-private array %r accessed outside repro.bdd; "
-                "use the public handle API (mgr.low/high/level, "
-                "Function) instead" % node.attr)
-        elif _is_xor_with_one(node):
-            yield AstFinding(
-                rel, node.lineno, "node-encoding",
-                "complement-bit arithmetic (`^ 1`) outside repro.bdd; "
-                "edge encoding is private — negate through mgr.not_ "
-                "or the Function operators")
-
-
-def check_bare_assert(rel, tree):
-    """``assert`` statements in library code (stripped by ``-O``)."""
-    if not rel.startswith("src/repro/"):
-        return
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Assert):
-            yield AstFinding(
-                rel, node.lineno, "bare-assert",
-                "bare assert is stripped under python -O; raise a "
-                "typed exception instead")
-
-
-def _registered_stage_names():
-    """The ``STAGE_NAMES`` literal from ``repro.pipeline.config``.
-
-    Parsed from source (not imported), so astlint stays runnable
-    without ``src`` on ``sys.path``.
-    """
-    config_path = REPO_ROOT / "src" / "repro" / "pipeline" / "config.py"
-    tree = ast.parse(config_path.read_text(), filename=str(config_path))
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Assign):
-            targets = [t.id for t in node.targets
-                       if isinstance(t, ast.Name)]
-            if "STAGE_NAMES" in targets:
-                return set(ast.literal_eval(node.value))
-    raise RuntimeError("STAGE_NAMES literal not found in %s" % config_path)
-
-
-def _literal_stage_names(tree):
-    """(line, name) of every stage-name literal in *tree*.
-
-    Covers the two spellings the pipeline layer uses: composition
-    tuples ``("name", stage_fn)`` and instrumentation calls
-    ``<obj>.stage("name", ...)``.
-    """
-    for node in ast.walk(tree):
-        if (isinstance(node, ast.Tuple) and len(node.elts) == 2
-                and isinstance(node.elts[0], ast.Constant)
-                and isinstance(node.elts[0].value, str)
-                and isinstance(node.elts[1], ast.Name)
-                and node.elts[1].id.startswith("stage_")):
-            yield node.lineno, node.elts[0].value
-        elif (isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr == "stage"
-                and node.args
-                and isinstance(node.args[0], ast.Constant)
-                and isinstance(node.args[0].value, str)):
-            yield node.lineno, node.args[0].value
-
-
-def check_stage_registry(rel, tree, registered=None):
-    """Stage-name literals missing from ``PipelineConfig``'s registry."""
-    if not rel.startswith("src/repro/"):
-        return
-    if registered is None:
-        registered = _registered_stage_names()
-    for line, name in _literal_stage_names(tree):
-        if name not in registered:
-            yield AstFinding(
-                rel, line, "stage-registry",
-                "pipeline stage %r is not registered in "
-                "repro.pipeline.config.STAGE_NAMES" % name)
-
-
-CHECKS = (check_manager_seam, check_process_boundary,
-          check_certifier_independence, check_node_encoding,
-          check_bare_assert, check_stage_registry)
+def iter_python_files(paths):
+    """Python files under *paths* (files kept as-is, dirs walked)."""
+    yield from _framework.iter_python_files(paths)
 
 
 def lint_file(path, registered=None):
-    """All findings for one Python file."""
+    """All findings for one file (test files are skipped)."""
+    path = Path(path)
     rel = _relpath(path)
-    if _is_test_path(rel):
+    if _framework.is_test_path(rel) or path.name.startswith("test_"):
         return []
-    text = Path(path).read_text()
-    tree = ast.parse(text, filename=str(path))
+    tree = ast.parse(path.read_text(), filename=str(path))
     findings = []
-    findings.extend(check_manager_seam(rel, tree))
-    findings.extend(check_process_boundary(rel, tree))
-    findings.extend(check_certifier_independence(rel, tree))
-    findings.extend(check_node_encoding(rel, tree))
-    findings.extend(check_bare_assert(rel, tree))
-    findings.extend(check_stage_registry(rel, tree, registered=registered))
+    for check in CHECKS:
+        if check is check_stage_registry:
+            findings.extend(check(rel, tree, registered=registered))
+        else:
+            findings.extend(check(rel, tree))
     return findings
 
 
-def iter_python_files(paths):
-    """Python files under *paths* (files kept as-is, dirs walked)."""
-    for entry in paths:
-        entry = Path(entry)
-        if entry.is_dir():
-            yield from sorted(entry.rglob("*.py"))
-        else:
-            yield entry
-
-
 def main(argv=None):
-    """Entry point; returns 0 when clean, 1 when findings exist."""
-    paths = list(argv) if argv else ["src/repro", "tools"]
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    paths = [Path(arg) for arg in argv] if argv else [
+        REPO_ROOT / "src" / "repro", REPO_ROOT / "tools"]
     registered = _registered_stage_names()
     findings = []
     checked = 0
@@ -417,4 +170,4 @@ def main(argv=None):
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    sys.exit(main())
