@@ -54,16 +54,29 @@ def _stem(source):
     return name.rsplit(".", 1)[0] if "." in name else name
 
 
+#: File name of the cross-benchmark sweep store inside ``--cache-dir``.
+SWEEP_STORE_NAME = "sweep.cache.json"
+
+
 def _cache_path_from_args(args):
-    """``--cache-dir`` -> store path (or None).
+    """``--cache-dir`` (+ ``--sweep-store``) -> store path (or None).
 
     Single-input commands key the store file by the input's stem, so
     every benchmark label in a cache directory gets its own versioned
     JSON file.  Batch ``decompose`` runs (multiple inputs) share one
-    sweep-wide ``batch.cache.json`` instead — that is the store the
-    parallel workers warm-start from and merge back into.
+    ``batch.cache.json`` instead — that is the store the parallel
+    workers warm-start from and merge back into.  ``--sweep-store``
+    overrides both: every input of every invocation pointed at the
+    same cache directory warm-starts from (and merges back into) one
+    ``sweep.cache.json``, so components learned on one PLA are reused
+    on the next — across stems and across CLI runs.
     """
     cache_dir = getattr(args, "cache_dir", None)
+    if getattr(args, "sweep_store", False):
+        if cache_dir is None:
+            raise ValueError("--sweep-store needs --cache-dir DIR to "
+                             "hold the shared sweep store")
+        return os.path.join(cache_dir, SWEEP_STORE_NAME)
     if cache_dir is None:
         return None
     source = getattr(args, "input", None)
@@ -87,6 +100,7 @@ def _pipeline_config(args, flow="bidecomp", verify=True):
         check_contracts=getattr(args, "check", False),
         cache_path=_cache_path_from_args(args),
         cache_readonly=getattr(args, "cache_readonly", False),
+        sweep_store=getattr(args, "sweep_store", False),
         budget_scope=getattr(args, "budget_scope", "run"),
         jobs=getattr(args, "jobs", 1),
         emit_certificates=(getattr(args, "certificates", False)
@@ -137,6 +151,15 @@ def _add_resource_flags(parser):
     parser.add_argument("--cache-readonly", action="store_true",
                         help="load the component-cache store but never "
                              "write it back")
+    parser.add_argument("--sweep-store", action="store_true",
+                        dest="sweep_store",
+                        help="share one cross-benchmark sweep store "
+                             "(sweep.cache.json under --cache-dir) "
+                             "across every input and every invocation: "
+                             "components learned on one PLA warm-start "
+                             "the next (keys are stem-agnostic; every "
+                             "rehydrated hit is re-proved by the "
+                             "Theorem 6 containment tests)")
 
 
 def _emit_stats_json(args, session, run, stdout, extra=None):

@@ -109,11 +109,17 @@ class StoredComponent:
             if not isinstance(cube, dict) or not cube:
                 raise CacheStoreError("bad cube: %r" % (cube,))
             for name, value in cube.items():
-                if name not in known or value not in (0, 1):
+                # bool is an int subclass (True == 1, True in (0, 1)),
+                # so reject it explicitly: a store carrying JSON
+                # true/false would otherwise round-trip non-canonically
+                # and break the entry-key dedup across merges.
+                if (name not in known or isinstance(value, bool)
+                        or value not in (0, 1)):
                     raise CacheStoreError(
                         "cube literal %r=%r outside the declared support"
                         % (name, value))
-        if not isinstance(gates, int) or gates < 0:
+        if (not isinstance(gates, int) or isinstance(gates, bool)
+                or gates < 0):
             raise CacheStoreError("bad gate count: %r" % (gates,))
         return cls(sorted(support), cubes, gates)
 

@@ -60,10 +60,11 @@ class PipelineConfig:
         run, so a batch of N inputs may spend up to N x ``time_limit``.
         ``"batch"`` starts the clock once and lets it span every
         subsequent run of the session — the whole batch shares one
-        budget.  In the parallel executor (``jobs > 1``) each worker
-        process enforces the batch budget over its own partition, so
-        the sweep finishes within roughly one ``time_limit`` of wall
-        clock.
+        budget.  In the parallel executor (``jobs > 1``) the parent
+        arms a *single* sweep-wide :class:`~repro.pipeline.limits.Deadline`
+        and every worker session adopts it, so the whole sweep — not
+        each worker's share of it — finishes within one ``time_limit``
+        of wall clock.
     jobs:
         Worker processes for batch execution
         (:meth:`~repro.pipeline.Pipeline.run_batch` /
@@ -96,6 +97,19 @@ class PipelineConfig:
     cache_readonly:
         Load the store but never write it back (warm-start runs that
         must not perturb the cache on disk).
+    sweep_store:
+        Provenance flag: ``cache_path`` is a single *cross-benchmark
+        sweep store* shared by every input (and every CLI invocation
+        pointed at the same ``--cache-dir``), rather than a per-stem
+        or per-batch file.  Store entries are keyed stem-agnostically
+        by ``(sorted support names, canonical ISOP cover)`` and every
+        rehydrated hit re-proves the Theorem 6 containment tests in
+        the target manager, so cross-PLA key collisions are safe by
+        construction — a component learned on one benchmark either
+        proves compatible with the next or is skipped.  Requires
+        ``cache_path``; recorded in reports so a ``--stats-json``
+        document says which store discipline produced its hit rates
+        (the CLI flag is ``--sweep-store``).
     emit_certificates:
         Record a proof trace of every decomposition step
         (:class:`repro.decomp.CertificateTracer`) and write a
@@ -111,7 +125,8 @@ class PipelineConfig:
                  recursion_limit=DEFAULT_RECURSION_LIMIT,
                  model="bidecomp", progress_interval=1024,
                  flow_options=None, cache_path=None, cache_readonly=False,
-                 budget_scope="run", jobs=1, emit_certificates=False):
+                 sweep_store=False, budget_scope="run", jobs=1,
+                 emit_certificates=False):
         if decomposition is None:
             decomposition = DecompositionConfig()
         if not isinstance(decomposition, DecompositionConfig):
@@ -156,6 +171,11 @@ class PipelineConfig:
                              "got %r" % (cache_path,))
         self.cache_path = cache_path
         self.cache_readonly = bool(cache_readonly)
+        sweep_store = bool(sweep_store)
+        if sweep_store and cache_path is None:
+            raise ValueError("sweep_store needs a cache_path to point "
+                             "the shared sweep store at")
+        self.sweep_store = sweep_store
         if budget_scope not in BUDGET_SCOPES:
             raise ValueError("budget_scope must be one of %s, got %r"
                              % ("/".join(BUDGET_SCOPES), budget_scope))
@@ -189,6 +209,7 @@ class PipelineConfig:
             "model": self.model,
             "cache_path": self.cache_path,
             "cache_readonly": self.cache_readonly,
+            "sweep_store": self.sweep_store,
             "budget_scope": self.budget_scope,
             "jobs": self.jobs,
             "emit_certificates": self.emit_certificates,

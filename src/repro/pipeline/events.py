@@ -58,7 +58,18 @@ class EventBus:
 
     def publish(self, name, **payload):
         """Publish an event to all handlers; returns the :class:`Event`."""
-        event = Event(name, payload)
+        return self.republish(Event(name, payload))
+
+    def republish(self, event):
+        """Route an already-built :class:`Event` to all handlers.
+
+        The keyword-free twin of :meth:`publish`, for forwarding
+        events whose payload dict is not under the caller's control —
+        a payload key named ``name`` (or ``self``) would collide with
+        :meth:`publish`'s own parameters when splatted as keywords.
+        The parallel batch executor republishes worker events through
+        here for exactly that reason.
+        """
         if self._record:
             self.history.append(event)
         for handler in self._handlers:

@@ -48,7 +48,17 @@ class NodeLimitExceeded(PipelineError):
 
 
 class Deadline:
-    """A wall-clock budget started at construction time."""
+    """A wall-clock budget started at construction time.
+
+    A Deadline may be shared *across processes*: the start timestamp is
+    ``time.perf_counter()``, which reads a system-wide monotonic clock
+    (CLOCK_MONOTONIC on POSIX, QPC on Windows), so a Deadline carried
+    into a worker through fork or pickle keeps measuring elapsed time
+    from the moment the parent armed it.  The parallel batch executor
+    relies on this for ``budget_scope="batch"``: one Deadline armed at
+    sweep start is adopted by every worker session, making the whole
+    sweep — not each worker's share of it — run under a single clock.
+    """
 
     def __init__(self, seconds):
         if seconds <= 0:

@@ -8,17 +8,27 @@ parallelises the sweep while keeping that reuse, exchanged through the
 manager-independent store format of :mod:`repro.decomp.cache_store`
 instead of a live session:
 
-* **Partitioning.**  Inputs are scheduled by *descending PLA cube
-  count* with greedy longest-processing-time assignment, so the
-  wall-clock hogs (alu4, 16sym8) start first and the partitions stay
-  balanced.  Results come back in input order regardless.
+* **Scheduling.**  The parent holds a *pull-based work queue*: a task
+  deque sorted by descending PLA cube count (the wall-clock hogs —
+  alu4, 16sym8 — are handed out first).  Workers request the next
+  input whenever they finish one, so a cube-count / runtime mismatch
+  can never idle a worker while the deque is non-empty: there are no
+  static partitions and no idle tails.  Results come back in input
+  order regardless of the dispatch order.
 * **Isolation.**  Every input runs in a *fresh* :class:`Session` (one
   BDD manager per input — the manager is not thread-safe and never
   crosses a process boundary).  Intra-sweep cache sharing is replaced
   by *snapshot* sharing: each session warm-starts from the on-disk
-  store as it was when the sweep began.  That makes the emitted BLIF
-  for every input independent of the partitioning, so ``jobs=1`` and
-  ``jobs=N`` produce byte-identical outputs.
+  store as it was when the sweep began.  That snapshot isolation —
+  not any scheduling order — is the determinism contract: the BLIF
+  (and certificate trace) emitted for every input is independent of
+  which worker ran it and when, so ``jobs=1`` and ``jobs=N`` produce
+  byte-identical outputs even though the work queue assigns tasks
+  dynamically.
+* **Budgets.**  Under ``budget_scope="batch"`` the parent arms one
+  :class:`~repro.pipeline.limits.Deadline` when the sweep starts and
+  every worker session adopts it, so the whole sweep — not each
+  worker's share of it — runs under a single wall clock.
 * **Store merge.**  Workers never write the shared store directly
   (their sessions run ``cache_readonly``).  Each worker accumulates
   the components its sessions discovered, flushes them to a private
@@ -43,6 +53,7 @@ import multiprocessing
 import os
 import queue as queue_module
 import time
+from collections import deque
 
 from repro.decomp.cache_store import (CacheStoreError, load_store,
                                       make_store, merge_entries,
@@ -51,7 +62,7 @@ from repro.decomp.cache_store import (CacheStoreError, load_store,
 from repro.io import parse_pla, read_text
 from repro.network.stats import NetlistStats
 from repro.pipeline.config import PipelineConfig
-from repro.pipeline.events import EventBus
+from repro.pipeline.events import Event, EventBus
 from repro.pipeline.limits import Deadline
 from repro.pipeline.pipeline import Pipeline, PipelineInput, PipelineRun
 from repro.pipeline.session import Session
@@ -97,20 +108,53 @@ def _cube_count(desc):
         return 0
 
 
-def _partition(descs, jobs):
-    """Greedy LPT schedule: descending cube count onto the lightest
-    worker.  Returns a list of non-empty ``[(index, desc), ...]``
-    partitions (at most *jobs* of them).
+class _WorkQueue:
+    """Pull-based task queue: descending cube count, hogs first.
+
+    The parent owns one of these per sweep.  Tasks are sorted once by
+    *descending PLA cube count* (ties broken by input position), and
+    :meth:`next_for` hands the heaviest remaining task to whichever
+    worker asks — so no worker can idle while the deque is non-empty,
+    regardless of how badly cube count mispredicts runtime (the
+    misprediction only shifts *which* worker pulls next, never whether
+    one does).
+
+    Assignment accounting makes crashes attributable: a worker holds at
+    most one task at a time, so a worker that dies loses exactly its
+    currently :attr:`assigned` input.  A lost task is deliberately
+    *not* re-queued to another worker — a poison-pill input that kills
+    its process would otherwise cascade through the whole pool.
     """
-    counts = [_cube_count(desc) for desc in descs]
-    order = sorted(range(len(descs)), key=lambda i: (-counts[i], i))
-    buckets = [[] for _ in range(max(1, jobs))]
-    loads = [0] * len(buckets)
-    for i in order:
-        worker = min(range(len(buckets)), key=lambda j: (loads[j], j))
-        buckets[worker].append((i, descs[i]))
-        loads[worker] += max(1, counts[i])
-    return [bucket for bucket in buckets if bucket]
+
+    def __init__(self, descs):
+        counts = [_cube_count(desc) for desc in descs]
+        self.order = sorted(range(len(descs)),
+                            key=lambda i: (-counts[i], i))
+        self._tasks = deque((i, descs[i]) for i in self.order)
+        self.assigned = {}
+
+    def __len__(self):
+        return len(self._tasks)
+
+    def next_for(self, worker_id):
+        """Assign the heaviest remaining task to *worker_id*.
+
+        Returns ``(index, desc)``, or None when the queue is drained.
+        """
+        if not self._tasks:
+            return None
+        index, desc = self._tasks.popleft()
+        self.assigned[worker_id] = index
+        return index, desc
+
+    def task_done(self, worker_id, index):
+        """Worker reported *index*; it no longer holds an assignment."""
+        if self.assigned.get(worker_id) == index:
+            del self.assigned[worker_id]
+
+    def lost_input(self, worker_id):
+        """The input a crashed worker was holding, or None."""
+        return self.assigned.get(worker_id)
 
 
 def _sanitize(value):
@@ -264,6 +308,7 @@ def _clone_config(config, **overrides):
         "flow_options": config.flow_options,
         "cache_path": config.cache_path,
         "cache_readonly": config.cache_readonly,
+        "sweep_store": config.sweep_store,
         "budget_scope": config.budget_scope,
         "jobs": config.jobs,
         "emit_certificates": config.emit_certificates,
@@ -296,23 +341,32 @@ def _harvest(session, config, store_doc):
     return merge_stores(store_doc, doc)
 
 
-def _worker_main(worker_id, tasks, config, pipeline, channel):
-    """Process entrypoint: run one partition, input by input.
+def _worker_main(worker_id, next_task, config, pipeline, channel,
+                 deadline=None):
+    """Worker loop: pull tasks until the queue is drained.
 
-    Every input gets a fresh session (and hence a fresh BDD manager,
-    built inside the pipeline through the ``adopt_manager`` seam) that
-    warm-starts read-only from the shared store snapshot.  Events are
-    forwarded over *channel* as they happen; a failing input is
-    reported and the partition moves on.  Messages on *channel*:
-    ``("event", id, name, payload)``, ``("run", id, index, payload)``,
+    *next_task* is a zero-argument callable returning ``(index, desc)``
+    or None (queue drained); in a worker process it round-trips a
+    ``("ready", id)`` request through the parent, in the ``jobs=1``
+    inline path it pops the parent's work queue directly.  Every input
+    gets a fresh session (and hence a fresh BDD manager, built inside
+    the pipeline through the ``adopt_manager`` seam) that warm-starts
+    read-only from the shared store snapshot.  *deadline* is the
+    sweep-wide clock under ``budget_scope="batch"`` (armed once by the
+    parent, shared by every worker).  Events are forwarded over
+    *channel* as they happen; a failing input is reported and the
+    worker pulls the next one.  Messages on *channel*:
+    ``("ready", id)``, ``("event", id, name, payload)``,
+    ``("run", id, index, payload)``,
     ``("done", id, saved_store_path_or_None)``.
     """
     run_config = _clone_config(config, cache_readonly=True)
-    deadline = None
-    if config.budget_scope == "batch" and config.time_limit is not None:
-        deadline = Deadline(config.time_limit)
     store_doc = None
-    for index, desc in tasks:
+    while True:
+        task = next_task()
+        if task is None:
+            break
+        index, desc = task
         stages = []
 
         def forward(event, _stages=stages):
@@ -353,6 +407,24 @@ def _worker_main(worker_id, tasks, config, pipeline, channel):
     channel.put(("done", worker_id, saved))
 
 
+def _worker_process(worker_id, task_queue, config, pipeline, channel,
+                    deadline):
+    """Process entrypoint: request/response loop against the parent.
+
+    Each ``("ready", id)`` message on *channel* asks the parent's work
+    queue for the next input; the reply arrives on this worker's
+    private *task_queue* — ``(index, desc)``, or None once the sweep's
+    deque is drained.  Must stay a module-level function so the target
+    pickles under the spawn start method.
+    """
+    def next_task():
+        channel.put(("ready", worker_id))
+        return task_queue.get()
+
+    _worker_main(worker_id, next_task, config, pipeline, channel,
+                 deadline=deadline)
+
+
 class _InlineChannel:
     """Queue stand-in for the in-process (``jobs=1``) path: messages go
     straight to the parent's handler, so serial and parallel execution
@@ -376,12 +448,18 @@ def _mp_context():
         return multiprocessing.get_context("spawn")
 
 
-def _merge_worker_stores(cache_path, saved_paths, label=None):
+def _merge_worker_stores(cache_path, saved_paths, label=None,
+                         events=None):
     """Union the original store with every worker store file.
 
-    Dedup is by support+cover key, smaller cone winning; unreadable
-    stores are skipped (their components are lost, nothing else).
-    Worker files are deleted after a successful merge.  Returns
+    Dedup is by support+cover key, smaller cone winning.  An unreadable
+    store is never silently destroyed: it is renamed to
+    ``<store>.corrupt`` (preserving the bytes for post-mortem) and a
+    ``component_cache_load_failed`` event is published before the merge
+    of the readable stores proceeds — in particular, a corrupt
+    *cache_path* must not be overwritten with worker entries only,
+    which would silently drop every pre-sweep component.  Worker files
+    are deleted after a successful merge.  Returns
     ``(path, entry_count)`` or ``(None, 0)`` when nothing was written.
     """
     entries = []
@@ -391,7 +469,16 @@ def _merge_worker_stores(cache_path, saved_paths, label=None):
             continue
         try:
             loaded, _skipped = load_store(path)
-        except CacheStoreError:
+        except CacheStoreError as exc:
+            preserved = path + ".corrupt"
+            try:
+                os.replace(path, preserved)
+            except OSError:
+                preserved = None
+            if events is not None:
+                events.publish("component_cache_load_failed",
+                               path=path, error=str(exc),
+                               preserved=preserved)
             continue
         entries = merge_entries(entries, loaded)
         loaded_any = True
@@ -408,7 +495,7 @@ def _merge_worker_stores(cache_path, saved_paths, label=None):
 
 def run_batch_parallel(sources, config=None, jobs=None, events=None,
                        pipeline=None):
-    """Partition *sources* across worker processes; returns a
+    """Feed *sources* through the pull-based work queue; returns a
     :class:`ParallelBatchResult` (runs in input order).
 
     Parameters
@@ -419,7 +506,8 @@ def run_batch_parallel(sources, config=None, jobs=None, events=None,
     config:
         :class:`PipelineConfig` (coerced).  ``cache_path`` enables
         snapshot warm starts and the store merge; ``budget_scope``
-        chooses per-run vs per-partition wall clocks.
+        chooses per-run clocks (``"run"``) vs one sweep-wide deadline
+        shared by every worker (``"batch"``).
     jobs:
         Worker count; defaults to ``config.jobs``; ``0`` means
         ``os.cpu_count()``.  ``jobs=1`` runs the same isolated
@@ -443,7 +531,13 @@ def run_batch_parallel(sources, config=None, jobs=None, events=None,
     if pipeline is None:
         pipeline = Pipeline.standard()
     descs = [_describe(source, i) for i, source in enumerate(sources)]
-    partitions = _partition(descs, min(jobs, max(1, len(descs))))
+    work = _WorkQueue(descs)
+    workers = min(jobs, max(1, len(descs)))
+    deadline = None
+    if config.budget_scope == "batch" and config.time_limit is not None:
+        # One sweep-wide clock, armed here and adopted by every worker
+        # session (Deadline survives fork/pickle: see its docstring).
+        deadline = Deadline(config.time_limit)
 
     payloads = {}
     worker_stores = {}
@@ -453,44 +547,61 @@ def run_batch_parallel(sources, config=None, jobs=None, events=None,
         if kind == "event":
             _kind, worker_id, name, payload = message
             payload = dict(payload)
-            payload.pop("worker", None)
-            events.publish(name, worker=worker_id, **payload)
+            payload["worker"] = worker_id
+            # Republish as a prebuilt Event, never via **payload: a
+            # payload carrying a key named "name" (or "self") would
+            # collide with publish()'s own parameters and TypeError
+            # the parent pump mid-sweep.
+            events.republish(Event(name, payload))
         elif kind == "run":
-            _kind, _worker_id, index, payload = message
+            _kind, worker_id, index, payload = message
             payloads[index] = payload
+            work.task_done(worker_id, index)
         elif kind == "done":
             _kind, worker_id, saved = message
             worker_stores[worker_id] = saved
 
-    events.publish("batch_started", inputs=len(descs),
-                   jobs=len(partitions),
-                   schedule=[[index for index, _desc in tasks]
-                             for tasks in partitions])
+    events.publish("batch_started", inputs=len(descs), jobs=workers,
+                   queue=list(work.order))
     started = time.perf_counter()
-    if len(partitions) <= 1 or jobs <= 1:
+    if workers <= 1:
         channel = _InlineChannel(handle)
-        for worker_id, tasks in enumerate(partitions):
-            _worker_main(worker_id, tasks, config, pipeline, channel)
+
+        def next_task():
+            task = work.next_for(0)
+            if task is not None:
+                events.publish("task_assigned", worker=0,
+                               index=task[0], label=task[1]["label"],
+                               queued=len(work))
+            return task
+
+        _worker_main(0, next_task, config, pipeline, channel,
+                     deadline=deadline)
     else:
-        _run_workers(partitions, config, pipeline, handle, payloads,
-                     events)
+        _run_workers(work, workers, config, pipeline, handle, payloads,
+                     events, deadline)
 
     merged_store, merged_entries = None, 0
     if config.cache_path is not None and not config.cache_readonly:
         saved_paths = [path for path in worker_stores.values() if path]
         merged_store, merged_entries = _merge_worker_stores(
-            config.cache_path, saved_paths, label=config.model)
+            config.cache_path, saved_paths, label=config.model,
+            events=events)
         if merged_store is not None:
             events.publish("component_cache_merged", path=merged_store,
                            entries=merged_entries,
                            worker_stores=len(saved_paths))
 
+    lost = set(work.assigned.values())
     runs = []
     for index, desc in enumerate(descs):
         payload = payloads.get(index)
-        if payload is None:  # worker died before reporting this input
+        if payload is None:  # never reported back to the parent
+            reason = ("worker process died"
+                      if index in lost else
+                      "no live worker was left to run this input")
             payload = _failure_payload(
-                desc, RuntimeError("worker process died"), 0.0, [])
+                desc, RuntimeError(reason), 0.0, [])
         runs.append(ParallelPipelineRun(
             PipelineInput(path=desc["path"], text=desc["text"],
                           label=desc["label"],
@@ -498,36 +609,57 @@ def run_batch_parallel(sources, config=None, jobs=None, events=None,
             payload))
     elapsed = time.perf_counter() - started
     events.publish("batch_finished", inputs=len(runs),
-                   jobs=len(partitions), elapsed=elapsed,
+                   jobs=workers, elapsed=elapsed,
                    failures=sum(1 for run in runs
                                 if run.error is not None))
-    return ParallelBatchResult(runs, len(partitions), elapsed,
+    return ParallelBatchResult(runs, workers, elapsed,
                                merged_store=merged_store,
                                merged_entries=merged_entries)
 
 
-def _run_workers(partitions, config, pipeline, handle, payloads, events):
-    """Spawn one process per partition and pump the message queue.
+def _run_workers(work, workers, config, pipeline, handle, payloads,
+                 events, deadline):
+    """Spawn the worker pool and pump the message queue.
 
-    A worker that dies without its ``done`` message (hard crash, kill)
-    is detected by liveness polling; its unreported inputs surface as
-    failure payloads in the parent and a ``worker_failed`` event is
-    published — the other partitions are unaffected.
+    Every ``("ready", id)`` request is answered from the shared
+    :class:`_WorkQueue` (heaviest task first) on that worker's private
+    task queue, so a free worker is never left idle while inputs
+    remain.  A worker that dies without its ``done`` message (hard
+    crash, kill) is detected by liveness polling; the one input it was
+    holding surfaces as a failure payload and a ``worker_failed`` event
+    is published — unassigned inputs stay in the queue and flow to the
+    surviving workers.
     """
     context = _mp_context()
     channel = context.Queue()
+    task_queues = {}
     processes = {}
-    for worker_id, tasks in enumerate(partitions):
+    for worker_id in range(workers):
+        task_queue = context.Queue()
         process = context.Process(
-            target=_worker_main,
-            args=(worker_id, tasks, config, pipeline, channel),
+            target=_worker_process,
+            args=(worker_id, task_queue, config, pipeline, channel,
+                  deadline),
             daemon=True)
         process.start()
+        task_queues[worker_id] = task_queue
         processes[worker_id] = process
     pending = set(processes)
     finished = set()
 
     def dispatch(message):
+        if message[0] == "ready":
+            worker_id = message[1]
+            task = work.next_for(worker_id)
+            if task is None:
+                task_queues[worker_id].put(None)
+            else:
+                index, desc = task
+                events.publish("task_assigned", worker=worker_id,
+                               index=index, label=desc["label"],
+                               queued=len(work))
+                task_queues[worker_id].put((index, desc))
+            return
         handle(message)
         if message[0] == "done":
             finished.add(message[1])
@@ -543,18 +675,34 @@ def _run_workers(partitions, config, pipeline, handle, payloads, events):
                     pending.discard(worker_id)
             continue
         dispatch(message)
-    # Drain stragglers buffered before a worker exited.
+    # Straggler drain.  A worker's buffered messages are flushed by its
+    # queue feeder thread only as the process exits, so one quiet
+    # POLL_INTERVAL window is not proof the channel is dry: keep
+    # pumping (joining exited processes as we go) until every process
+    # has been joined *and* the channel stays empty.  Stopping early
+    # loses run payloads a crashed worker managed to buffer before
+    # dying and misreports those inputs as worker-process deaths.
     while True:
         try:
-            message = channel.get(timeout=POLL_INTERVAL)
+            dispatch(channel.get(timeout=POLL_INTERVAL))
+            continue
         except queue_module.Empty:
-            break
-        dispatch(message)
+            pass
+        if any(process.is_alive() for process in processes.values()):
+            for process in processes.values():
+                process.join(timeout=POLL_INTERVAL)
+            continue
+        while True:  # all processes joined: sweep until truly empty
+            try:
+                dispatch(channel.get_nowait())
+            except queue_module.Empty:
+                break
+        break
     for worker_id, process in processes.items():
         process.join(timeout=5.0)
         if worker_id not in finished:
-            done_tasks = set(payloads)
-            lost = [index for index, _desc in partitions[worker_id]
-                    if index not in done_tasks]
+            lost = work.lost_input(worker_id)
             events.publish("worker_failed", worker=worker_id,
-                           exitcode=process.exitcode, lost_inputs=lost)
+                           exitcode=process.exitcode,
+                           lost_inputs=([] if lost is None
+                                        else [lost]))

@@ -206,9 +206,12 @@ class Session:
         """Share an externally owned :class:`Deadline` with this session.
 
         The parallel batch executor uses this to stretch one
-        batch-scope clock across every session a worker creates for its
-        partition: with ``budget_scope="batch"``, :meth:`start_clock`
-        keeps the adopted deadline instead of arming a fresh one.
+        sweep-wide clock across every session of the batch: under
+        ``budget_scope="batch"`` the parent arms a single Deadline
+        when the sweep starts, every worker session adopts it (the
+        Deadline survives fork/pickle — see its docstring), and
+        :meth:`start_clock` keeps the adopted deadline instead of
+        arming a fresh one.
         """
         self._deadline = deadline
         return deadline

@@ -98,6 +98,12 @@ class TestStoredComponent:
         {"support": ["a"], "cubes": [{"b": 1}], "gates": 0},
         {"support": ["a"], "cubes": [{"a": 2}], "gates": 0},
         {"support": ["a"], "cubes": [{"a": 1}], "gates": -1},
+        # bool is an int subclass, so True/False would slip through a
+        # bare `value in (0, 1)` / isinstance(int) check — but they are
+        # not canonical store values and must be rejected.
+        {"support": ["a"], "cubes": [{"a": True}], "gates": 0},
+        {"support": ["a"], "cubes": [{"a": False}], "gates": 0},
+        {"support": ["a"], "cubes": [{"a": 1}], "gates": True},
     ])
     def test_from_dict_rejects_malformed(self, data):
         with pytest.raises(CacheStoreError):

@@ -1,6 +1,7 @@
 """Tests for the BI-DECOMP command-line interface."""
 
 import io
+import os
 
 import pytest
 
@@ -130,6 +131,54 @@ class TestDecomposeBatch:
         out = io.StringIO()
         assert main(["decompose"] + batch_paths, stdout=out) == 0
         assert out.getvalue().count(".model bidecomp") == 2
+
+
+class TestSweepStore:
+    def test_sweep_store_requires_cache_dir(self, pla_path):
+        assert main(["decompose", pla_path, "--sweep-store",
+                     "-o", os.devnull]) == 2
+
+    def test_invocations_share_one_store_across_stems(self, tmp_path):
+        import json
+        # Same function under two different file stems: a per-stem
+        # store could never carry components from one to the other, so
+        # any second-pass hit proves the sweep store's stem-agnostic
+        # keys.
+        first = tmp_path / "one.pla"
+        second = tmp_path / "renamed_copy.pla"
+        first.write_text(PLA)
+        second.write_text(PLA)
+        cache_dir = str(tmp_path / "cache")
+        stats = str(tmp_path / "s%d.json")
+        for index, path in enumerate([first, second]):
+            assert main(["decompose", str(path),
+                         "-o", str(tmp_path / ("out%d.blif" % index)),
+                         "--cache-dir", cache_dir, "--sweep-store",
+                         "--stats-json", stats % index]) == 0
+        assert os.path.exists(os.path.join(cache_dir,
+                                           "sweep.cache.json"))
+        cold = json.load(open(stats % 0))
+        warm = json.load(open(stats % 1))
+        assert cold["config"]["sweep_store"] is True
+        assert cold["rehydrated_hits"] == 0
+        assert warm["rehydrated_hits"] > 0
+
+    def test_batch_sweep_store_overrides_batch_cache(self, tmp_path):
+        import json
+        paths = []
+        for name, text in (("one", PLA), ("two", PLA_SMALL)):
+            path = tmp_path / ("%s.pla" % name)
+            path.write_text(text)
+            paths.append(str(path))
+        cache_dir = str(tmp_path / "cache")
+        stats = str(tmp_path / "batch.json")
+        assert main(["decompose"] + paths
+                    + ["--output-dir", str(tmp_path / "out"),
+                       "--jobs", "2", "--cache-dir", cache_dir,
+                       "--sweep-store", "--stats-json", stats]) == 0
+        doc = json.load(open(stats))
+        assert doc["merged_store"].endswith("sweep.cache.json")
+        assert doc["config"]["sweep_store"] is True
 
 
 class TestVerify:

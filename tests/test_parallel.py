@@ -1,24 +1,32 @@
 """Tests for the multi-process batch executor (repro.pipeline.parallel).
 
 Covers the determinism contract (jobs=1 and jobs=N emit byte-identical
-BLIFs — every input runs snapshot-isolated in a fresh session), LPT
-partitioning, worker event forwarding (``worker`` payload tags, batch
-lifecycle events), failure isolation (a failing input reports an error
-without killing its partition), component-store sharing (worker-store
-merge, warm-rerun rehydrated hits), the ``Pipeline.run_batch`` /
-``PipelineConfig(jobs=...)`` wiring, and the batch-scope wall-clock
-budget.
+BLIFs and certificate traces — every input runs snapshot-isolated in a
+fresh session, so dynamic scheduling cannot perturb outputs), the
+pull-based work queue (hogs dispatched first, no worker idles while
+the deque is non-empty, crash accounting), worker event forwarding
+(``worker`` payload tags, batch lifecycle events, reserved-key
+payloads that must not crash the parent pump), failure isolation (a
+failing input reports an error without killing the sweep; a crashed
+worker's buffered payloads are drained, not lost), component-store
+sharing (worker-store merge, corrupt-store preservation, warm-rerun
+rehydrated hits), the ``Pipeline.run_batch`` /
+``PipelineConfig(jobs=...)`` wiring, and the sweep-wide batch-scope
+wall-clock budget.
 """
 
 import json
 import os
+import sys
+import time
 
 import pytest
 
 from repro.pipeline import (Deadline, EventBus, Pipeline, PipelineConfig,
                             PipelineInput, Session)
+from repro.pipeline.events import Event
 from repro.pipeline.parallel import (ParallelBatchResult,
-                                     ParallelPipelineRun, _partition,
+                                     ParallelPipelineRun, _WorkQueue,
                                      run_batch_parallel,
                                      worker_store_path)
 from repro.pipeline.pipeline import (stage_build_isfs, stage_decompose,
@@ -111,6 +119,63 @@ FAILING_PIPELINE = Pipeline([("parse", stage_parse),
                              ("emit", stage_emit)])
 
 
+def _custom_pipeline(preprocess):
+    return Pipeline([("parse", stage_parse),
+                     ("build_isfs", stage_build_isfs),
+                     ("preprocess", preprocess),
+                     ("decompose", stage_decompose),
+                     ("verify", stage_verify),
+                     ("emit", stage_emit)])
+
+
+def _hostile_preprocess(session, run, record):
+    """Forward an event whose payload carries keys that collide with
+    ``EventBus.publish``'s own parameters — the parent pump must
+    republish it without a TypeError."""
+    if run.label == "in0":
+        session.events.republish(Event("hostile_event",
+                                       {"name": "evil", "self": "boom",
+                                        "worker": "forged"}))
+    stage_preprocess(session, run, record)
+
+
+HOSTILE_PIPELINE = _custom_pipeline(_hostile_preprocess)
+
+#: Events the crashing worker buffers on the channel before dying.
+FLOOD_EVENTS = 300
+
+
+def _flooding_preprocess(session, run, record):
+    """Flood the result channel, then die without a ``done`` message.
+
+    ``sys.exit`` (not an ``Exception``) escapes the worker loop, so
+    the process exits mid-sweep with its flood buffered — the parent's
+    straggler drain must still collect every message.
+    """
+    if run.label == "crash":
+        for tick in range(FLOOD_EVENTS):
+            session.events.publish("decompose_progress", tick=tick)
+        sys.exit(3)
+    stage_preprocess(session, run, record)
+
+
+FLOODING_PIPELINE = _custom_pipeline(_flooding_preprocess)
+
+#: Sleeps for the mixed-workload stress test: the hog's runtime is a
+#: large multiple of everything else so scheduling assertions hold on
+#: slow CI boxes too.
+HOG_SLEEP = 1.2
+SMALL_SLEEP = 0.01
+
+
+def _sleepy_preprocess(session, run, record):
+    time.sleep(HOG_SLEEP if run.label == "hog" else SMALL_SLEEP)
+    stage_preprocess(session, run, record)
+
+
+SLEEPY_PIPELINE = _custom_pipeline(_sleepy_preprocess)
+
+
 # ---------------------------------------------------------------------
 # Determinism: jobs must not change the emitted BLIFs
 # ---------------------------------------------------------------------
@@ -141,38 +206,69 @@ class TestDeterminism:
 
 
 # ---------------------------------------------------------------------
-# Partitioning
+# Work queue
 # ---------------------------------------------------------------------
-class TestPartition:
-    def test_hogs_scheduled_first_lpt(self):
-        descs = [{"path": None, "label": "d%d" % i, "emit_path": None,
-                  "text": "\n".join([".i 2", ".o 1", ".type fd"]
-                                    + ["1- 1"] * n + [".e"]) + "\n"}
-                 for i, n in enumerate([1, 5, 2, 4])]
-        parts = _partition(descs, 2)
-        assert len(parts) == 2
-        # Heaviest input (index 1, 5 cubes) leads the first bucket;
-        # next heaviest (index 3, 4 cubes) leads the second.
-        assert parts[0][0][0] == 1
-        assert parts[1][0][0] == 3
-        # Every input is assigned exactly once.
-        assigned = sorted(i for bucket in parts for i, _d in bucket)
-        assert assigned == [0, 1, 2, 3]
+def make_descs(cube_counts):
+    return [{"path": None, "label": "d%d" % i, "emit_path": None,
+             "text": "\n".join([".i 2", ".o 1", ".type fd"]
+                               + ["1- 1"] * n + [".e"]) + "\n"}
+            for i, n in enumerate(cube_counts)]
 
-    def test_more_jobs_than_inputs_drops_empty_buckets(self):
-        descs = [{"path": None, "text": PLA_A, "label": "x",
-                  "emit_path": None}]
-        parts = _partition(descs, 8)
-        assert len(parts) == 1
+
+class TestWorkQueue:
+    def test_hogs_dispatched_first(self):
+        work = _WorkQueue(make_descs([1, 5, 2, 4]))
+        # Descending cube count: 5, 4, 2, 1 cubes.
+        assert work.order == [1, 3, 2, 0]
+        dispatched = []
+        while True:
+            task = work.next_for(0)
+            if task is None:
+                break
+            dispatched.append(task[0])
+            work.task_done(0, task[0])
+        assert dispatched == [1, 3, 2, 0]
+
+    def test_never_idles_while_nonempty(self):
+        # Whichever worker asks — in any interleaving — gets a task as
+        # long as the deque is non-empty: the no-idle property.
+        work = _WorkQueue(make_descs([3, 1, 2, 5, 4]))
+        served = []
+        for worker_id in (2, 0, 1, 0, 2, 1):
+            remaining = len(work)
+            task = work.next_for(worker_id)
+            if remaining:
+                assert task is not None
+                served.append(task[0])
+                work.task_done(worker_id, task[0])
+            else:
+                assert task is None
+        assert sorted(served) == [0, 1, 2, 3, 4]
+
+    def test_assignment_tracking_for_crash_accounting(self):
+        work = _WorkQueue(make_descs([2, 1]))
+        index, _desc = work.next_for(7)
+        assert work.lost_input(7) == index
+        work.task_done(7, index)
+        assert work.lost_input(7) is None
+        # A stale done report for a task the worker no longer holds
+        # must not clobber a newer assignment.
+        second, _desc = work.next_for(7)
+        work.task_done(7, index)
+        assert work.lost_input(7) == second
+
+    def test_ties_broken_by_input_order(self):
+        work = _WorkQueue(make_descs([2, 2, 2]))
+        assert work.order == [0, 1, 2]
 
     def test_unparsable_text_gets_zero_weight_not_error(self):
         descs = [{"path": None, "text": "not a pla", "label": "bad",
                   "emit_path": None},
                  {"path": None, "text": PLA_A, "label": "good",
                   "emit_path": None}]
-        parts = _partition(descs, 2)
-        assigned = sorted(i for bucket in parts for i, _d in bucket)
-        assert assigned == [0, 1]
+        work = _WorkQueue(descs)
+        # The parsable input outweighs the zero-weight bad one.
+        assert work.order == [1, 0]
 
 
 # ---------------------------------------------------------------------
@@ -186,8 +282,9 @@ class TestEvents:
         finished = events.named("batch_finished")
         assert started and started[0]["inputs"] == 4
         assert started[0]["jobs"] == 2
-        assert sorted(i for part in started[0]["schedule"]
-                      for i in part) == [0, 1, 2, 3]
+        assert sorted(started[0]["queue"]) == [0, 1, 2, 3]
+        assigned = events.named("task_assigned")
+        assert sorted(p["index"] for p in assigned) == [0, 1, 2, 3]
         assert finished and finished[0]["failures"] == 0
         batch_level = {"batch_started", "batch_finished",
                        "component_cache_merged", "worker_failed"}
@@ -254,6 +351,67 @@ class TestFailureIsolation:
 
 
 # ---------------------------------------------------------------------
+# Hostile event payloads (reserved-key collision)
+# ---------------------------------------------------------------------
+class TestHostilePayloads:
+    def check(self, jobs):
+        events = EventBus()
+        result = run_batch_parallel(make_inputs(), jobs=jobs,
+                                    events=events,
+                                    pipeline=HOSTILE_PIPELINE)
+        # The pump survived and the sweep completed.
+        assert not result.failures
+        hostile = events.named("hostile_event")
+        assert len(hostile) == 1
+        payload = hostile[0]
+        # Keys colliding with publish()'s own parameters arrive intact.
+        assert payload["name"] == "evil"
+        assert payload["self"] == "boom"
+        # ...except the worker tag, which the parent always overwrites
+        # with the id of the worker the event actually came from.
+        assert isinstance(payload["worker"], int)
+        assert payload["worker"] != "forged"
+
+    def test_parent_pump_survives_reserved_keys(self):
+        self.check(jobs=2)
+
+    def test_inline_path_survives_reserved_keys(self):
+        self.check(jobs=1)
+
+
+# ---------------------------------------------------------------------
+# Straggler drain (crashed worker's buffered messages)
+# ---------------------------------------------------------------------
+class TestStragglerDrain:
+    def test_flooded_channel_is_drained_after_worker_death(self):
+        # The crash input has the most cubes, so the work queue hands
+        # it out first; its worker floods the channel and exits without
+        # a "done" message while the other worker runs the small
+        # inputs.  Every buffered message must still reach the parent.
+        sources = [PipelineInput(text=PLA_D, label="crash"),
+                   PipelineInput(text=PLA_B, label="ok1"),
+                   PipelineInput(text=PLA_C, label="ok2")]
+        events = EventBus()
+        result = run_batch_parallel(sources, jobs=2, events=events,
+                                    pipeline=FLOODING_PIPELINE)
+        assert [run.label for run in result] == ["crash", "ok1", "ok2"]
+        # The survivors' run payloads were collected, not lost.
+        assert not result[1].failed and result[1].blif
+        assert not result[2].failed and result[2].blif
+        # Only the input the dead worker was actually holding failed.
+        assert result[0].failed
+        assert "worker process died" in result[0].error["message"]
+        # The flood the worker buffered before dying arrived complete.
+        ticks = [p["tick"] for p in events.named("decompose_progress")
+                 if "tick" in p.payload]
+        assert sorted(ticks) == list(range(FLOOD_EVENTS))
+        failed = events.named("worker_failed")
+        assert len(failed) == 1
+        assert failed[0]["exitcode"] == 3
+        assert failed[0]["lost_inputs"] == [0]
+
+
+# ---------------------------------------------------------------------
 # Component-store sharing
 # ---------------------------------------------------------------------
 class TestStoreSharing:
@@ -300,6 +458,80 @@ class TestStoreSharing:
         run_batch_parallel(make_inputs(), config=config, jobs=1)
         warm = run_batch_parallel(make_inputs(), config=config, jobs=1)
         assert warm.report()["rehydrated_hits"] > 0
+
+    def test_corrupt_presweep_store_preserved_not_destroyed(self, tmp_path):
+        from repro.decomp.cache_store import load_store
+        config = self.config(tmp_path)
+        garbage = "NOT JSON {{{"
+        with open(config.cache_path, "w") as handle:
+            handle.write(garbage)
+        events = EventBus()
+        result = run_batch_parallel(make_inputs(), config=config,
+                                    jobs=2, events=events)
+        assert not result.failures
+        # The unreadable original was renamed aside, bytes intact, not
+        # silently overwritten by the workers' entries.
+        preserved = config.cache_path + ".corrupt"
+        assert open(preserved).read() == garbage
+        fails = events.named("component_cache_load_failed")
+        assert any(p.get("preserved") == preserved
+                   and p.get("path") == config.cache_path
+                   for p in fails)
+        # The merge still went through: the store was rebuilt from the
+        # live workers' components and is readable again.
+        assert result.merged_store == config.cache_path
+        assert result.merged_entries > 0
+        entries, skipped = load_store(config.cache_path)
+        assert len(entries) == result.merged_entries
+        assert skipped == 0
+
+
+# ---------------------------------------------------------------------
+# Mixed-workload stress: one hog + many small inputs
+# ---------------------------------------------------------------------
+class TestMixedWorkloadStress:
+    def test_hog_never_blocks_the_queue(self):
+        # The hog has the most cubes, so it is dispatched first — and
+        # then sleeps for longer than every small input combined.
+        sources = [PipelineInput(text=PLA_D, label="hog")] \
+            + [PipelineInput(text=(PLA_B if i % 2 else PLA_C),
+                             label="small%d" % i) for i in range(6)]
+        events = EventBus()
+        result = run_batch_parallel(sources, jobs=2, events=events,
+                                    pipeline=SLEEPY_PIPELINE)
+        assert len(result) == 7
+        assert not result.failures
+        assigned = events.named("task_assigned")
+        assert len(assigned) == 7
+        assert assigned[0]["index"] == 0  # the hog goes out first
+        hog_worker = assigned[0]["worker"]
+        # While the hog holds its worker, every later assignment flows
+        # to the free worker: nothing queues up behind the hog and no
+        # worker idles while the deque is non-empty.  (Static
+        # partitioning would strand some small inputs behind the hog.)
+        others = {p["worker"] for p in assigned[1:]}
+        assert others == {1 - hog_worker}
+
+    def test_jobs1_vs_jobs4_blif_and_cert_bytes_identical(self, tmp_path):
+        def sweep(jobs):
+            outdir = tmp_path / ("jobs%d" % jobs)
+            outdir.mkdir()
+            sources = [
+                PipelineInput(text=text, label="in%d" % i,
+                              emit_path=str(outdir / ("in%d.blif" % i)))
+                for i, text in enumerate(TEXTS)]
+            config = PipelineConfig(emit_certificates=True)
+            result = run_batch_parallel(sources, config=config,
+                                        jobs=jobs)
+            assert not result.failures
+            return {path.name: path.read_bytes()
+                    for path in sorted(outdir.iterdir())}
+        serial, parallel = sweep(1), sweep(4)
+        # Four BLIFs and four certificate traces per sweep, all
+        # byte-identical under dynamic scheduling.
+        assert len(serial) == 8
+        assert any(name.endswith(".cert.json") for name in serial)
+        assert parallel == serial
 
 
 # ---------------------------------------------------------------------

@@ -312,6 +312,14 @@ class TestConfig:
         doc = config.as_dict()
         assert doc["cache_path"] == "x.cache.json"
         assert doc["cache_readonly"] is True
+        assert doc["sweep_store"] is False
+
+    def test_sweep_store_requires_cache_path(self):
+        with pytest.raises(ValueError, match="sweep_store"):
+            PipelineConfig(sweep_store=True)
+        config = PipelineConfig(cache_path="sweep.cache.json",
+                                sweep_store=True)
+        assert config.as_dict()["sweep_store"] is True
 
     def test_coerce_passthrough_and_wrapping(self):
         config = PipelineConfig()
