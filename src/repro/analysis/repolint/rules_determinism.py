@@ -157,6 +157,38 @@ def check_id_order(ctx):
                 "group with `is` comparisons instead")
 
 
+@repo_rule("cache-attr-name", Severity.WARNING)
+def check_cache_attr_name(ctx):
+    """Memo dicts dynamically attached to the manager must live in the
+    ``_cache_``-prefixed namespace that
+    ``repro.bdd.manager.BDD.clear_caches`` drops wholesale on reorder
+    and GC — the discipline the kernel quantification walks and
+    ``repro.decomp.context``'s check memos rely on for invalidation.
+    A ``getattr``/``setattr`` with any other ``_``-prefixed literal
+    name creates hidden state that survives node renumbering and can
+    replay stale edges."""
+    if not _in_hot_path(ctx.rel):
+        return
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("getattr", "setattr")
+                and len(node.args) >= 2):
+            continue
+        name_arg = node.args[1]
+        if not (isinstance(name_arg, ast.Constant)
+                and isinstance(name_arg.value, str)):
+            continue
+        attr = name_arg.value
+        if attr.startswith("_") and not attr.startswith("_cache_"):
+            yield ctx.finding(
+                node.lineno,
+                "hot-path %s of private attribute %r; dynamically "
+                "attached manager state must use the _cache_ prefix "
+                "so clear_caches() invalidates it on reorder/GC"
+                % (node.func.id, attr))
+
+
 # -- pickle safety at the worker boundary ------------------------------
 def _module_level_defs(tree):
     return {node.name for node in tree.body

@@ -17,7 +17,7 @@ Quick start::
 from repro.bdd.manager import BDD, BDDError
 from repro.bdd.function import Function, fn_vars
 from repro.bdd.node import FALSE, TRUE, TERMINAL_LEVEL, is_terminal
-from repro.bdd.quantify import exists, forall, and_exists
+from repro.bdd.quantify import exists, forall, and_exists, or_forall
 from repro.bdd.cubes import (sat_count, pick_cube, pick_minterm,
                              cube_to_bdd, iter_cubes, iter_minterms)
 from repro.bdd.isop import Cube, isop, cover_to_bdd, cover_literal_count
@@ -29,7 +29,7 @@ from repro.bdd.dump import to_dot, stats
 __all__ = [
     "BDD", "BDDError", "Function", "fn_vars",
     "FALSE", "TRUE", "TERMINAL_LEVEL", "is_terminal",
-    "exists", "forall", "and_exists",
+    "exists", "forall", "and_exists", "or_forall",
     "sat_count", "pick_cube", "pick_minterm", "cube_to_bdd",
     "iter_cubes", "iter_minterms",
     "Cube", "isop", "cover_to_bdd", "cover_literal_count",

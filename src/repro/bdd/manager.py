@@ -91,6 +91,13 @@ class BDD:
         self._uniq_lookups = 0
         self._uniq_hits = 0
         self._peak_live = 1
+        # Quantification kernel counters (incremented by repro.bdd.quantify):
+        # top-level exists/forall calls, fused and_exists/or_forall calls,
+        # and total explicit-stack walk iterations.  Deterministic operation
+        # counts — the honest perf metric on machines with noisy clocks.
+        self._q_exists_calls = 0
+        self._q_and_exists_calls = 0
+        self._q_steps = 0
         # Support cache (a real dict: results survive until the next
         # clear_caches, which must clear it explicitly — its keys are
         # packed edges whose *levels* go stale on reordering).
@@ -799,6 +806,9 @@ class BDD:
             "computed_slots": (len(self._ct_and) + len(self._ct_xor)
                                + len(self._ct_ite)),
             "peak_live_nodes": self._peak_live,
+            "quantify_calls": self._q_exists_calls,
+            "and_exists_calls": self._q_and_exists_calls,
+            "quantify_steps": self._q_steps,
         }
 
     # ------------------------------------------------------------------

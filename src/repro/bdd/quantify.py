@@ -86,6 +86,7 @@ def exists(mgr, variables, f):
     levels = _levels_token(mgr, variables)
     if not levels:
         return f
+    mgr._q_exists_calls += 1
     return _exists_iter(mgr, f, levels, _cache(mgr, "_cache_exists"))
 
 
@@ -102,7 +103,9 @@ def _exists_iter(mgr, f, levels, cache):
     tasks = [(0, f, 0)]
     tpush = tasks.append
     tpop = tasks.pop
+    steps = 0
     while tasks:
+        steps += 1
         tag, payload, i = tpop()
         if tag == 0:
             e = payload
@@ -138,6 +141,7 @@ def _exists_iter(mgr, f, levels, cache):
                 result = mgr._mk(lvl, lo, hi)
             cache[key] = result
             rpush(result)
+    mgr._q_steps += steps
     return results[0]
 
 
@@ -149,6 +153,7 @@ def forall(mgr, variables, f):
     levels = _levels_token(mgr, variables)
     if not levels:
         return f
+    mgr._q_exists_calls += 1
     return _exists_iter(mgr, f ^ 1, levels,
                         _cache(mgr, "_cache_exists")) ^ 1
 
@@ -162,8 +167,24 @@ def and_exists(mgr, variables, f, g):
     variable grouping.
     """
     levels = _levels_token(mgr, variables)
+    mgr._q_and_exists_calls += 1
     return _and_exists_iter(mgr, f, g, levels,
                             _cache(mgr, "_cache_and_exists"))
+
+
+def or_forall(mgr, variables, f, g):
+    """Compute ``forall(variables, f | g)`` without building ``f | g``.
+
+    The universal dual of :func:`and_exists` under complement edges:
+    ``forall(V, f | g) = ~exists(V, ~f & ~g)``, so the same fused walk
+    (and the same memo table) serves both.  This is the shape of
+    Theorem 2's ``R_D = forall(V, Q) | forall(V, R)`` once rewritten as
+    ``forall(V, forall(V, Q) | R)``.
+    """
+    levels = _levels_token(mgr, variables)
+    mgr._q_and_exists_calls += 1
+    return _and_exists_iter(mgr, f ^ 1, g ^ 1, levels,
+                            _cache(mgr, "_cache_and_exists")) ^ 1
 
 
 def _and_exists_iter(mgr, f, g, levels, cache):
@@ -178,7 +199,9 @@ def _and_exists_iter(mgr, f, g, levels, cache):
     tasks = [(0, (f, g), 0)]
     tpush = tasks.append
     tpop = tasks.pop
+    steps = 0
     while tasks:
+        steps += 1
         tag, payload, i = tpop()
         if tag == 0:
             f, g = payload
@@ -234,4 +257,5 @@ def _and_exists_iter(mgr, f, g, levels, cache):
                 result = mgr._mk(lvl, lo, hi)
             cache[key] = result
             rpush(result)
+    mgr._q_steps += steps
     return results[0]

@@ -30,7 +30,7 @@ class ISF:
     don't-care.
     """
 
-    __slots__ = ("on", "off")
+    __slots__ = ("on", "off", "_complement")
 
     def __init__(self, on, off):
         if not isinstance(on, Function) or not isinstance(off, Function):
@@ -41,6 +41,7 @@ class ISF:
             raise InconsistentISF("on-set and off-set overlap")
         self.on = on
         self.off = off
+        self._complement = None
 
     # -- constructors ----------------------------------------------------
     @classmethod
@@ -117,8 +118,25 @@ class ISF:
 
     # -- transformations -------------------------------------------------------
     def complement(self):
-        """The ISF of complements (swap on-set and off-set)."""
-        return ISF(self.off, self.on)
+        """The ISF of complements (swap on-set and off-set).
+
+        Memoised per instance: the AND-dual checks
+        (:func:`repro.decomp.checks.and_decomposable`,
+        :func:`~repro.decomp.checks.weak_and_useful`) complement the
+        same ISF on every probe, and returning the *same* sibling keeps
+        its on/off edges stable as cache keys.  The sibling points back
+        at us, so ``isf.complement().complement() is isf``; with
+        complement edges both directions are O(1) and no BDD work is
+        repeated.  The memo is per-instance (never cross-manager by
+        construction — the sibling wraps this instance's own Function
+        handles).
+        """
+        comp = self._complement
+        if comp is None:
+            comp = ISF(self.off, self.on)
+            comp._complement = self
+            self._complement = comp
+        return comp
 
     def cofactor(self, var, value):
         """Restrict one input variable to a constant in both sets."""

@@ -15,6 +15,7 @@ from repro.decomp.derive import (OR_GATE, AND_GATE, EXOR_GATE,
                                  derive_weak_and_component_a,
                                  derive_exor_component_b,
                                  derive_component_a, derive_component_b)
+from repro.decomp.context import CheckContext
 from repro.decomp.grouping import (find_initial_grouping, group_variables,
                                    find_best_grouping, grouping_score,
                                    improve_grouping)
@@ -49,6 +50,7 @@ __all__ = [
     "find_initial_grouping", "group_variables", "find_best_grouping",
     "grouping_score", "improve_grouping", "find_weak_grouping",
     "is_inessential", "remove_inessential",
+    "CheckContext",
     "ComponentCache", "NullCache", "find_gate", "CertificateTracer",
     "CACHE_FORMAT", "CACHE_VERSION", "CacheStoreError", "StoredComponent",
     "PersistentComponentCache", "cone_gate_count", "store_component",

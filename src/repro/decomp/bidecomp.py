@@ -26,6 +26,7 @@ blocks between outputs.
 from repro.boolfn.isf import ISF
 from repro.decomp import checks
 from repro.decomp.cache import ComponentCache, NullCache
+from repro.decomp.context import CheckContext
 from repro.decomp.derive import (AND_GATE, EXOR_GATE, OR_GATE,
                                  derive_component_b,
                                  derive_or_component_a,
@@ -66,14 +67,22 @@ class DecompositionConfig:
     * ``objective`` — ``"area"`` scores groupings by coverage then
       balance (the paper's cost); ``"delay"`` puts balance first;
     * ``check_invariants`` — verify compatibility of every synthesised
-      component against its interval (slower; on by default in tests).
+      component against its interval (slower; on by default in tests);
+    * ``use_check_context`` — route grouping/weak checks through a
+      shared :class:`~repro.decomp.context.CheckContext` (a
+      quantification cache, exact check-verdict memos, and the
+      set-lifted Theorem 2 filter that prunes infeasible EXOR
+      propagations).  Exact — results are byte-identical either way —
+      and on by default; off exists for the A/B operation-count
+      benchmark.
     """
 
     def __init__(self, use_or=True, use_and=True, use_exor=True,
                  use_weak=True, use_cache=True, use_inessential=True,
                  gate_preference=(OR_GATE, AND_GATE, EXOR_GATE),
                  exhaustive_grouping=False, weak_xa_size=1,
-                 objective="area", check_invariants=False):
+                 objective="area", check_invariants=False,
+                 use_check_context=True):
         self.use_or = use_or
         self.use_and = use_and
         self.use_exor = use_exor
@@ -83,6 +92,7 @@ class DecompositionConfig:
         self.gate_preference = tuple(gate_preference)
         self.exhaustive_grouping = exhaustive_grouping
         self.weak_xa_size = weak_xa_size
+        self.use_check_context = use_check_context
         if objective not in ("area", "delay"):
             raise ValueError("objective must be 'area' or 'delay'")
         self.objective = objective
@@ -106,6 +116,13 @@ class DecompositionStats:
         self.weak = {OR_GATE: 0, AND_GATE: 0}
         self.shannon = 0
         self.inessential_removed = 0
+        # CheckContext counters (zero when use_check_context is off):
+        # decomposability checks probed during grouping, quantification
+        # probes answered from the context cache, and fused
+        # and_exists/or_forall kernel calls issued.
+        self.grouping_check_calls = 0
+        self.quantify_cache_hits = 0
+        self.and_exists_calls = 0
 
     def strong_steps(self):
         """Total strong bi-decomposition steps."""
@@ -130,6 +147,9 @@ class DecompositionStats:
         stats.weak[AND_GATE] = data.get("weak_and", 0)
         stats.shannon = data.get("shannon", 0)
         stats.inessential_removed = data.get("inessential_removed", 0)
+        stats.grouping_check_calls = data.get("grouping_check_calls", 0)
+        stats.quantify_cache_hits = data.get("quantify_cache_hits", 0)
+        stats.and_exists_calls = data.get("and_exists_calls", 0)
         return stats
 
     def as_dict(self):
@@ -145,6 +165,9 @@ class DecompositionStats:
             "weak_and": self.weak[AND_GATE],
             "shannon": self.shannon,
             "inessential_removed": self.inessential_removed,
+            "grouping_check_calls": self.grouping_check_calls,
+            "quantify_cache_hits": self.quantify_cache_hits,
+            "and_exists_calls": self.and_exists_calls,
         }
 
     def __repr__(self):
@@ -254,23 +277,30 @@ class DecompositionEngine:
             self.cache.insert(csf, node)
             return csf, node
 
-        step = self._find_strong_step(isf, support)
+        ctx = (CheckContext(self.mgr) if self.config.use_check_context
+               else None)
+        step = self._find_strong_step(isf, support, ctx)
         if step is None and self.config.use_weak:
-            step = self._find_weak_step(isf, support)
+            step = self._find_weak_step(isf, support, ctx)
+        if ctx is not None:
+            stats = self.stats
+            stats.grouping_check_calls += ctx.check_calls
+            stats.quantify_cache_hits += ctx.cache_hits
+            stats.and_exists_calls += ctx.and_exists_calls
         if step is None:
             return self._shannon_step(isf, support)
         gate, xa, isf_a = step
         return self._emit(isf, gate, xa, isf_a)
 
     # -- step selection ---------------------------------------------------
-    def _find_strong_step(self, isf, support):
+    def _find_strong_step(self, isf, support, ctx=None):
         """Try all enabled strong gates; return (gate, xa, isf_a) or None."""
         candidates = {}
         for gate in self.config.enabled_gates():
-            grouping = group_variables(isf, support, gate)
+            grouping = group_variables(isf, support, gate, ctx)
             if grouping is not None and self.config.exhaustive_grouping:
                 grouping = improve_grouping(isf, support, gate,
-                                            *grouping)
+                                            *grouping, ctx=ctx)
             candidates[gate] = grouping
         best = find_best_grouping(candidates, self.config.gate_preference,
                                   objective=self.config.objective)
@@ -286,17 +316,18 @@ class DecompositionEngine:
         elif gate == AND_GATE:
             isf_a = derive_and_component_a(isf, xa, xb)
         else:
-            intervals = check_exor_bidecomp(isf, xa, xb)
+            intervals = check_exor_bidecomp(isf, xa, xb, ctx)
             if intervals is None:  # cannot happen if grouping succeeded
                 raise DecompositionError("EXOR grouping vanished on rerun")
             isf_a = intervals[0]
         self._on_step(isf, support, gate, xa, xb, isf_a)
         return gate, xa, isf_a
 
-    def _find_weak_step(self, isf, support):
+    def _find_weak_step(self, isf, support, ctx=None):
         """Best weak OR/AND step, or None when nothing makes progress."""
         weak = find_weak_grouping(isf, support,
-                                  max_vars=self.config.weak_xa_size)
+                                  max_vars=self.config.weak_xa_size,
+                                  ctx=ctx)
         if weak is None:
             return None
         gate, xa = weak

@@ -21,6 +21,18 @@ Weak decomposability (Table 1, second row) is checked by
 :func:`weak_or_useful` / :func:`weak_and_useful`: a weak step is only
 worth taking when it strictly enlarges the don't-care set of component
 A, which is the paper's termination argument.
+
+Every check accepts an optional
+:class:`~repro.decomp.context.CheckContext`.  With a context, every
+quantification comes from a shared per-manager cache and whole check
+verdicts memoise on their ``(Q, R, XA, XB)`` packed-edge keys; both
+paths build the same canonical BDDs, so they return identical booleans
+(and identical edges for :func:`derivative_isf`).  The context paths
+deliberately keep the plain apply forms below rather than fusing the
+conjunction into the quantification walk: the manager's global
+computed tables already share every materialised intermediate across
+the diff/or/and ecosystem, and DESIGN.md section 9 records the
+measurement where the fused ``and_exists`` walks lost to them.
 """
 
 from repro.bdd import exists as _exists, forall as _forall
@@ -31,9 +43,20 @@ def _fn(mgr, node):
     return Function(mgr, node)
 
 
-def or_decomposable(isf, xa, xb):
+def or_decomposable(isf, xa, xb, ctx=None):
     """Theorem 1: OR-bi-decomposability with variable sets (XA, XB)."""
     mgr = isf.mgr
+    if ctx is not None:
+        ctx.check_calls += 1
+        q, r = isf.on.node, isf.off.node
+        cached, store = ctx.check_memo("or", q, r, xa, xb)
+        if store is None:
+            return cached
+        # Same probe as below, but the two quantifications come from
+        # the context cache — across a pair scan each exists(x, R) is
+        # computed once and shared by every pair that touches x.
+        qa = mgr.and_(q, ctx.exists(r, xa))
+        return store(mgr.and_(qa, ctx.exists(r, xb)) == mgr.false)
     r_no_xa = _exists(mgr, xa, isf.off.node)
     r_no_xb = _exists(mgr, xb, isf.off.node)
     # Q & (exists XA R) & (exists XB R) == 0, evaluated with the fused
@@ -42,12 +65,12 @@ def or_decomposable(isf, xa, xb):
     return mgr.and_(qa, r_no_xb) == mgr.false
 
 
-def and_decomposable(isf, xa, xb):
+def and_decomposable(isf, xa, xb, ctx=None):
     """AND-bi-decomposability: the dual of Theorem 1 (swap Q and R)."""
-    return or_decomposable(isf.complement(), xa, xb)
+    return or_decomposable(isf.complement(), xa, xb, ctx)
 
 
-def derivative_isf(isf, variables):
+def derivative_isf(isf, variables, ctx=None):
     """The ISF of the Boolean derivative of F w.r.t. *variables*.
 
     For a compatible CSF f, the derivative ``df/dXA`` must be 1 exactly
@@ -57,34 +80,55 @@ def derivative_isf(isf, variables):
     """
     mgr = isf.mgr
     q, r = isf.on.node, isf.off.node
+    if ctx is not None:
+        # Same formulas, with all four quantifications served by the
+        # context cache (the forall dual shares it via complement
+        # edges) — the Fig. 5 EXOR pair scan re-derives these per-x
+        # building blocks for every partner variable.
+        q_d = mgr.and_(ctx.exists(q, variables), ctx.exists(r, variables))
+        r_d = mgr.or_(ctx.forall(q, variables), ctx.forall(r, variables))
+        return _fn(mgr, q_d), _fn(mgr, r_d)
     q_d = mgr.and_(_exists(mgr, variables, q), _exists(mgr, variables, r))
     r_d = mgr.or_(_forall(mgr, variables, q), _forall(mgr, variables, r))
     return _fn(mgr, q_d), _fn(mgr, r_d)
 
 
-def exor_decomposable_single(isf, xa_var, xb_var):
+def exor_decomposable_single(isf, xa_var, xb_var, ctx=None):
     """Theorem 2: EXOR-bi-decomposability with singleton (XA, XB).
 
     The check is ``Q_D & exists(xb, R_D) == 0`` on the derivative ISF
     of F with respect to the XA variable.
     """
     mgr = isf.mgr
+    if ctx is not None:
+        ctx.check_calls += 1
+        cached, store = ctx.check_memo("exor1", isf.on.node, isf.off.node,
+                                       [xa_var], [xb_var])
+        if store is None:
+            return cached
+        q_d, r_d = derivative_isf(isf, [xa_var], ctx)
+        return store(mgr.and_(q_d.node,
+                              ctx.exists(r_d.node, [xb_var])) == mgr.false)
     q_d, r_d = derivative_isf(isf, [xa_var])
     r_d_no_xb = _exists(mgr, [xb_var], r_d.node)
     return mgr.and_(q_d.node, r_d_no_xb) == mgr.false
 
 
-def weak_or_useful(isf, xa):
+def weak_or_useful(isf, xa, ctx=None):
     """Weak OR is worth taking iff it strictly shrinks the on-set of A.
 
     Table 1: component A of a weak OR step has ``Q_A = Q & exists(XA, R)``;
     the step injects don't-cares iff ``Q - exists(XA, R) != 0``.
     """
     mgr = isf.mgr
-    r_no_xa = _exists(mgr, xa, isf.off.node)
+    if ctx is not None:
+        ctx.check_calls += 1
+        r_no_xa = ctx.exists(isf.off.node, xa)
+    else:
+        r_no_xa = _exists(mgr, xa, isf.off.node)
     return mgr.diff(isf.on.node, r_no_xa) != mgr.false
 
 
-def weak_and_useful(isf, xa):
+def weak_and_useful(isf, xa, ctx=None):
     """Weak AND usefulness: dual of :func:`weak_or_useful`."""
-    return weak_or_useful(isf.complement(), xa)
+    return weak_or_useful(isf.complement(), xa, ctx)

@@ -22,7 +22,7 @@ from repro.bdd.function import Function
 from repro.boolfn.isf import ISF, InconsistentISF
 
 
-def check_exor_bidecomp(isf, xa, xb):
+def check_exor_bidecomp(isf, xa, xb, ctx=None):
     """Run Fig. 4's CheckExorBiDecomp.
 
     Parameters
@@ -31,6 +31,15 @@ def check_exor_bidecomp(isf, xa, xb):
         The function to decompose.
     xa, xb:
         Disjoint variable sets (iterables of names/indices).
+    ctx:
+        Optional :class:`~repro.decomp.context.CheckContext`.  With a
+        context the whole propagation outcome memoises on its
+        ``(Q, R, XA, XB)`` key (the engine re-runs the winning grouping
+        verbatim to derive the components), the set-lifted Theorem 2
+        filter of :func:`_set_derivative_filter` prunes infeasible
+        groupings before any propagation runs, and the projection steps
+        share the context's quantification cache.  Identical canonical
+        results either way.
 
     Returns ``(isf_a, isf_b)`` — the accumulated must-sets of the two
     components as ISFs — or ``None`` when no EXOR bi-decomposition with
@@ -45,11 +54,84 @@ def check_exor_bidecomp(isf, xa, xb):
     cofactors *are* the components.  This is orders of magnitude faster
     and bitwise-equivalent in outcome.
     """
+    if ctx is None:
+        return _check_exor_impl(isf, xa, xb, ctx)
+    # The propagation is a pure function of (Q, R, XA, XB) packed
+    # edges, so its outcome memoises exactly.  This is the single
+    # biggest repeat in the whole algorithm: the greedy growth loop
+    # probes a grouping via exor_decomposable, and the engine then
+    # re-runs the winning grouping verbatim to derive the components.
+    ctx.check_calls += 1
+    mgr = isf.mgr
+    cached, store = ctx.check_memo("exor", isf.on.node, isf.off.node,
+                                   xa, xb)
+    if store is None:
+        if cached is False:
+            return None
+        q_a, r_a, q_b, r_b = cached
+        return (ISF(Function(mgr, q_a), Function(mgr, r_a)),
+                ISF(Function(mgr, q_b), Function(mgr, r_b)))
+    if not isf.is_completely_specified() and not _set_derivative_filter(
+            isf, xa, xb, ctx):
+        store(False)
+        return None
+    result = _check_exor_impl(isf, xa, xb, ctx)
+    if result is None:
+        store(False)
+        return None
+    isf_a, isf_b = result
+    store((isf_a.on.node, isf_a.off.node, isf_b.on.node, isf_b.off.node))
+    return result
+
+
+def _set_derivative_filter(isf, xa, xb, ctx):
+    """Theorem 2 lifted to variable *sets*, as a necessary condition.
+
+    If ``F = A(XA, XC) ^ B(XB, XC)`` for some compatible extension f,
+    then for fixed (xb, xc) the function f is non-constant along an
+    XA-cofactor class iff A is — B contributes a constant offset, and
+    XOR with a constant preserves (non-)constancy.  The indicator of
+    that non-constancy is therefore independent of XB.  The derivative
+    ISF bounds it: ``Q_D = exists(XA,Q) & exists(XA,R)`` marks classes
+    where it is forced to 1 and ``R_D = forall(XA,Q) | forall(XA,R)``
+    classes where it is forced to 0, hence
+
+        Q_D & exists(XB, R_D) == 0
+
+    must hold (and symmetrically with XA and XB swapped).  For
+    singleton sets this is exactly Theorem 2 and also sufficient; for
+    larger sets it is only necessary — but every quantification here
+    comes from the context cache, so the filter prunes failing Fig. 4
+    propagations (the expensive part of the growth scan) for almost
+    free.  Returns False only when no EXOR bi-decomposition with these
+    sets can exist, so filtered verdicts are exact.
+    """
+    mgr = isf.mgr
+    q, r = isf.on.node, isf.off.node
+    for va, vb in ((xa, xb), (xb, xa)):
+        q_d = mgr.and_(ctx.exists(q, va), ctx.exists(r, va))
+        r_d = mgr.or_(ctx.forall(q, va), ctx.forall(r, va))
+        if mgr.and_(q_d, ctx.exists(r_d, vb)) != mgr.false:
+            return False
+    return True
+
+
+def _check_exor_impl(isf, xa, xb, ctx):
     mgr = isf.mgr
     if isf.is_completely_specified():
         return _csf_exor_components(isf, xa, xb)
     xa = [mgr.var_index(v) for v in xa]
     xb = [mgr.var_index(v) for v in xb]
+    def _forced(vars_, u, pu, v, pv):
+        return _exists(mgr, vars_, mgr.or_(mgr.and_(u, pu),
+                                           mgr.and_(v, pv)))
+
+    if ctx is not None:
+        def _project(vars_, node):
+            return ctx.exists(node, vars_)
+    else:
+        def _project(vars_, node):
+            return _exists(mgr, vars_, node)
     false = mgr.false
     q = isf.on.node
     r = isf.off.node
@@ -65,10 +147,8 @@ def check_exor_bidecomp(isf, xa, xb):
         r_a = false
         while q_a != false or r_a != false:
             # Forced values of B given the new forced values of A.
-            q_b = _exists(mgr, xa, mgr.or_(mgr.and_(q, r_a),
-                                           mgr.and_(r, q_a)))
-            r_b = _exists(mgr, xa, mgr.or_(mgr.and_(q, q_a),
-                                           mgr.and_(r, r_a)))
+            q_b = _forced(xa, q, r_a, r, q_a)
+            r_b = _forced(xa, q, q_a, r, r_a)
             if mgr.and_(q_b, r_b) != false:
                 return None
             covered = mgr.or_(q_a, r_a)
@@ -84,10 +164,8 @@ def check_exor_bidecomp(isf, xa, xb):
             if mgr.and_(acc_qb, acc_rb) != false:
                 return None
             # Forced values of A given the new forced values of B.
-            q_a = _exists(mgr, xb, mgr.or_(mgr.and_(q, r_b_new),
-                                           mgr.and_(r, q_b_new)))
-            r_a = _exists(mgr, xb, mgr.or_(mgr.and_(q, q_b_new),
-                                           mgr.and_(r, r_b_new)))
+            q_a = _forced(xb, q, r_b_new, r, q_b_new)
+            r_a = _forced(xb, q, q_b_new, r, r_b_new)
             if mgr.and_(q_a, r_a) != false:
                 return None
             covered = mgr.or_(q_b_new, r_b_new)
@@ -101,8 +179,8 @@ def check_exor_bidecomp(isf, xa, xb):
     # Untouched off-set points: force both components to 0 there
     # (0 EXOR 0 = 0), per the paper's final step.
     if r != false:
-        acc_ra = mgr.or_(acc_ra, _exists(mgr, xb, r))
-        acc_rb = mgr.or_(acc_rb, _exists(mgr, xa, r))
+        acc_ra = mgr.or_(acc_ra, _project(xb, r))
+        acc_rb = mgr.or_(acc_rb, _project(xa, r))
         if mgr.and_(acc_qa, acc_ra) != false:
             return None
         if mgr.and_(acc_qb, acc_rb) != false:
@@ -133,7 +211,7 @@ def _csf_exor_components(isf, xa, xb):
     return isf_a, isf_b
 
 
-def exor_decomposable(isf, xa, xb):
+def exor_decomposable(isf, xa, xb, ctx=None):
     """Boolean wrapper around :func:`check_exor_bidecomp`.
 
     For genuinely incompletely specified intervals, a necessary
@@ -147,6 +225,6 @@ def exor_decomposable(isf, xa, xb):
         from repro.decomp.checks import exor_decomposable_single
         for a in xa:
             for b in xb:
-                if not exor_decomposable_single(isf, a, b):
+                if not exor_decomposable_single(isf, a, b, ctx):
                     return False
-    return check_exor_bidecomp(isf, xa, xb) is not None
+    return check_exor_bidecomp(isf, xa, xb, ctx) is not None

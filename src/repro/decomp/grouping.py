@@ -20,38 +20,44 @@ from repro.decomp.derive import AND_GATE, EXOR_GATE, OR_GATE
 from repro.decomp.exor import exor_decomposable
 
 
-def _set_checker(isf, gate):
+def _set_checker(isf, gate, ctx=None):
     """Decomposability predicate over (xa, xb) variable *sets*."""
     if gate == OR_GATE:
-        return lambda xa, xb: checks.or_decomposable(isf, xa, xb)
+        return lambda xa, xb: checks.or_decomposable(isf, xa, xb, ctx)
     if gate == AND_GATE:
-        return lambda xa, xb: checks.and_decomposable(isf, xa, xb)
+        return lambda xa, xb: checks.and_decomposable(isf, xa, xb, ctx)
     if gate == EXOR_GATE:
-        return lambda xa, xb: exor_decomposable(isf, xa, xb)
+        return lambda xa, xb: exor_decomposable(isf, xa, xb, ctx)
     raise ValueError("unknown gate %r" % gate)
 
 
-def _pair_checker(isf, gate):
+def _pair_checker(isf, gate, ctx=None):
     """Decomposability predicate over single-variable pairs.
 
     For EXOR the cheap derivative test of Theorem 2 replaces the full
     Fig. 4 propagation.
     """
     if gate == EXOR_GATE:
-        return lambda x, y: checks.exor_decomposable_single(isf, x, y)
-    set_check = _set_checker(isf, gate)
+        return lambda x, y: checks.exor_decomposable_single(isf, x, y, ctx)
+    set_check = _set_checker(isf, gate, ctx)
     return lambda x, y: set_check([x], [y])
 
 
-def find_initial_grouping(isf, support, gate):
+def find_initial_grouping(isf, support, gate, ctx=None):
     """Fig. 5: find singleton sets (XA, XB) enabling a strong step.
 
     Returns ``(frozenset, frozenset)`` or ``None`` when the function is
     not strongly bi-decomposable with this gate under any pair.
+
+    With a :class:`~repro.decomp.context.CheckContext` the per-variable
+    quantification family is cached across probes, so the O(n^2) pair
+    scan issues only O(n) kernel quantifications — lazily, which keeps
+    an early exit from paying for variables it never probed.
     """
-    check = _pair_checker(isf, gate)
+    check = _pair_checker(isf, gate, ctx)
     symmetric = gate in (OR_GATE, AND_GATE)
-    support = list(support)
+    if not isinstance(support, (tuple, list)):
+        support = tuple(support)
     for i, x in enumerate(support):
         start = i + 1 if symmetric else 0
         for y in support[start:]:
@@ -62,7 +68,7 @@ def find_initial_grouping(isf, support, gate):
     return None
 
 
-def group_variables(isf, support, gate):
+def group_variables(isf, support, gate, ctx=None):
     """Fig. 6: greedily grow the initial grouping over the support.
 
     Returns ``(xa, xb)`` frozensets or ``None``.  Each remaining
@@ -70,11 +76,11 @@ def group_variables(isf, support, gate):
     sets balanced; a variable that fits neither set is dropped into the
     common set XC (implicitly, by not being added).
     """
-    initial = find_initial_grouping(isf, support, gate)
+    initial = find_initial_grouping(isf, support, gate, ctx)
     if initial is None:
         return None
     xa, xb = (set(initial[0]), set(initial[1]))
-    check = _set_checker(isf, gate)
+    check = _set_checker(isf, gate, ctx)
     for z in support:
         if z in xa or z in xb:
             continue
@@ -89,7 +95,7 @@ def group_variables(isf, support, gate):
     return frozenset(xa), frozenset(xb)
 
 
-def improve_grouping(isf, support, gate, xa, xb):
+def improve_grouping(isf, support, gate, xa, xb, ctx=None):
     """Section 5's experimental refinement: exclude-one, add-many.
 
     The paper reports trying "excluding one variable at a time while
@@ -99,7 +105,7 @@ def improve_grouping(isf, support, gate, xa, xb):
     available behind ``DecompositionConfig(exhaustive_grouping=True)``
     so the ablation benchmark can reproduce the trade-off.
     """
-    check = _set_checker(isf, gate)
+    check = _set_checker(isf, gate, ctx)
     xa, xb = set(xa), set(xb)
     improved = True
     while improved:

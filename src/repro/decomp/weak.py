@@ -12,7 +12,7 @@ from repro.bdd import exists as _exists, sat_count
 from repro.decomp.derive import AND_GATE, OR_GATE
 
 
-def find_weak_grouping(isf, support, max_vars=1):
+def find_weak_grouping(isf, support, max_vars=1, ctx=None):
     """Choose the best weak step.
 
     Returns ``(gate, frozenset(XA))`` where *gate* is OR or AND and XA
@@ -28,28 +28,34 @@ def find_weak_grouping(isf, support, max_vars=1):
     larger values grow XA greedily by don't-care gain and exist for the
     ablation benchmark that reproduces that finding.
     """
-    best = _best_single(isf, support)
+    best = _best_single(isf, support, ctx)
     if best is None or max_vars <= 1:
         return best
     gate, xa = best
-    return gate, _grow_weak_set(isf, support, gate, set(xa), max_vars)
+    return gate, _grow_weak_set(isf, support, gate, set(xa), max_vars, ctx)
 
 
-def _best_single(isf, support):
+def _ex(isf, variables, node, ctx):
+    if ctx is not None:
+        return ctx.exists(node, variables)
+    return _exists(isf.mgr, variables, node)
+
+
+def _best_single(isf, support, ctx=None):
     mgr = isf.mgr
     best = None
     best_gain = 0
     q, r = isf.on.node, isf.off.node
     for x in support:
         # Weak OR: Q_A = Q & exists(x, R); gain = |Q| - |Q_A|.
-        r_no_x = _exists(mgr, [x], r)
+        r_no_x = _ex(isf, [x], r, ctx)
         q_a = mgr.and_(q, r_no_x)
         gain_or = sat_count(mgr, q) - sat_count(mgr, q_a)
         if gain_or > best_gain:
             best_gain = gain_or
             best = (OR_GATE, frozenset((x,)))
         # Weak AND (dual): R_A = R & exists(x, Q); gain = |R| - |R_A|.
-        q_no_x = _exists(mgr, [x], q)
+        q_no_x = _ex(isf, [x], q, ctx)
         r_a = mgr.and_(r, q_no_x)
         gain_and = sat_count(mgr, r) - sat_count(mgr, r_a)
         if gain_and > best_gain:
@@ -58,15 +64,20 @@ def _best_single(isf, support):
     return best
 
 
-def _grow_weak_set(isf, support, gate, xa, max_vars):
-    """Greedily extend XA while the injected don't-care count rises."""
+def _grow_weak_set(isf, support, gate, xa, max_vars, ctx=None):
+    """Greedily extend XA while the injected don't-care count rises.
+
+    With a context, ``exists(XA | {z}, other)`` reuses the cached
+    ``exists(XA, other)`` — each growth probe is one single-variable
+    quantification of an already-quantified (smaller) BDD.
+    """
     mgr = isf.mgr
     if gate == OR_GATE:
         target, other = isf.on.node, isf.off.node
     else:
         target, other = isf.off.node, isf.on.node
     current = sat_count(mgr, mgr.and_(target,
-                                      _exists(mgr, xa, other)))
+                                      _ex(isf, xa, other, ctx)))
     while len(xa) < max_vars:
         best_var = None
         best_count = current
@@ -74,7 +85,7 @@ def _grow_weak_set(isf, support, gate, xa, max_vars):
             if z in xa:
                 continue
             count = sat_count(mgr, mgr.and_(
-                target, _exists(mgr, xa | {z}, other)))
+                target, _ex(isf, xa | {z}, other, ctx)))
             if count < best_count:
                 best_count = count
                 best_var = z

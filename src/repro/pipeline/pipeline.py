@@ -119,6 +119,12 @@ class PipelineRun:
                 doc["bdd_cache_hit_rate"] = payload.get(
                     "bdd_cache_hit_rate", 0.0)
                 doc["bdd_peak_nodes"] = payload["bdd_peak_nodes"]
+                doc["bdd_quantify_calls"] = payload.get(
+                    "bdd_quantify_calls", 0)
+                doc["bdd_and_exists_calls"] = payload.get(
+                    "bdd_and_exists_calls", 0)
+                doc["bdd_quantify_steps"] = payload.get(
+                    "bdd_quantify_steps", 0)
                 break
         if self.certificate_path:
             doc["certificate"] = self.certificate_path

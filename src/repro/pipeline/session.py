@@ -298,6 +298,9 @@ class Session:
             mgr_stats = self.mgr.cache_stats()
             payload["bdd_cache_hit_rate"] = mgr_stats["cache_hit_rate"]
             payload["bdd_peak_nodes"] = mgr_stats["peak_live_nodes"]
+            payload["bdd_quantify_calls"] = mgr_stats["quantify_calls"]
+            payload["bdd_and_exists_calls"] = mgr_stats["and_exists_calls"]
+            payload["bdd_quantify_steps"] = mgr_stats["quantify_steps"]
         payload.update(record)
         self.events.publish("stage_finished", **payload)
 

@@ -3,7 +3,8 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bdd import BDD, FALSE, TRUE, and_exists, exists, forall
+from repro.bdd import (BDD, FALSE, TRUE, and_exists, exists, forall,
+                       or_forall)
 from repro.boolfn import from_truth_table
 
 from conftest import brute_force, make_mgr, tt_strategy
@@ -60,6 +61,58 @@ class TestAgainstOracle:
         plain = exists(mgr, [0, 2], mgr.and_(f, g))
         assert fused == plain
 
+    @settings(max_examples=40, deadline=None)
+    @given(tt_strategy(4), tt_strategy(4))
+    def test_or_forall_equals_composition(self, tt_f, tt_g):
+        mgr = make_mgr(4)
+        f = from_truth_table(mgr, [0, 1, 2, 3], tt_f)
+        g = from_truth_table(mgr, [0, 1, 2, 3], tt_g)
+        fused = or_forall(mgr, [1, 3], f, g)
+        plain = forall(mgr, [1, 3], mgr.or_(f, g))
+        assert fused == plain
+
+    @settings(max_examples=40, deadline=None)
+    @given(tt_strategy(4), tt_strategy(4))
+    def test_fused_walks_on_complemented_edges(self, tt_f, tt_g):
+        # Complement edges make NOT free (edge ^ 1); the fused walks
+        # must agree with the unfused composition on every polarity
+        # combination of their operands.
+        mgr = make_mgr(4)
+        f = from_truth_table(mgr, [0, 1, 2, 3], tt_f)
+        g = from_truth_table(mgr, [0, 1, 2, 3], tt_g)
+        for u in (f, mgr.not_(f)):
+            for v in (g, mgr.not_(g)):
+                assert and_exists(mgr, [0, 3], u, v) == \
+                    exists(mgr, [0, 3], mgr.and_(u, v))
+                assert or_forall(mgr, [0, 3], u, v) == \
+                    forall(mgr, [0, 3], mgr.or_(u, v))
+
+    @settings(max_examples=30, deadline=None)
+    @given(tt_strategy(3), tt_strategy(3))
+    def test_or_forall_is_the_dual_of_and_exists(self, tt_f, tt_g):
+        mgr = make_mgr(3)
+        f = from_truth_table(mgr, [0, 1, 2], tt_f)
+        g = from_truth_table(mgr, [0, 1, 2], tt_g)
+        dual = mgr.not_(and_exists(mgr, [1], mgr.not_(f), mgr.not_(g)))
+        assert or_forall(mgr, [1], f, g) == dual
+
+    @settings(max_examples=30, deadline=None)
+    @given(tt_strategy(3), tt_strategy(3))
+    def test_fused_walks_with_empty_and_full_variable_sets(self, tt_f,
+                                                          tt_g):
+        mgr = make_mgr(3)
+        f = from_truth_table(mgr, [0, 1, 2], tt_f)
+        g = from_truth_table(mgr, [0, 1, 2], tt_g)
+        assert and_exists(mgr, [], f, g) == mgr.and_(f, g)
+        assert or_forall(mgr, [], f, g) == mgr.or_(f, g)
+        everything = [0, 1, 2]
+        conj = mgr.and_(f, g)
+        assert and_exists(mgr, everything, f, g) == \
+            (TRUE if conj != FALSE else FALSE)
+        disj = mgr.or_(f, g)
+        assert or_forall(mgr, everything, f, g) == \
+            (TRUE if disj == TRUE else FALSE)
+
 
 class TestAlgebraicProperties:
     def test_quantifying_absent_variable_is_identity(self):
@@ -101,6 +154,22 @@ class TestAlgebraicProperties:
     def test_and_exists_short_circuits_to_false(self):
         mgr = BDD(["a", "b"])
         assert and_exists(mgr, ["a"], FALSE, mgr.var("b")) == FALSE
+
+    def test_quantification_counters(self):
+        mgr = BDD(["a", "b", "c"])
+        f = mgr.ite(mgr.var("a"), mgr.var("b"), mgr.var("c"))
+        g = mgr.or_(mgr.var("a"), mgr.var("c"))
+        base = mgr.cache_stats()
+        assert base["quantify_calls"] == 0
+        assert base["and_exists_calls"] == 0
+        exists(mgr, ["a"], f)
+        forall(mgr, ["b"], f)
+        and_exists(mgr, ["a"], f, g)
+        or_forall(mgr, ["c"], f, g)
+        stats = mgr.cache_stats()
+        assert stats["quantify_calls"] == 2
+        assert stats["and_exists_calls"] == 2
+        assert stats["quantify_steps"] > 0
 
     def test_karnaugh_map_example(self):
         # The paper's Fig. 2: quantification over the column variables

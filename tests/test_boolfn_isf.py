@@ -109,6 +109,36 @@ class TestTransforms:
         assert isf.structural_support() == (0, 2)
 
 
+class TestComplementMemo:
+    def test_complement_is_memoised(self, mgr):
+        a, b, _c = mgr.fn_vars()
+        isf = ISF(a & b, ~a)
+        assert isf.complement() is isf.complement()
+
+    def test_round_trip_returns_the_same_instance(self, mgr):
+        a, b, _c = mgr.fn_vars()
+        isf = ISF(a & b, ~a)
+        assert isf.complement().complement() is isf
+
+    def test_memoised_sibling_equals_a_fresh_complement(self, mgr):
+        a, b, c = mgr.fn_vars()
+        isf = ISF(a & b, ~a & c)
+        assert isf.complement() == ISF(isf.off, isf.on)
+
+    def test_memo_never_crosses_managers(self):
+        # Two managers holding structurally identical ISFs: each memo
+        # must wrap its own manager's Function handles, so the sibling
+        # of one can never answer for the other.
+        mgr1 = BDD(["a", "b"])
+        mgr2 = BDD(["a", "b"])
+        isf1 = ISF(mgr1.fn_vars()[0], ~mgr1.fn_vars()[0])
+        isf2 = ISF(mgr2.fn_vars()[0], ~mgr2.fn_vars()[0])
+        comp1, comp2 = isf1.complement(), isf2.complement()
+        assert comp1 is not comp2
+        assert comp1.mgr is mgr1
+        assert comp2.mgr is mgr2
+
+
 class TestDunder:
     def test_equality_and_hash(self, mgr):
         a, b, _c = mgr.fn_vars()

@@ -53,7 +53,7 @@ class TestRepoIsClean:
             "manager-seam", "process-boundary", "certifier-independence",
             "node-encoding", "bare-assert", "stage-registry",
             "set-iteration", "listdir-order", "impure-import",
-            "env-read", "id-order", "pickle-safety"}
+            "env-read", "id-order", "pickle-safety", "cache-attr-name"}
 
     def test_certifier_espresso_chain_is_suppressed_not_hidden(self):
         report = run_repolint(root=REPO_ROOT)
@@ -273,6 +273,45 @@ class TestHotPathPurity:
                 "def f(id):\n    return id(3)\n"},
             rules=["id-order"])
         assert not rebound.findings
+
+
+class TestCacheAttrName:
+    """Manager-hosted memo state must use the _cache_ namespace that
+    clear_caches() invalidates — covering repro.decomp.context and the
+    kernel's and_exists walk, whose caches are attached dynamically."""
+
+    def test_private_literal_attr_flagged_in_hot_path(self, tmp_path):
+        source = ("def probe(mgr):\n"
+                  "    memo = getattr(mgr, '_memo', None)\n"
+                  "    if memo is None:\n"
+                  "        setattr(mgr, '_memo', {})\n")
+        report = _scan(tmp_path, {"src/repro/decomp/context.py": source},
+                       rules=["cache-attr-name"])
+        assert _rules_of(report) == ["cache-attr-name"] * 2
+
+    def test_cache_prefixed_literal_passes(self, tmp_path):
+        source = ("def probe(mgr):\n"
+                  "    cache = getattr(mgr, '_cache_ctx_or', None)\n"
+                  "    if cache is None:\n"
+                  "        setattr(mgr, '_cache_ctx_or', {})\n")
+        report = _scan(tmp_path, {"src/repro/bdd/quantify.py": source},
+                       rules=["cache-attr-name"])
+        assert not report.findings
+
+    def test_variable_names_and_public_attrs_pass(self, tmp_path):
+        source = ("def probe(mgr, name):\n"
+                  "    getattr(mgr, name, None)\n"
+                  "    setattr(mgr, name, {})\n"
+                  "    return getattr(mgr, 'dormant_entries', None)\n")
+        report = _scan(tmp_path, {"src/repro/bdd/x.py": source},
+                       rules=["cache-attr-name"])
+        assert not report.findings
+
+    def test_rule_is_hot_path_scoped(self, tmp_path):
+        source = "state = getattr(object(), '_hidden', None)\n"
+        report = _scan(tmp_path, {"src/repro/pipeline/x.py": source},
+                       rules=["cache-attr-name"])
+        assert not report.findings
 
 
 class TestPickleSafety:
