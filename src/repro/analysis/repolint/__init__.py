@@ -2,12 +2,14 @@
 
 ``repro selfcheck`` runs every registered rule over ``src/`` and
 ``tools/``: the six seam invariants ported from the original
-``tools/astlint.py`` (now upgraded with a transitive import graph) plus
-the determinism/purity family built on a per-function dataflow walk.
-See ``docs/ANALYSIS.md`` for the rule catalogue.
+``tools/astlint.py`` (now upgraded with a transitive import graph),
+the determinism/purity family built on a per-function dataflow walk,
+and the int-kind discipline family built on an abstract interpretation
+of the packed-edge BDD core.  See ``docs/ANALYSIS.md`` for the rule
+catalogue.
 
 Importing this package registers the full rule set as a side effect of
-loading the two rule modules below.
+loading the three rule modules below.
 """
 
 from repro.analysis.repolint.baseline import (BASELINE_FORMAT,
@@ -30,6 +32,10 @@ from repro.analysis.repolint.imports import (ImportGraph, direct_imports,
                                              module_name_for)
 from repro.analysis.repolint import rules_seams  # noqa: F401  (registers)
 from repro.analysis.repolint import rules_determinism  # noqa: F401
+from repro.analysis.repolint import rules_intkinds  # noqa: F401
+from repro.analysis.repolint.intkinds import (IntKindAnalysis,
+                                              analyze_project,
+                                              in_intkind_scope)
 from repro.analysis.repolint.sarif import (SARIF_SCHEMA, SARIF_VERSION,
                                            TOOL_NAME, to_sarif)
 
@@ -39,6 +45,7 @@ __all__ = [
     "BaselineError",
     "FileContext",
     "ImportGraph",
+    "IntKindAnalysis",
     "IterationSite",
     "LISTDIR_KIND",
     "Project",
@@ -52,8 +59,10 @@ __all__ = [
     "SourceFile",
     "Suppression",
     "TOOL_NAME",
+    "analyze_project",
     "apply_baseline",
     "direct_imports",
+    "in_intkind_scope",
     "is_test_path",
     "iter_python_files",
     "iteration_sites",
@@ -65,6 +74,7 @@ __all__ = [
     "registered_stage_names",
     "repo_rule",
     "rules_determinism",
+    "rules_intkinds",
     "rules_seams",
     "run_repolint",
     "save_baseline",

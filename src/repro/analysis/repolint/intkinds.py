@@ -1,0 +1,950 @@
+"""Int-kind abstract interpretation over the packed-edge BDD core.
+
+The BDD kernel (PR 6) passes every quantity as a bare ``int`` — the
+same shape as the BuDDy C API the paper's program is built on, and the
+same bug source: a packed edge ``(node << 1) | c``, a node index into
+the flat ``_level``/``_lo``/``_hi`` arrays, a level, a variable index
+and a quantification suffix id are indistinguishable at runtime, so a
+missing ``>> 1`` or a ``^ 1`` on the wrong int corrupts results
+silently.  This module is a units-style checker for those ints.
+
+It is the third analysis family of the repolint substrate (after the
+import graph and the per-function dataflow walk): an intraprocedural
+**abstract interpretation** over a flat lattice of int kinds
+
+    {edge, node, level, varid, sid, count, plain}  +  unknown / ⊤
+
+with an interprocedural **call-graph fixpoint** layered on top.  Kinds
+enter the domain three ways:
+
+* **Annotation seeds** — the runtime-no-op :mod:`repro.bdd.types`
+  aliases (``Edge``, ``NodeId``, ``Level``, ``VarId``, ``SuffixId``)
+  on parameters, returns, class attributes and module constants.
+  Annotations are *parsed from source*, never imported, so the scan
+  does not execute the tree it analyses (the framework's
+  ``registered_stage_names`` precedent).
+* **Structural transfer functions** — the packed-edge algebra itself:
+  ``edge >> 1`` yields a node index, ``(node << 1) | c`` packs an
+  edge, ``edge ^ 1`` complements (and ``^ 1`` on anything else is a
+  bug), ``edge & 1`` extracts the complement bit, ``edge & -2``
+  strips it, ``_level[i]``/``_lo[i]``/``_hi[i]`` demand node-kind
+  subscripts and yield levels/edges, ``(x << k) | y`` builds packed
+  memo keys, ``len(...)`` yields a count.
+* **Interprocedural summaries** — unannotated helpers get their
+  parameter kinds joined over all call sites and their return kind
+  joined over their return expressions, iterated to a fixpoint.  The
+  lattice is flat and joins are monotone, so the fixpoint terminates
+  in a bounded number of rounds even on recursive helpers.
+
+The pass is deliberately *optimistic*: only definite kind conflicts
+are reported — an unknown (⊥) or conflicting (⊤) value satisfies
+every demand.  Known imprecision (DESIGN.md section 10): the walk is
+textual-order without join points at branch merges, tuples passed
+through worklists erase kinds, and attribute-based method resolution
+falls back to unique-bare-name matching.  All of that loses findings,
+never invents them.
+
+Scope: ``src/repro/bdd/`` plus ``src/repro/decomp/context.py`` — the
+modules whose ints are packed edges.  The rules consuming this
+analysis live in :mod:`repro.analysis.repolint.rules_intkinds`.
+"""
+
+import ast
+
+from repro.analysis.repolint.imports import module_name_for
+
+# ---------------------------------------------------------------------
+# The lattice
+# ---------------------------------------------------------------------
+#: Kind constants.  ``None`` is the bottom element (unknown, satisfies
+#: every demand); TOP is the top element (conflicting evidence).
+EDGE = "edge"
+NODE = "node"
+LEVEL = "level"
+VARID = "varid"
+SID = "sid"
+COUNT = "count"
+PLAIN = "plain"
+TOP = "top"
+
+#: All proper int kinds (excludes bottom/None and TOP).
+INT_KINDS = (EDGE, NODE, LEVEL, VARID, SID, COUNT, PLAIN)
+
+#: Kinds that participate in conflict checks.  ``count`` and ``plain``
+#: are bookkeeping kinds (lengths, packed keys, extracted bits) that
+#: legitimately mix with anything.
+CHECKED_KINDS = frozenset((EDGE, NODE, LEVEL, VARID, SID))
+
+#: Source-annotation name -> kind.  Matched by identifier, so the
+#: aliases work in scanned copies of files whose imports are absent
+#: (the mutation-canary trees).
+ANNOTATION_KINDS = {
+    "Edge": EDGE,
+    "NodeId": NODE,
+    "Level": LEVEL,
+    "VarId": VARID,
+    "SuffixId": SID,
+}
+
+
+class Arr:
+    """Abstract array/dict value: subscript demand + element kind.
+
+    ``demand`` is the kind a subscript index must have (None: any);
+    ``elem`` the kind a subscript load yields (None: unknown).
+    """
+
+    __slots__ = ("demand", "elem")
+
+    def __init__(self, demand=None, elem=None):
+        self.demand = demand
+        self.elem = elem
+
+    def __eq__(self, other):
+        return (isinstance(other, Arr) and self.demand == other.demand
+                and self.elem == other.elem)
+
+    def __hash__(self):
+        return hash((Arr, self.demand, self.elem))
+
+    def __repr__(self):
+        return "Arr(demand=%r, elem=%r)" % (self.demand, self.elem)
+
+
+def join(a, b):
+    """Least upper bound of two abstract values (flat lattice)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a == b:
+        return a
+    if isinstance(a, Arr) and isinstance(b, Arr):
+        return Arr(join(a.demand, b.demand), join(a.elem, b.elem))
+    return TOP
+
+
+#: The manager's flat storage, hard structural facts of the encoding
+#: (DESIGN.md section 8): what each well-known attribute demands as a
+#: subscript and what a load yields.
+KNOWN_ATTRS = {
+    "_level": Arr(NODE, LEVEL),
+    "_lo": Arr(NODE, EDGE),
+    "_hi": Arr(NODE, EDGE),
+    "_unique": Arr(LEVEL, None),
+    "_level_to_var": Arr(LEVEL, VARID),
+    "_var_to_level": Arr(VARID, LEVEL),
+    "_var_names": Arr(VARID, None),
+}
+
+#: Bit width of the per-operand field in packed computed-table keys;
+#: ``(x << 32) | y`` is the sanctioned full-width packing, anything
+#: narrower must not receive an unbounded edge/node in its low bits.
+KEY_FIELD_BITS = 32
+
+#: Analysis scope: the packages/files whose ints are packed edges.
+INTKIND_PATH_PREFIXES = ("src/repro/bdd/",)
+INTKIND_FILES = ("src/repro/decomp/context.py",)
+
+#: Upper bound on fixpoint rounds; the flat lattice converges in a
+#: handful (each round can only raise a summary entry, and a chain
+#: None -> kind -> TOP has length 2).
+MAX_ROUNDS = 10
+
+
+def in_intkind_scope(rel):
+    """Is the repo-relative path *rel* analysed by this pass?"""
+    return (any(rel.startswith(p) for p in INTKIND_PATH_PREFIXES)
+            or rel in INTKIND_FILES)
+
+
+# ---------------------------------------------------------------------
+# Summaries
+# ---------------------------------------------------------------------
+class FunctionInfo:
+    """Summary of one function/method: parameter and return kinds."""
+
+    __slots__ = ("rel", "qualname", "name", "node", "class_name",
+                 "is_property", "params", "annotated", "param_kinds",
+                 "ret_fixed", "ret_kind")
+
+    def __init__(self, rel, qualname, name, node, class_name):
+        self.rel = rel
+        self.qualname = qualname
+        self.name = name
+        self.node = node
+        self.class_name = class_name
+        self.is_property = any(
+            isinstance(dec, ast.Name) and dec.id == "property"
+            for dec in node.decorator_list)
+        args = node.args
+        self.params = [a.arg for a in args.posonlyargs + args.args]
+        self.annotated = {}
+        for a in args.posonlyargs + args.args + args.kwonlyargs:
+            kind = annotation_kind(a.annotation)
+            if kind is not None:
+                self.annotated[a.arg] = kind
+        self.param_kinds = dict(self.annotated)
+        self.ret_fixed = annotation_kind(node.returns)
+        self.ret_kind = self.ret_fixed
+
+    def positional(self, index, skip_self):
+        """Parameter name at call position *index*, or None."""
+        if skip_self and self.class_name is not None:
+            index += 1
+        if 0 <= index < len(self.params):
+            return self.params[index]
+        return None
+
+    def __repr__(self):
+        return "FunctionInfo(%s:%s)" % (self.rel, self.qualname)
+
+
+def annotation_kind(node):
+    """Kind named by an annotation expression, or None.
+
+    Accepts ``Edge``, ``types.Edge`` and the string form ``"Edge"``;
+    anything else (including containers) contributes no seed.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return ANNOTATION_KINDS.get(node.id)
+    if isinstance(node, ast.Attribute):
+        return ANNOTATION_KINDS.get(node.attr)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return ANNOTATION_KINDS.get(node.value)
+    return None
+
+
+class ModuleInfo:
+    """One scanned module: env of module-level names, imports, consts."""
+
+    __slots__ = ("rel", "dotted", "tree", "env", "imports", "consts")
+
+    def __init__(self, rel, tree):
+        self.rel = rel
+        self.dotted = module_name_for(rel)
+        self.tree = tree
+        #: module-level name -> abstract value / FunctionInfo / class
+        self.env = {}
+        #: local name -> (dotted module, original name or None=module)
+        self.imports = {}
+        #: module-level name -> small int value (shift widths)
+        self.consts = {}
+
+
+class _ModRef:
+    """A name bound to an in-scope module (``import x as y``)."""
+
+    __slots__ = ("dotted",)
+
+    def __init__(self, dotted):
+        self.dotted = dotted
+
+
+class _ClassRef:
+    """A name bound to an in-scope class (constructor calls)."""
+
+    __slots__ = ("init",)
+
+    def __init__(self, init):
+        self.init = init
+
+
+def _const_int(node, consts=None):
+    """Small-int value of an expression, or None.
+
+    Resolves integer literals, unary minus, module-level constant
+    names and literal shifts — enough for ``_SUFFIX_BITS`` and key
+    widths.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _const_int(node.operand, consts)
+        return None if inner is None else -inner
+    if isinstance(node, ast.Name) and consts is not None:
+        return consts.get(node.id)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.LShift):
+        left = _const_int(node.left, consts)
+        right = _const_int(node.right, consts)
+        if left is not None and right is not None and 0 <= right < 64:
+            return left << right
+    return None
+
+
+# ---------------------------------------------------------------------
+# The analysis driver
+# ---------------------------------------------------------------------
+class IntKindAnalysis:
+    """Whole-scope analysis: summaries, fixpoint, findings.
+
+    Built from a framework :class:`Project`; exposes
+    ``findings_for(rule_id)`` for the rule bodies and ``functions``
+    (keyed ``(rel, qualname)``) for tests.
+    """
+
+    def __init__(self, project):
+        self.modules = {}        # dotted name -> ModuleInfo
+        self.modules_by_rel = {}
+        self.functions = {}      # (rel, qualname) -> FunctionInfo
+        self.methods = {}        # (rel, class, name) -> FunctionInfo
+        self.by_bare_name = {}   # name -> [FunctionInfo] (methods only)
+        self.attr_kinds = {}     # attr name -> kind (class AnnAssign)
+        self.findings = []       # (rule, rel, line, message)
+        self._seen = set()
+        self.rounds = 0
+        self.changed = False
+        for source in project.files:
+            if in_intkind_scope(source.rel):
+                self._load_module(source.rel, source.tree)
+        self._fixpoint()
+        self._report()
+
+    # -- construction --------------------------------------------------
+    def _load_module(self, rel, tree):
+        mod = ModuleInfo(rel, tree)
+        if mod.dotted is None:
+            mod.dotted = rel
+        self.modules[mod.dotted] = mod
+        self.modules_by_rel[rel] = mod
+        for stmt in tree.body:
+            self._load_statement(mod, stmt, class_name=None)
+
+    def _load_statement(self, mod, stmt, class_name):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = (stmt.name if class_name is None
+                    else "%s.%s" % (class_name, stmt.name))
+            info = FunctionInfo(mod.rel, qual, stmt.name, stmt,
+                                class_name)
+            self.functions[(mod.rel, qual)] = info
+            if class_name is None:
+                mod.env[stmt.name] = info
+            else:
+                self.methods[(mod.rel, class_name, stmt.name)] = info
+                self.by_bare_name.setdefault(stmt.name, []).append(info)
+            # Nested defs become their own (under-constrained)
+            # summaries; closure variables resolve to unknown.
+            for sub in ast.walk(stmt):
+                if sub is not stmt and isinstance(
+                        sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    subqual = "%s.%s" % (qual, sub.name)
+                    if (mod.rel, subqual) not in self.functions:
+                        self.functions[(mod.rel, subqual)] = \
+                            FunctionInfo(mod.rel, subqual, sub.name,
+                                         sub, class_name)
+        elif isinstance(stmt, ast.ClassDef) and class_name is None:
+            inits = [s for s in stmt.body
+                     if isinstance(s, ast.FunctionDef)
+                     and s.name == "__init__"]
+            for sub in stmt.body:
+                self._load_statement(mod, sub, class_name=stmt.name)
+                if isinstance(sub, ast.AnnAssign) and isinstance(
+                        sub.target, ast.Name):
+                    kind = annotation_kind(sub.annotation)
+                    if kind is not None:
+                        self.attr_kinds[sub.target.id] = join(
+                            self.attr_kinds.get(sub.target.id), kind)
+            if inits:
+                mod.env[stmt.name] = _ClassRef(
+                    self.functions[(mod.rel,
+                                    "%s.__init__" % stmt.name)])
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name) and class_name is None:
+            kind = annotation_kind(stmt.annotation)
+            if kind is not None:
+                mod.env[stmt.target.id] = kind
+            value = _const_int(stmt.value, mod.consts)
+            if value is not None:
+                mod.consts[stmt.target.id] = value
+        elif isinstance(stmt, ast.Assign) and class_name is None:
+            value = _const_int(stmt.value, mod.consts)
+            if value is not None:
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        mod.consts[target.id] = value
+        elif isinstance(stmt, ast.Import) and class_name is None:
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                mod.imports[local] = (alias.name, None)
+        elif isinstance(stmt, ast.ImportFrom) and class_name is None \
+                and not stmt.level and stmt.module:
+            for alias in stmt.names:
+                local = alias.asname or alias.name
+                mod.imports[local] = (stmt.module, alias.name)
+
+    # -- name resolution ------------------------------------------------
+    def resolve_module_name(self, mod, name, depth=0):
+        """Abstract value of *name* at module level of *mod*."""
+        if name in mod.env:
+            return mod.env[name]
+        target = mod.imports.get(name)
+        if target is None or depth > 4:
+            return None
+        dotted, orig = target
+        if orig is None:
+            if dotted in self.modules:
+                return _ModRef(dotted)
+            return None
+        imported = self.modules.get(dotted)
+        if imported is None:
+            # ``from pkg import name`` where pkg.name is a module.
+            sub = self.modules.get("%s.%s" % (dotted, orig))
+            if sub is not None:
+                return _ModRef(sub.dotted)
+            return None
+        return self.resolve_module_name(imported, orig, depth + 1)
+
+    def method_candidates(self, rel, class_name, attr):
+        """Resolve ``receiver.attr``: same-class first, then unique."""
+        if class_name is not None:
+            info = self.methods.get((rel, class_name, attr))
+            if info is not None:
+                return [info]
+        return self.by_bare_name.get(attr, [])
+
+    # -- fixpoint --------------------------------------------------------
+    def _fixpoint(self):
+        for round_no in range(MAX_ROUNDS):
+            self.rounds = round_no + 1
+            self.changed = False
+            for key in sorted(self.functions):
+                self._interpret(self.functions[key], report=False)
+            if not self.changed:
+                break
+
+    def _report(self):
+        for key in sorted(self.functions):
+            self._interpret(self.functions[key], report=True)
+        self.findings.sort()
+
+    def _interpret(self, info, report):
+        _Interp(self, info, report).run()
+
+    # -- results ---------------------------------------------------------
+    def record(self, rule, rel, line, message):
+        key = (rule, rel, line, message)
+        if key not in self._seen:
+            self._seen.add(key)
+            self.findings.append(key)
+
+    def findings_for(self, rule_id):
+        """Sorted ``(rel, line, message)`` tuples for one rule id."""
+        return [(rel, line, message)
+                for rule, rel, line, message in self.findings
+                if rule == rule_id]
+
+    def propagate_param(self, info, name, kind):
+        """Join a call-site argument kind into an unannotated param."""
+        if name is None or name in info.annotated or kind is None:
+            return
+        merged = join(info.param_kinds.get(name), kind)
+        if merged != info.param_kinds.get(name):
+            info.param_kinds[name] = merged
+            self.changed = True
+
+    def propagate_return(self, info, kind):
+        """Join an inferred return kind into an unannotated summary."""
+        if info.ret_fixed is not None:
+            return
+        merged = join(info.ret_kind, kind)
+        if merged != info.ret_kind:
+            info.ret_kind = merged
+            self.changed = True
+
+
+#: Attribute methods treated as container operations on Arr values.
+_ARR_ELEM_METHODS = ("get", "pop", "popleft")
+_ARR_APPEND_METHODS = ("append", "add", "appendleft")
+
+
+class _Interp:
+    """One textual-order abstract walk of a function body."""
+
+    def __init__(self, analysis, info, report):
+        self.analysis = analysis
+        self.info = info
+        self.report = report
+        self.mod = analysis.modules_by_rel[info.rel]
+        #: local name -> abstract value
+        self.env = dict(info.param_kinds)
+        #: names pinned by an annotation (params + AnnAssign)
+        self.declared = dict(info.annotated)
+
+    # -- driver ---------------------------------------------------------
+    def run(self):
+        for stmt in self.info.node.body:
+            self.execute(stmt)
+
+    def finding(self, rule, node, message):
+        if self.report:
+            self.analysis.record(rule, self.info.rel, node.lineno,
+                                 message)
+
+    # -- statements ------------------------------------------------------
+    def execute(self, stmt):
+        if isinstance(stmt, ast.Assign):
+            value = self.classify(stmt.value)
+            for target in stmt.targets:
+                self.bind(target, value, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            kind = annotation_kind(stmt.annotation)
+            value = self.classify(stmt.value) \
+                if stmt.value is not None else None
+            if isinstance(stmt.target, ast.Name):
+                if kind is not None:
+                    self.declared[stmt.target.id] = kind
+                    self.env[stmt.target.id] = kind
+                else:
+                    self.bind(stmt.target, value, stmt.value)
+            else:
+                self.bind(stmt.target, kind or value, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            target_value = self.classify(stmt.target)
+            value = self.classify(stmt.value)
+            result = self.binop_transfer(
+                stmt, stmt.op, stmt.target, target_value,
+                stmt.value, value)
+            self.bind(stmt.target, result, None)
+        elif isinstance(stmt, ast.Return):
+            kind = None
+            if stmt.value is not None:
+                value = self.classify(stmt.value)
+                kind = value if isinstance(value, (str, Arr)) else None
+            self.analysis.propagate_return(self.info, kind)
+        elif isinstance(stmt, ast.For):
+            iterable = self.classify(stmt.iter)
+            elem = iterable.elem if isinstance(iterable, Arr) else None
+            self.bind(stmt.target, elem, None)
+            for sub in stmt.body + stmt.orelse:
+                self.execute(sub)
+        elif isinstance(stmt, ast.While):
+            self.classify(stmt.test)
+            for sub in stmt.body + stmt.orelse:
+                self.execute(sub)
+        elif isinstance(stmt, ast.If):
+            self.classify(stmt.test)
+            for sub in stmt.body + stmt.orelse:
+                self.execute(sub)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.classify(item.context_expr)
+            for sub in stmt.body:
+                self.execute(sub)
+        elif isinstance(stmt, ast.Try):
+            for sub in stmt.body:
+                self.execute(sub)
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    self.execute(sub)
+            for sub in stmt.orelse + stmt.finalbody:
+                self.execute(sub)
+        elif isinstance(stmt, ast.Expr):
+            self.classify(stmt.value)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.expr):
+                    self.classify(sub)
+        # Nested function/class definitions are summarised separately;
+        # pass/break/continue/global/import carry no kinds.
+
+    def bind(self, target, value, value_ast):
+        if isinstance(target, ast.Name):
+            name = target.id
+            if name in self.declared:
+                # An annotation pins the name's kind for the whole
+                # body (PEP 526 semantics as a checker sees them).
+                self.env[name] = self.declared[name]
+            else:
+                self.env[name] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            parts = None
+            if isinstance(value_ast, (ast.Tuple, ast.List)) and \
+                    len(value_ast.elts) == len(target.elts):
+                parts = [self.classify(e) for e in value_ast.elts]
+            for index, sub in enumerate(target.elts):
+                self.bind(sub, parts[index] if parts else None, None)
+        elif isinstance(target, ast.Subscript):
+            container = self.classify(target.value)
+            self.check_subscript(target, container)
+            if isinstance(target.value, ast.Name) and \
+                    isinstance(container, Arr):
+                stored = value if isinstance(value, str) else None
+                merged = Arr(container.demand,
+                             join(container.elem, stored))
+                if target.value.id not in self.declared:
+                    self.env[target.value.id] = merged
+        elif isinstance(target, ast.Attribute):
+            self.classify(target.value)
+        elif isinstance(target, ast.Starred):
+            self.bind(target.value, None, None)
+
+    # -- expressions -----------------------------------------------------
+    def classify(self, node):
+        """Abstract value of an expression; reports findings en route."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant):
+            return None
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            return self.analysis.resolve_module_name(self.mod, node.id)
+        if isinstance(node, ast.Attribute):
+            return self.classify_attribute(node)
+        if isinstance(node, ast.BinOp):
+            left = self.classify(node.left)
+            right = self.classify(node.right)
+            return self.binop_transfer(node, node.op, node.left, left,
+                                       node.right, right)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.classify(node.operand)
+            if isinstance(node.op, ast.USub) and \
+                    isinstance(operand, str):
+                return operand
+            return None
+        if isinstance(node, ast.BoolOp):
+            result = None
+            for sub in node.values:
+                result = join(result, self.classify(sub))
+            return result
+        if isinstance(node, ast.IfExp):
+            self.classify(node.test)
+            return join(self.classify(node.body),
+                        self.classify(node.orelse))
+        if isinstance(node, ast.Compare):
+            self.check_compare(node)
+            return None
+        if isinstance(node, ast.Call):
+            return self.classify_call(node)
+        if isinstance(node, ast.Subscript):
+            container = self.classify(node.value)
+            self.check_subscript(node, container)
+            if isinstance(container, Arr):
+                if isinstance(node.slice, ast.Slice):
+                    return container
+                return container.elem
+            return None
+        if isinstance(node, (ast.List, ast.Set)):
+            elem = None
+            for sub in node.elts:
+                value = self.classify(sub)
+                elem = join(elem, value if isinstance(value, str)
+                            else None)
+            return Arr(None, elem)
+        if isinstance(node, ast.Tuple):
+            for sub in node.elts:
+                self.classify(sub)
+            return None
+        if isinstance(node, ast.Dict):
+            for sub in node.keys:
+                self.classify(sub)
+            elem = None
+            for sub in node.values:
+                value = self.classify(sub)
+                elem = join(elem, value if isinstance(value, str)
+                            else None)
+            return Arr(None, elem)
+        if isinstance(node, (ast.ListComp, ast.SetComp,
+                             ast.GeneratorExp)):
+            return self.classify_comprehension(node, node.elt)
+        if isinstance(node, ast.DictComp):
+            return self.classify_comprehension(node, node.value)
+        if isinstance(node, ast.Starred):
+            return self.classify(node.value)
+        if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.FormattedValue):
+                    self.classify(sub.value)
+            return None
+        if isinstance(node, ast.Lambda):
+            return None
+        if isinstance(node, ast.NamedExpr):
+            value = self.classify(node.value)
+            self.bind(node.target, value, node.value)
+            return value
+        return None
+
+    def classify_comprehension(self, node, elt):
+        for gen in node.generators:
+            iterable = self.classify(gen.iter)
+            elem = iterable.elem if isinstance(iterable, Arr) else None
+            self.bind(gen.target, elem, None)
+            for cond in gen.ifs:
+                self.classify(cond)
+        value = self.classify(elt)
+        if isinstance(node, ast.DictComp):
+            self.classify(node.key)
+        if isinstance(node, ast.GeneratorExp) or \
+                isinstance(node, (ast.ListComp, ast.SetComp,
+                                  ast.DictComp)):
+            return Arr(None, value if isinstance(value, str) else None)
+        return None
+
+    def classify_attribute(self, node):
+        receiver = self.classify(node.value)
+        if isinstance(receiver, _ModRef):
+            target = self.analysis.modules[receiver.dotted]
+            return self.analysis.resolve_module_name(target, node.attr)
+        if node.attr in KNOWN_ATTRS:
+            return KNOWN_ATTRS[node.attr]
+        if node.attr in self.analysis.attr_kinds:
+            return self.analysis.attr_kinds[node.attr]
+        receiver_class = None
+        if isinstance(node.value, ast.Name) and \
+                node.value.id in ("self", "cls"):
+            receiver_class = self.info.class_name
+        candidates = self.analysis.method_candidates(
+            self.info.rel, receiver_class, node.attr)
+        if len(candidates) == 1:
+            info = candidates[0]
+            if info.is_property:
+                return info.ret_kind
+            return info
+        if candidates and all(c.ret_kind == candidates[0].ret_kind
+                              for c in candidates):
+            # Ambiguous bare name, but every candidate agrees on the
+            # return kind: usable as a value, not for argument checks.
+            if all(c.is_property for c in candidates):
+                return candidates[0].ret_kind
+            return _AmbiguousFn(candidates[0].ret_kind)
+        return None
+
+    def classify_call(self, node):
+        for keyword in node.keywords:
+            self.classify(keyword.value)
+        args = [self.classify(a) for a in node.args]
+        func = node.func
+        # Container-method calls on tracked Arr values.
+        if isinstance(func, ast.Attribute):
+            receiver = self.classify(func.value)
+            if isinstance(receiver, Arr):
+                if func.attr in _ARR_ELEM_METHODS:
+                    return receiver.elem
+                if func.attr in _ARR_APPEND_METHODS and args:
+                    self.mutate_elem(func.value, receiver, args[0])
+                    return None
+                if func.attr == "extend" and args:
+                    extended = args[0]
+                    if isinstance(extended, Arr):
+                        self.mutate_elem(func.value, receiver,
+                                         extended.elem)
+                    return None
+                if func.attr in ("values", "keys", "copy"):
+                    return Arr(None, receiver.elem
+                               if func.attr != "keys" else None)
+                return None
+        callee = self.classify(func)
+        if isinstance(func, ast.Name):
+            builtin = self.builtin_call(func.id, node, args)
+            if builtin is not _NOT_BUILTIN:
+                return builtin
+        if isinstance(callee, _ClassRef):
+            self.check_call(node, callee.init, args, skip_self=True)
+            return None
+        if isinstance(callee, FunctionInfo):
+            self.check_call(node, callee, args,
+                            skip_self=isinstance(func, ast.Attribute)
+                            and callee.class_name is not None)
+            return callee.ret_kind
+        if isinstance(callee, _AmbiguousFn):
+            return callee.ret_kind
+        return None
+
+    def mutate_elem(self, receiver_ast, receiver, value):
+        stored = value if isinstance(value, str) else None
+        if isinstance(receiver_ast, ast.Name) and \
+                receiver_ast.id not in self.declared:
+            self.env[receiver_ast.id] = Arr(
+                receiver.demand, join(receiver.elem, stored))
+
+    def builtin_call(self, name, node, args):
+        if name in self.env or name in self.mod.env or \
+                name in self.mod.imports:
+            return _NOT_BUILTIN
+        if name == "len":
+            return COUNT
+        if name in ("min", "max"):
+            result = None
+            for value in args:
+                result = join(result,
+                              value if isinstance(value, str) else None)
+            return result
+        if name in ("sorted", "list", "tuple", "reversed"):
+            if args and isinstance(args[0], Arr):
+                return Arr(None, args[0].elem)
+            return Arr(None, None)
+        if name in ("set", "frozenset"):
+            if args and isinstance(args[0], Arr):
+                return Arr(None, args[0].elem)
+            return Arr(None, None)
+        return _NOT_BUILTIN
+
+    # -- checks (the rules' eyes) ----------------------------------------
+    def check_call(self, node, info, args, skip_self):
+        for index, value in enumerate(args):
+            if not isinstance(value, str) or value not in CHECKED_KINDS:
+                continue
+            param = info.positional(index, skip_self)
+            if param is None:
+                continue
+            expected = info.param_kinds.get(param)
+            if isinstance(expected, str) and \
+                    expected in CHECKED_KINDS and expected != value:
+                self.finding(
+                    "intkind-call", node.args[index],
+                    "argument %d of %s() has kind '%s' but parameter "
+                    "%r is %s '%s'%s"
+                    % (index + 1, info.name, value, param,
+                       "annotated" if param in info.annotated
+                       else "inferred", expected,
+                       _HINTS.get((value, expected), "")))
+            self.analysis.propagate_param(info, param, value)
+
+    def check_subscript(self, node, container):
+        if not isinstance(container, Arr) or container.demand is None:
+            return
+        if isinstance(node.slice, ast.Slice):
+            return
+        index = self.classify(node.slice)
+        if not isinstance(index, str) or index not in CHECKED_KINDS:
+            return
+        if index != container.demand:
+            array = ast.unparse(node.value) if hasattr(ast, "unparse") \
+                else "<array>"
+            self.finding(
+                "intkind-subscript", node,
+                "subscript of %s demands kind '%s' but the index has "
+                "kind '%s'%s"
+                % (array, container.demand, index,
+                   _HINTS.get((index, container.demand), "")))
+
+    def check_compare(self, node):
+        values = [self.classify(node.left)]
+        values.extend(self.classify(c) for c in node.comparators)
+        kinds = [(v, c) for v, c in
+                 zip(values, [node.left] + node.comparators)
+                 if isinstance(v, str) and v in CHECKED_KINDS]
+        for (left, _), (right, where) in zip(kinds, kinds[1:]):
+            if left != right:
+                self.finding(
+                    "intkind-mix", where,
+                    "comparison mixes int kinds '%s' and '%s'; equal "
+                    "ints of different kinds denote unrelated objects"
+                    % (left, right))
+
+    def binop_transfer(self, node, op, left_ast, left, right_ast,
+                       right):
+        lk = left if isinstance(left, str) else None
+        rk = right if isinstance(right, str) else None
+        if isinstance(op, ast.LShift):
+            width = _const_int(right_ast, self.mod.consts)
+            if lk == NODE and width == 1:
+                return EDGE
+            if lk in (EDGE, NODE, PLAIN, SID, COUNT):
+                return PLAIN
+            return None
+        if isinstance(op, ast.RShift):
+            width = _const_int(right_ast, self.mod.consts)
+            if lk == EDGE:
+                return NODE if width == 1 else PLAIN
+            return None
+        if isinstance(op, ast.BitXor):
+            flip = _const_int(right_ast, self.mod.consts) == 1 or \
+                _const_int(left_ast, self.mod.consts) == 1
+            other = lk if _const_int(
+                left_ast, self.mod.consts) != 1 else rk
+            if flip:
+                if other in (NODE, LEVEL, VARID, SID, COUNT):
+                    self.finding(
+                        "intkind-complement", node,
+                        "complement-bit flip (^ 1) on a value of kind "
+                        "'%s'; only packed edges carry a complement "
+                        "bit%s" % (other,
+                                   _HINTS.get((other, EDGE), "")))
+                return EDGE if other == EDGE else other
+            if EDGE in (lk, rk) and (lk is None or rk is None
+                                     or PLAIN in (lk, rk)
+                                     or lk == rk):
+                # edge ^ bit (complement application) and edge ^ edge
+                # (polarity algebra on terminals) both stay edges.
+                return EDGE
+            return None
+        if isinstance(op, ast.BitAnd):
+            mask = _const_int(right_ast, self.mod.consts)
+            if mask is None:
+                mask = _const_int(left_ast, self.mod.consts)
+            if mask == 1:
+                return PLAIN if lk is not None or rk is not None \
+                    else None
+            if mask == -2:
+                return lk if lk is not None else rk
+            return None
+        if isinstance(op, ast.BitOr):
+            if isinstance(left_ast, ast.BinOp) and \
+                    isinstance(left_ast.op, ast.LShift):
+                width = _const_int(left_ast.right, self.mod.consts)
+                base = self.env.get(left_ast.left.id) \
+                    if isinstance(left_ast.left, ast.Name) else None
+                base = base if isinstance(base, str) else None
+                if width == 1 and base == NODE:
+                    return EDGE
+                if width is not None and width < KEY_FIELD_BITS \
+                        and rk in (EDGE, NODE):
+                    self.finding(
+                        "intkind-memo-key", node,
+                        "packed key ORs a value of kind '%s' into a "
+                        "%d-bit field; edges and node indices are "
+                        "unbounded and will collide across the field "
+                        "boundary (pack a bounded id, or widen the "
+                        "shift to %d)" % (rk, width, KEY_FIELD_BITS))
+                if width is not None:
+                    return PLAIN
+            if EDGE in (lk, rk) and (lk is None or rk is None):
+                return EDGE
+            return None
+        if isinstance(op, (ast.Add, ast.Sub, ast.Mult, ast.FloorDiv,
+                           ast.Mod)):
+            if lk in CHECKED_KINDS and rk in CHECKED_KINDS and \
+                    lk != rk:
+                self.finding(
+                    "intkind-mix", node,
+                    "arithmetic mixes int kinds '%s' and '%s'; the "
+                    "result is meaningless in either unit"
+                    % (lk, rk))
+                return TOP
+            if lk == rk:
+                return lk
+            return lk if rk is None else (rk if lk is None else None)
+        return None
+
+
+class _AmbiguousFn:
+    """Several same-name methods agreeing only on the return kind."""
+
+    __slots__ = ("ret_kind",)
+
+    def __init__(self, ret_kind):
+        self.ret_kind = ret_kind
+
+
+_NOT_BUILTIN = object()
+
+#: Kind-pair -> appended hint for the most common confusions.
+_HINTS = {
+    (EDGE, NODE): " (a packed edge is not a node index; use edge >> 1)",
+    (NODE, EDGE): " (a node index is not a packed edge; repack with "
+                  "(node << 1) | c)",
+    (COUNT, EDGE): " (a length is not a packed edge)",
+}
+
+
+def analyze_project(project):
+    """Memoised :class:`IntKindAnalysis` for a framework Project."""
+    cached = getattr(project, "_intkind_analysis", None)
+    if cached is None:
+        cached = IntKindAnalysis(project)
+        project._intkind_analysis = cached
+    return cached

@@ -30,10 +30,16 @@ from repro.analysis.repolint.rules_seams import PROCESS_BOUNDARY_MODULES
 from repro.analysis.rules import Severity
 
 #: Packages whose emitted artifacts are certified byte-exact; ambient
-#: process state must not be readable from inside them.
+#: process state must not be readable from inside them.  The two
+#: ``repro.network`` entries are single files (a file path is a prefix
+#: of itself): they sit on the verify path — ``extract`` rebuilds BDDs
+#: from emitted netlists and ``simulate`` replays them — so an impurity
+#: there can mask or fabricate a verification failure.
 HOT_PATH_PREFIXES = (
     "src/repro/bdd/",
     "src/repro/decomp/",
+    "src/repro/network/extract.py",
+    "src/repro/network/simulate.py",
 )
 
 #: Modules whose import alone makes a hot-path function impure.

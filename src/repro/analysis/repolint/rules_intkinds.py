@@ -1,0 +1,74 @@
+"""Int-kind discipline rules for the packed-edge BDD core.
+
+These rules are thin adapters over the abstract-interpretation pass in
+:mod:`repro.analysis.repolint.intkinds`, the repolint substrate's third
+analysis family (after the import graph and the per-function dataflow
+walk).  The analysis runs once per project — memoised on the
+:class:`~repro.analysis.repolint.framework.Project` instance — and the
+five rules below each publish one finding category from it.
+
+All five are scoped to the modules whose ints are packed edges
+(``src/repro/bdd/`` plus ``src/repro/decomp/context.py``); see
+DESIGN.md section 10 for the lattice, the transfer functions and the
+pass's known imprecision.
+"""
+
+from repro.analysis.repolint.framework import Severity, repo_rule
+from repro.analysis.repolint.intkinds import analyze_project
+
+
+def _emit(ctx, rule_id):
+    analysis = analyze_project(ctx.project)
+    for rel, line, message in analysis.findings_for(rule_id):
+        yield ctx.finding(rel, line, message)
+
+
+@repo_rule("intkind-subscript", Severity.ERROR, scope="project")
+def check_intkind_subscript(ctx):
+    """A flat-array subscript uses an index of the wrong int kind —
+    e.g. ``_level[edge]`` instead of ``_level[edge >> 1]``: the packed
+    complement bit doubles the index, silently reading a different
+    node's field.  Applies to every attribute with a known subscript
+    demand (``_level``/``_lo``/``_hi`` demand node indices,
+    ``_unique``/``_level_to_var`` demand levels, ``_var_to_level``/
+    ``_var_names`` demand variable ids)."""
+    return _emit(ctx, "intkind-subscript")
+
+
+@repo_rule("intkind-complement", Severity.ERROR, scope="project")
+def check_intkind_complement(ctx):
+    """A complement-bit operation (``x ^ 1``) is applied to a value
+    that is not a packed edge.  Only edges carry a complement bit in
+    their lowest bit; flipping bit 0 of a node index, level or
+    variable id yields an adjacent — and entirely unrelated —
+    object."""
+    return _emit(ctx, "intkind-complement")
+
+
+@repo_rule("intkind-mix", Severity.WARNING, scope="project")
+def check_intkind_mix(ctx):
+    """Arithmetic or comparison mixes two different tracked int kinds
+    (edge/node/level/varid/sid).  Equal ints of different kinds denote
+    unrelated objects, so the result of ``edge + level`` or
+    ``node < edge`` is meaningless in either unit."""
+    return _emit(ctx, "intkind-mix")
+
+
+@repo_rule("intkind-call", Severity.WARNING, scope="project")
+def check_intkind_call(ctx):
+    """A call passes a value of one tracked kind where the callee's
+    parameter is annotated (or fixpoint-inferred) as a different kind
+    — the Python rendition of BuDDy's classic handle-confusion bug,
+    e.g. passing a raw node index to an operator expecting a packed
+    edge."""
+    return _emit(ctx, "intkind-call")
+
+
+@repo_rule("intkind-memo-key", Severity.WARNING, scope="project")
+def check_intkind_memo_key(ctx):
+    """A packed memo key ORs an unbounded edge or node index into a
+    narrow low-bit field (``(x << k) | y`` with ``k`` below the
+    sanctioned 32-bit operand width).  Only small interned ids (e.g.
+    quantification suffix ids) fit such fields; an edge overflows the
+    field boundary and aliases unrelated cache entries."""
+    return _emit(ctx, "intkind-memo-key")

@@ -1,4 +1,4 @@
-"""SARIF 2.1.0 export of a repolint report.
+"""SARIF 2.1.0 export of a lint report.
 
 SARIF (Static Analysis Results Interchange Format) is what code-hosting
 UIs ingest for inline annotations; the CI ``selfcheck`` job uploads
@@ -8,6 +8,13 @@ is emitted: one run, the full rule catalogue under
 location.  Suppressed and baselined findings are included with SARIF's
 own ``suppressions`` property so the artifact is a complete audit
 trail, matching the text report's philosophy.
+
+Both analyzers share this exporter: ``repro selfcheck`` (repolint, the
+source-tree rules) and ``repro lint`` (the netlist rules).  Netlist
+findings carry no source location — they name netlist nodes instead —
+so :func:`to_sarif` accepts a *default_uri* (the linted netlist file)
+used when a finding has no path, and surfaces ``nodes``/``output``
+under the result's ``properties`` bag.
 """
 
 SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
@@ -28,43 +35,60 @@ def _rule_descriptor(rule):
     }
 
 
-def _result(finding, suppression_kind=None):
+def _result(finding, suppression_kind=None, default_uri=None):
     doc = {
         "ruleId": finding.rule,
         "level": _LEVELS[finding.severity],
         "message": {"text": finding.message},
         "locations": [{
             "physicalLocation": {
-                "artifactLocation": {"uri": finding.path or ""},
+                "artifactLocation": {"uri": finding.path or default_uri
+                                     or ""},
                 "region": {"startLine": max(1, finding.line or 1)},
             },
         }],
     }
+    properties = {}
+    if getattr(finding, "nodes", ()):
+        properties["nodes"] = list(finding.nodes)
+    if getattr(finding, "output", None) is not None:
+        properties["output"] = finding.output
+    if properties:
+        doc["properties"] = properties
     if suppression_kind is not None:
         doc["suppressions"] = [{"kind": suppression_kind}]
     return doc
 
 
-def to_sarif(report, rules=None):
-    """The SARIF document for a :class:`RepolintReport`.
+def to_sarif(report, rules=None, tool_name=TOOL_NAME, default_uri=None):
+    """The SARIF document for a lint report.
 
-    *rules* defaults to the full registry, so rule metadata is present
-    even for rules that produced no findings this run.
+    *rules* defaults to the full repolint registry, so rule metadata is
+    present even for rules that produced no findings this run; pass the
+    netlist registry (``repro.analysis.rules.RULES``) when exporting a
+    ``repro lint`` report.  *tool_name* labels ``tool.driver``;
+    *default_uri* anchors findings that carry no source path (netlist
+    findings point at the linted netlist file).  Reports without
+    suppression/baseline audit trails (plain :class:`LintReport`) are
+    handled as having empty ones.
     """
     if rules is None:
         from repro.analysis.repolint.framework import REPO_RULES
         rules = REPO_RULES
-    results = [_result(finding) for finding in report.findings]
-    results += [_result(finding, suppression_kind="inSource")
-                for finding in report.suppressed]
-    results += [_result(finding, suppression_kind="external")
-                for finding in report.baselined]
+    results = [_result(finding, default_uri=default_uri)
+               for finding in report.findings]
+    results += [_result(finding, suppression_kind="inSource",
+                        default_uri=default_uri)
+                for finding in getattr(report, "suppressed", ())]
+    results += [_result(finding, suppression_kind="external",
+                        default_uri=default_uri)
+                for finding in getattr(report, "baselined", ())]
     return {
         "$schema": SARIF_SCHEMA,
         "version": SARIF_VERSION,
         "runs": [{
             "tool": {"driver": {
-                "name": TOOL_NAME,
+                "name": tool_name,
                 "informationUri":
                     "https://example.invalid/repro/docs/ANALYSIS.md",
                 "rules": [_rule_descriptor(rule)

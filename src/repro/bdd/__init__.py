@@ -17,6 +17,7 @@ Quick start::
 from repro.bdd.manager import BDD, BDDError
 from repro.bdd.function import Function, fn_vars
 from repro.bdd.node import FALSE, TRUE, TERMINAL_LEVEL, is_terminal
+from repro.bdd.types import Edge, Level, NodeId, SuffixId, VarId
 from repro.bdd.quantify import exists, forall, and_exists, or_forall
 from repro.bdd.cubes import (sat_count, pick_cube, pick_minterm,
                              cube_to_bdd, iter_cubes, iter_minterms)
@@ -29,6 +30,7 @@ from repro.bdd.dump import to_dot, stats
 __all__ = [
     "BDD", "BDDError", "Function", "fn_vars",
     "FALSE", "TRUE", "TERMINAL_LEVEL", "is_terminal",
+    "Edge", "NodeId", "Level", "VarId", "SuffixId",
     "exists", "forall", "and_exists", "or_forall",
     "sat_count", "pick_cube", "pick_minterm", "cube_to_bdd",
     "iter_cubes", "iter_minterms",

@@ -19,6 +19,7 @@ from repro.bdd import isop as _isop
 from repro.bdd import quantify as _quantify
 from repro.bdd.manager import BDD, BDDError
 from repro.bdd.node import FALSE, TRUE
+from repro.bdd.types import Edge
 
 
 class Function:
@@ -26,7 +27,11 @@ class Function:
 
     __slots__ = ("mgr", "node")
 
-    def __init__(self, mgr, node):
+    #: The packed edge this handle denotes (annotation only; the
+    #: storage is the slot above).
+    node: Edge
+
+    def __init__(self, mgr, node: Edge):
         self.mgr = mgr
         self.node = node
 
@@ -46,7 +51,7 @@ class Function:
         """A single positive or negative literal."""
         return cls(mgr, mgr.var(var) if positive else mgr.nvar(var))
 
-    def _coerce(self, other):
+    def _coerce(self, other) -> Edge:
         if isinstance(other, Function):
             if other.mgr is not self.mgr:
                 raise BDDError("mixing functions from different managers")
@@ -57,7 +62,7 @@ class Function:
             return FALSE
         raise TypeError("cannot combine Function with %r" % (other,))
 
-    def _wrap(self, node):
+    def _wrap(self, node: Edge) -> "Function":
         return Function(self.mgr, node)
 
     # -- Boolean operators --------------------------------------------
@@ -240,7 +245,7 @@ def _mgr_fn_vars(self):
     return fn_vars(self)
 
 
-def _mgr_fn(self, node):
+def _mgr_fn(self, node: Edge):
     """Wrap a raw node id into a Function handle."""
     return Function(self, node)
 

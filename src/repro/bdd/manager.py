@@ -47,6 +47,7 @@ module is deliberately edge-based for speed.
 """
 
 from repro.bdd.node import FALSE, TRUE, TERMINAL_LEVEL
+from repro.bdd.types import Edge, Level, VarId
 
 #: Memory backstop on entries per operator computed table.  A table
 #: that exceeds the cap after a top-level operation is dropped
@@ -123,7 +124,7 @@ class BDD:
     # ------------------------------------------------------------------
     # Variable management
     # ------------------------------------------------------------------
-    def add_var(self, name=None):
+    def add_var(self, name=None) -> VarId:
         """Create a new variable at the bottom of the order; return its index."""
         var = len(self._var_names)
         if name is None:
@@ -147,7 +148,7 @@ class BDD:
         """Tuple of variable names, in creation (index) order."""
         return tuple(self._var_names)
 
-    def var_index(self, var):
+    def var_index(self, var) -> VarId:
         """Normalise *var* (name or index) to a variable index."""
         if isinstance(var, str):
             try:
@@ -159,15 +160,15 @@ class BDD:
             raise BDDError("variable index out of range: %d" % var)
         return var
 
-    def var_name(self, var):
+    def var_name(self, var) -> str:
         """Name of variable index *var*."""
         return self._var_names[self.var_index(var)]
 
-    def level_of_var(self, var):
+    def level_of_var(self, var) -> Level:
         """Current level (position in the order) of variable *var*."""
         return self._var_to_level[self.var_index(var)]
 
-    def var_at_level(self, level):
+    def var_at_level(self, level: Level) -> VarId:
         """Variable index currently sitting at *level*."""
         return self._level_to_var[level]
 
@@ -178,7 +179,7 @@ class BDD:
     # ------------------------------------------------------------------
     # Node construction
     # ------------------------------------------------------------------
-    def _mk(self, level, lo, hi):
+    def _mk(self, level: Level, lo: Edge, hi: Edge) -> Edge:
         """Find-or-create the edge for ``(level, lo, hi)`` (normalised).
 
         *lo* / *hi* are edges; reduction (``lo == hi``) and the
@@ -234,39 +235,39 @@ class BDD:
         self._growth_interval = interval
         self._growth_countdown = interval
 
-    def var(self, var):
+    def var(self, var) -> Edge:
         """Return the edge for the positive literal of *var*."""
         level = self._var_to_level[self.var_index(var)]
         return self._mk(level, FALSE, TRUE)
 
-    def nvar(self, var):
+    def nvar(self, var) -> Edge:
         """Return the edge for the negative literal of *var*."""
         level = self._var_to_level[self.var_index(var)]
         return self._mk(level, TRUE, FALSE)
 
     @property
-    def true(self):
+    def true(self) -> Edge:
         """The constant-1 edge."""
         return TRUE
 
     @property
-    def false(self):
+    def false(self) -> Edge:
         """The constant-0 edge."""
         return FALSE
 
-    def level(self, edge):
+    def level(self, edge: Edge) -> Level:
         """Level of *edge* (``TERMINAL_LEVEL`` for constants)."""
         return self._level[edge >> 1]
 
-    def low(self, edge):
+    def low(self, edge: Edge) -> Edge:
         """Else-branch (variable = 0) of *edge*, complement resolved."""
         return self._lo[edge >> 1] ^ (edge & 1)
 
-    def high(self, edge):
+    def high(self, edge: Edge) -> Edge:
         """Then-branch (variable = 1) of *edge*, complement resolved."""
         return self._hi[edge >> 1] ^ (edge & 1)
 
-    def top_var(self, edge):
+    def top_var(self, edge: Edge) -> VarId:
         """Variable index decided at the root of *edge*."""
         level = self._level[edge >> 1]
         if level == TERMINAL_LEVEL:
@@ -285,11 +286,11 @@ class BDD:
     # ------------------------------------------------------------------
     # Core operators
     # ------------------------------------------------------------------
-    def not_(self, f):
+    def not_(self, f: Edge) -> Edge:
         """Complement of *f* — one XOR on the edge's complement bit."""
         return f ^ 1
 
-    def and_(self, f, g):
+    def and_(self, f: Edge, g: Edge) -> Edge:
         """Conjunction ``f & g`` (iterative, explicit stack)."""
         # Top-level fast paths: trivial and cached calls — the vast
         # majority on decomposition workloads — skip the loop setup.
@@ -472,7 +473,7 @@ class BDD:
             ct.clear()
         return results[0]
 
-    def xor(self, f, g):
+    def xor(self, f: Edge, g: Edge) -> Edge:
         """Exclusive-or ``f ^ g`` (iterative, explicit stack)."""
         # Top-level fast paths (xor ignores polarity up to an output
         # complement, so operands normalise to regular edges).
@@ -608,31 +609,31 @@ class BDD:
             ct.clear()
         return results[0]
 
-    def or_(self, f, g):
+    def or_(self, f: Edge, g: Edge) -> Edge:
         """Disjunction ``f | g`` (De Morgan over the AND fast path)."""
         return self.and_(f ^ 1, g ^ 1) ^ 1
 
-    def xnor(self, f, g):
+    def xnor(self, f: Edge, g: Edge) -> Edge:
         """Equivalence ``~(f ^ g)``."""
         return self.xor(f, g) ^ 1
 
-    def nand(self, f, g):
+    def nand(self, f: Edge, g: Edge) -> Edge:
         """``~(f & g)``."""
         return self.and_(f, g) ^ 1
 
-    def nor(self, f, g):
+    def nor(self, f: Edge, g: Edge) -> Edge:
         """``~(f | g)``."""
         return self.and_(f ^ 1, g ^ 1)
 
-    def diff(self, f, g):
+    def diff(self, f: Edge, g: Edge) -> Edge:
         """Boolean difference (SHARP): ``f & ~g``."""
         return self.and_(f, g ^ 1)
 
-    def implies(self, f, g):
+    def implies(self, f: Edge, g: Edge) -> Edge:
         """Implication ``~f | g``."""
         return self.and_(f, g ^ 1) ^ 1
 
-    def ite(self, f, g, h):
+    def ite(self, f: Edge, g: Edge, h: Edge) -> Edge:
         """If-then-else operator: ``(f & g) | (~f & h)``."""
         if f < 2:
             return g if f else h
@@ -785,7 +786,7 @@ class BDD:
             ct.clear()
         return results[0]
 
-    def _cofactors_at(self, edge, level):
+    def _cofactors_at(self, edge: Edge, level: Level):
         """Cofactors of *edge* with respect to the variable at *level*."""
         if self._level[edge >> 1] == level:
             c = edge & 1
@@ -814,12 +815,12 @@ class BDD:
     # ------------------------------------------------------------------
     # Cofactors, restriction, composition
     # ------------------------------------------------------------------
-    def cofactor(self, f, var, value):
+    def cofactor(self, f: Edge, var, value) -> Edge:
         """Restrict variable *var* to the constant *value* (0 or 1) in *f*."""
         level = self._var_to_level[self.var_index(var)]
         return self._restrict_level(f, level, 1 if value else 0)
 
-    def _restrict_level(self, f, level, value):
+    def _restrict_level(self, f: Edge, level: Level, value) -> Edge:
         """Iterative one-level restriction with a per-call memo."""
         _lev = self._level
         _lo = self._lo
@@ -861,7 +862,7 @@ class BDD:
                 results[-1] ^= 1
         return results[0]
 
-    def restrict(self, f, assignment):
+    def restrict(self, f: Edge, assignment) -> Edge:
         """Restrict several variables at once.
 
         *assignment* maps variable names/indices to 0/1 values.
@@ -870,12 +871,12 @@ class BDD:
             f = self.cofactor(f, var, value)
         return f
 
-    def compose(self, f, var, g):
+    def compose(self, f: Edge, var, g: Edge) -> Edge:
         """Substitute function *g* for variable *var* in *f*."""
         level = self._var_to_level[self.var_index(var)]
         return self._compose_rec(f, level, g, {})
 
-    def _compose_rec(self, f, level, g, memo):
+    def _compose_rec(self, f: Edge, level: Level, g: Edge, memo) -> Edge:
         node_level = self._level[f >> 1]
         if node_level > level:
             return f
@@ -896,7 +897,7 @@ class BDD:
         memo[f] = result
         return result ^ out
 
-    def rename(self, f, mapping):
+    def rename(self, f: Edge, mapping) -> Edge:
         """Rename variables of *f* according to ``{old: new}`` *mapping*.
 
         The substituted variables must not overlap in a way that makes the
@@ -917,7 +918,7 @@ class BDD:
     # ------------------------------------------------------------------
     # Structure queries
     # ------------------------------------------------------------------
-    def support_levels(self, f):
+    def support_levels(self, f: Edge):
         """Frozenset of levels on which *f* structurally depends."""
         f &= -2
         if not f:
@@ -953,16 +954,16 @@ class BDD:
                         | frozenset((_lev[idx],)))
         return cache[f]
 
-    def support(self, f):
+    def support(self, f: Edge):
         """Sorted tuple of variable *indices* in the support of *f*."""
         return tuple(sorted(self._level_to_var[level]
                             for level in self.support_levels(f)))
 
-    def support_names(self, f):
+    def support_names(self, f: Edge):
         """Sorted tuple of variable *names* in the support of *f*."""
         return tuple(self._var_names[v] for v in self.support(f))
 
-    def node_count(self, f):
+    def node_count(self, f: Edge) -> int:
         """Number of distinct functions (edges) in the DAG rooted at *f*.
 
         Counts complement-resolved edges, i.e. distinct subfunctions
@@ -992,7 +993,7 @@ class BDD:
                     push(hi)
         return len(seen)
 
-    def eval(self, f, assignment):
+    def eval(self, f: Edge, assignment) -> bool:
         """Evaluate *f* under a complete 0/1 *assignment* (name/index keyed)."""
         values = {}
         for var, value in assignment.items():
@@ -1012,14 +1013,14 @@ class BDD:
     # ------------------------------------------------------------------
     # Garbage collection (explicit, BuDDy-style ref counting)
     # ------------------------------------------------------------------
-    def ref(self, edge):
+    def ref(self, edge: Edge) -> Edge:
         """Protect *edge* (and its cone) from garbage collection."""
         idx = edge >> 1
         if idx:
             self._refs[idx] = self._refs.get(idx, 0) + 1
         return edge
 
-    def deref(self, edge):
+    def deref(self, edge: Edge) -> Edge:
         """Release one external reference taken with :meth:`ref`."""
         idx = edge >> 1
         if not idx:
@@ -1033,7 +1034,7 @@ class BDD:
             self._refs[idx] = count - 1
         return edge
 
-    def ref_count(self, edge):
+    def ref_count(self, edge: Edge) -> int:
         """Current external reference count of *edge*'s node."""
         return self._refs.get(edge >> 1, 0)
 

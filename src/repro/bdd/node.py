@@ -22,27 +22,29 @@ This module only holds the shared constants; the actual storage lives in
 :class:`repro.bdd.manager.BDD`.
 """
 
+from repro.bdd.types import Edge, Level
+
 #: Edge of the constant-0 function (regular edge to the terminal).
-FALSE = 0
+FALSE: Edge = 0
 
 #: Edge of the constant-1 function (complemented edge to the terminal).
-TRUE = 1
+TRUE: Edge = 1
 
 #: Level assigned to the terminal node.  Always compares greater than
 #: any variable level, so the terminal sinks below every ordering.
-TERMINAL_LEVEL = 1 << 30
+TERMINAL_LEVEL: Level = 1 << 30
 
 
-def is_terminal(edge):
+def is_terminal(edge: Edge) -> bool:
     """Return True if *edge* is one of the two constant edges."""
     return edge == FALSE or edge == TRUE
 
 
-def is_complemented(edge):
+def is_complemented(edge: Edge) -> bool:
     """Return True if *edge* carries the complement bit."""
     return bool(edge & 1)
 
 
-def regular(edge):
+def regular(edge: Edge) -> Edge:
     """Strip the complement bit: the positive-polarity edge of *edge*."""
     return edge & ~1

@@ -25,6 +25,7 @@ or GC, keeping ids and level tokens consistent with the current order.
 """
 
 from repro.bdd.node import FALSE, TRUE
+from repro.bdd.types import Edge, SuffixId
 
 #: Bits reserved for the suffix id in packed memo keys.  2**20 distinct
 #: (tail of a quantified level set) values is far beyond any real run;
@@ -69,7 +70,7 @@ def _suffixes(mgr, levels):
         suffixes = [levels[i:] for i in range(len(levels) + 1)]
         entry_ids = []
         for suffix in suffixes:
-            sid = ids.get(suffix)
+            sid: SuffixId = ids.get(suffix)
             if sid is None:
                 sid = len(ids)
                 if sid >= _SUFFIX_MAX:
@@ -81,7 +82,7 @@ def _suffixes(mgr, levels):
     return entry
 
 
-def exists(mgr, variables, f):
+def exists(mgr, variables, f: Edge) -> Edge:
     """Existential quantification: OR of all cofactors over *variables*."""
     levels = _levels_token(mgr, variables)
     if not levels:
@@ -90,7 +91,7 @@ def exists(mgr, variables, f):
     return _exists_iter(mgr, f, levels, _cache(mgr, "_cache_exists"))
 
 
-def _exists_iter(mgr, f, levels, cache):
+def _exists_iter(mgr, f: Edge, levels, cache) -> Edge:
     _suffix_tuples, sids = _suffixes(mgr, levels)
     n = len(levels)
     _lev = mgr._level
@@ -145,7 +146,7 @@ def _exists_iter(mgr, f, levels, cache):
     return results[0]
 
 
-def forall(mgr, variables, f):
+def forall(mgr, variables, f: Edge) -> Edge:
     """Universal quantification: AND of all cofactors over *variables*.
 
     The dual of :func:`exists` under complement edges; shares its memo.
@@ -158,7 +159,7 @@ def forall(mgr, variables, f):
                         _cache(mgr, "_cache_exists")) ^ 1
 
 
-def and_exists(mgr, variables, f, g):
+def and_exists(mgr, variables, f: Edge, g: Edge) -> Edge:
     """Compute ``exists(variables, f & g)`` without building ``f & g``.
 
     The fused form ("relational product") short-circuits as soon as one
@@ -172,7 +173,7 @@ def and_exists(mgr, variables, f, g):
                             _cache(mgr, "_cache_and_exists"))
 
 
-def or_forall(mgr, variables, f, g):
+def or_forall(mgr, variables, f: Edge, g: Edge) -> Edge:
     """Compute ``forall(variables, f | g)`` without building ``f | g``.
 
     The universal dual of :func:`and_exists` under complement edges:
@@ -187,7 +188,7 @@ def or_forall(mgr, variables, f, g):
                             _cache(mgr, "_cache_and_exists")) ^ 1
 
 
-def _and_exists_iter(mgr, f, g, levels, cache):
+def _and_exists_iter(mgr, f: Edge, g: Edge, levels, cache) -> Edge:
     _suffix_tuples, sids = _suffixes(mgr, levels)
     n = len(levels)
     _lev = mgr._level

@@ -1,0 +1,58 @@
+"""Int-kind aliases for the packed-edge BDD core.
+
+Every quantity the BDD kernel passes around is a plain Python ``int``
+— exactly like the BuDDy C API the paper's program is built on, and
+with the same failure mode: a packed *edge* ``(node << 1) | c``, a raw
+*node index* into the flat ``_level``/``_lo``/``_hi`` arrays, a
+*level* (position in the variable order), a *variable index* and a
+quantification *suffix id* are mutually indistinguishable at runtime,
+so confusing them corrupts results silently instead of raising.
+
+These :func:`typing.NewType` aliases give each kind a name.  They are
+**runtime no-ops** — ``Edge(x)`` is the identity function and
+annotations are never enforced — so golden BLIFs and certificate
+traces are byte-identical with or without them.  They earn their keep
+statically: ``repro selfcheck`` runs an abstract-interpretation pass
+(:mod:`repro.analysis.repolint.intkinds`) that seeds its int-kind
+lattice from these names on ``repro.bdd`` signatures and flags
+kind-unsound arithmetic, subscripts and calls.
+
+Kind glossary (see DESIGN.md section 10):
+
+``Edge``
+    A packed function handle ``(node_index << 1) | complement_bit``.
+    ``edge >> 1`` is the node index, ``edge ^ 1`` the complement,
+    ``edge & 1`` the complement bit, ``edge & -2`` the regular edge.
+``NodeId``
+    A physical index into the parallel node arrays.  Only valid as a
+    subscript of ``_level``/``_lo``/``_hi``; never usable as an edge
+    without repacking via ``(node << 1) | c``.
+``Level``
+    A position in the current variable order (``TERMINAL_LEVEL`` for
+    the terminal).  Subscripts ``_unique`` and ``_level_to_var``.
+``VarId``
+    A variable's creation index, stable across reordering.
+    Subscripts ``_var_to_level`` and ``_var_names``.
+``SuffixId``
+    The small interned id of a quantified-level-set tail, packed into
+    quantification memo keys as ``(edge << 20) | suffix_id``.
+"""
+
+from typing import NewType
+
+#: Packed function handle ``(node_index << 1) | complement_bit``.
+Edge = NewType("Edge", int)
+
+#: Physical node index into the flat parallel arrays.
+NodeId = NewType("NodeId", int)
+
+#: Position in the current variable order.
+Level = NewType("Level", int)
+
+#: Variable creation index (reorder-stable).
+VarId = NewType("VarId", int)
+
+#: Interned id of a quantified-level-set suffix (memo-key low bits).
+SuffixId = NewType("SuffixId", int)
+
+__all__ = ["Edge", "NodeId", "Level", "VarId", "SuffixId"]

@@ -413,6 +413,8 @@ def cmd_verify(args, stdout):
 def cmd_lint(args, stdout):
     """Static-analysis lint of a BLIF netlist (see docs/ANALYSIS.md)."""
     from repro.analysis import Severity, lint_netlist
+    from repro.analysis.rules import RULES
+    from repro.analysis.repolint.sarif import to_sarif
     from repro.io import parse_blif_netlist
     # argparse's choices guard the real CLI; validate here too so
     # programmatic callers with a mistyped level exit 2 instead of
@@ -438,6 +440,16 @@ def cmd_lint(args, stdout):
             stdout.write(text)
         else:
             with open(args.json, "w") as handle:
+                handle.write(text)
+    if getattr(args, "sarif", None) is not None:
+        text = json.dumps(to_sarif(report, rules=RULES,
+                                   tool_name="repro-netlist-lint",
+                                   default_uri=args.netlist),
+                          indent=2, sort_keys=True) + "\n"
+        if args.sarif == "-":
+            stdout.write(text)
+        else:
+            with open(args.sarif, "w") as handle:
                 handle.write(text)
     if args.fail_on == "never":
         return 0
@@ -639,6 +651,9 @@ def build_parser():
                    help="PLA specification for support-mismatch checks")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the full findings report as JSON "
+                        "('-' for stdout)")
+    p.add_argument("--sarif", default=None, metavar="PATH",
+                   help="write a SARIF 2.1.0 report "
                         "('-' for stdout)")
     p.add_argument("--fail-on", choices=("error", "warning", "info",
                                          "never"),

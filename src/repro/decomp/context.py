@@ -45,6 +45,7 @@ swapped, so OR and AND probes share cache entries automatically.
 
 from repro.bdd import (and_exists as _and_exists, exists as _exists,
                        or_forall as _or_forall)
+from repro.bdd.types import Edge
 
 
 class CheckContext:
@@ -88,7 +89,7 @@ class CheckContext:
         return frozenset(mgr.var_index(v) for v in variables)
 
     # -- quantification -------------------------------------------------
-    def exists(self, node, variables):
+    def exists(self, node: Edge, variables) -> Edge:
         """Cached ``exists(variables, node)``."""
         vs = self._varset(variables)
         if not vs:
@@ -104,23 +105,23 @@ class CheckContext:
         cache[key] = result
         return result
 
-    def forall(self, node, variables):
+    def forall(self, node: Edge, variables) -> Edge:
         """Cached universal dual: ``forall(V, f) = ~exists(V, ~f)``."""
         mgr = self.mgr
         return mgr.not_(self.exists(mgr.not_(node), variables))
 
-    def and_exists(self, variables, f, g):
+    def and_exists(self, variables, f: Edge, g: Edge) -> Edge:
         """Fused ``exists(variables, f & g)`` (kernel-memoised)."""
         self.and_exists_calls += 1
         return _and_exists(self.mgr, sorted(self._varset(variables)), f, g)
 
-    def or_forall(self, variables, f, g):
+    def or_forall(self, variables, f: Edge, g: Edge) -> Edge:
         """Fused ``forall(variables, f | g)`` (kernel-memoised)."""
         self.and_exists_calls += 1
         return _or_forall(self.mgr, sorted(self._varset(variables)), f, g)
 
     # -- check-result memo ----------------------------------------------
-    def check_memo(self, kind, q, r, xa, xb):
+    def check_memo(self, kind, q: Edge, r: Edge, xa, xb):
         """Cache slot for a check verdict on ``(Q, R, XA, XB)``.
 
         Returns ``(cached_value, store)`` where *cached_value* is the

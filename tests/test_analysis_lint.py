@@ -313,3 +313,77 @@ class TestLintCommand:
         doc = json.loads(stats_path.read_text())
         assert doc["lint"]["errors"] == 0
         assert doc["lint"]["clean"] is True
+
+
+class TestLintSarif:
+    """``repro lint --sarif`` reuses the repolint SARIF exporter."""
+
+    DEFECTIVE = "\n".join([
+        ".model bad", ".inputs a b", ".outputs f",
+        ".names a t1", "0 1",
+        ".names t1 t2", "0 1",         # NOT(NOT(a)): double negation
+        ".names t2 b f", "11 1",
+        ".end", ""])
+
+    def test_sarif_file_round_trips(self, tmp_path):
+        blif = tmp_path / "bad.blif"
+        blif.write_text(self.DEFECTIVE)
+        sarif_path = tmp_path / "lint.sarif"
+        out = io.StringIO()
+        assert main(["lint", str(blif), "--sarif", str(sarif_path),
+                     "--fail-on", "never"], stdout=out) == 0
+        doc = json.loads(sarif_path.read_text())
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-netlist-lint"
+        # The full netlist rule catalogue is present, findings or not.
+        from repro.analysis.rules import RULES
+        assert {r["id"] for r in run["tool"]["driver"]["rules"]} == \
+            set(RULES)
+        # Netlist findings carry no source path of their own: they
+        # anchor to the linted file and name their nodes in the
+        # properties bag, so the artifact still locates every result.
+        results = {r["ruleId"]: r for r in run["results"]}
+        assert "double-negation" in results
+        hit = results["double-negation"]
+        uri = hit["locations"][0]["physicalLocation"]["artifactLocation"]
+        assert uri["uri"] == str(blif)
+        assert hit["properties"]["nodes"]
+        # Levels agree with the registry's severities.
+        for result in run["results"]:
+            level = {"error": "error", "warning": "warning",
+                     "info": "note"}[RULES[result["ruleId"]].severity]
+            assert result["level"] == level
+
+    def test_sarif_to_stdout(self, tmp_path):
+        blif = tmp_path / "bad.blif"
+        blif.write_text(self.DEFECTIVE)
+        out = io.StringIO()
+        assert main(["lint", str(blif), "--sarif", "-",
+                     "--fail-on", "never"], stdout=out) == 0
+        text = out.getvalue()
+        doc = json.loads(text[text.index("{"):])
+        assert doc["runs"][0]["tool"]["driver"]["name"] == \
+            "repro-netlist-lint"
+
+    def test_lint_and_selfcheck_emit_one_format(self, tmp_path):
+        """Both analyzers produce the same SARIF skeleton."""
+        blif = tmp_path / "ok.blif"
+        blif.write_text("\n".join([
+            ".model t", ".inputs a b", ".outputs f",
+            ".names a b f", "11 1", ".end", ""]))
+        lint_sarif = tmp_path / "lint.sarif"
+        self_sarif = tmp_path / "self.sarif"
+        assert main(["lint", str(blif), "--sarif", str(lint_sarif),
+                     "--fail-on", "never"], stdout=io.StringIO()) == 0
+        (tmp_path / "src" / "repro").mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "a.py").write_text("x = 1\n")
+        assert main(["selfcheck", "--root", str(tmp_path),
+                     str(tmp_path / "src"),
+                     "--sarif", str(self_sarif)],
+                    stdout=io.StringIO()) == 0
+        lint_doc = json.loads(lint_sarif.read_text())
+        self_doc = json.loads(self_sarif.read_text())
+        assert lint_doc["$schema"] == self_doc["$schema"]
+        assert lint_doc["version"] == self_doc["version"]
+        assert set(lint_doc["runs"][0]) == set(self_doc["runs"][0])

@@ -48,12 +48,15 @@ class TestRepoIsClean:
         report = run_repolint(root=REPO_ROOT)
         assert report.findings == []
         assert report.files_checked > 50
-        # Six ported seam rules plus the determinism family.
+        # Six ported seam rules plus the determinism family plus the
+        # int-kind abstract-interpretation family.
         assert set(report.rules_run) >= {
             "manager-seam", "process-boundary", "certifier-independence",
             "node-encoding", "bare-assert", "stage-registry",
             "set-iteration", "listdir-order", "impure-import",
-            "env-read", "id-order", "pickle-safety", "cache-attr-name"}
+            "env-read", "id-order", "pickle-safety", "cache-attr-name",
+            "intkind-subscript", "intkind-complement", "intkind-mix",
+            "intkind-call", "intkind-memo-key"}
 
     def test_certifier_espresso_chain_is_suppressed_not_hidden(self):
         report = run_repolint(root=REPO_ROOT)
